@@ -1,0 +1,89 @@
+"""Ablation: sensitivity to the architectural parameters the paper's
+scheduler consumes — prefetch queue depth, cache size, and remote
+latency.  (The paper's §6 names exactly this interaction as future
+simulation work.)
+"""
+
+import pytest
+
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.machine.params import t3d
+from repro.runtime import Version, run_program
+from repro.workloads import workload
+
+_cache = {}
+
+
+def ccdp_time(name, n_pes=8, **over):
+    key = (name, n_pes, tuple(sorted(over.items())))
+    if key in _cache:
+        return _cache[key]
+    sizes = {"mxm": {"n": 32}, "tomcatv": {"n": 33, "steps": 2}}[name]
+    program = workload(name).build(**sizes)
+    over.setdefault("cache_bytes", 2048)
+    params = t3d(n_pes, **over)
+    transformed, _ = ccdp_transform(program, CCDPConfig(machine=params))
+    result = run_program(transformed, params, Version.CCDP, on_stale="raise")
+    _cache[key] = result
+    return result
+
+
+class TestQueueDepth:
+    @pytest.mark.parametrize("slots", [1, 4, 16])
+    def test_queue_sweep(self, slots, benchmark, capsys):
+        result = benchmark.pedantic(
+            lambda: ccdp_time("tomcatv", prefetch_queue_slots=slots),
+            rounds=1, iterations=1)
+        with capsys.disabled():
+            total = result.machine.stats.total()
+            print(f"\n[queue={slots:2d}] tomcatv ccdp={result.elapsed:,.0f} cyc "
+                  f"dropped={total.prefetch_dropped}")
+
+    def test_deeper_queue_never_hurts_much(self):
+        shallow = ccdp_time("tomcatv", prefetch_queue_slots=1).elapsed
+        deep = ccdp_time("tomcatv", prefetch_queue_slots=16).elapsed
+        assert deep <= shallow * 1.05
+
+
+class TestCacheSize:
+    @pytest.mark.parametrize("kbytes", [1, 2, 8])
+    def test_cache_sweep(self, kbytes, benchmark, capsys):
+        result = benchmark.pedantic(
+            lambda: ccdp_time("mxm", cache_bytes=kbytes * 1024),
+            rounds=1, iterations=1)
+        with capsys.disabled():
+            total = result.machine.stats.total()
+            print(f"\n[cache={kbytes}KB] mxm ccdp={result.elapsed:,.0f} cyc "
+                  f"hit_rate={total.hit_rate:.3f}")
+
+    def test_bigger_cache_helps(self):
+        small = ccdp_time("mxm", cache_bytes=1024).elapsed
+        large = ccdp_time("mxm", cache_bytes=8192).elapsed
+        assert large <= small
+
+
+class TestRemoteLatency:
+    @pytest.mark.parametrize("remote", [50, 100, 200])
+    def test_latency_sweep(self, remote, benchmark, capsys):
+        def run_pair():
+            sizes = {"n": 32}
+            program = workload("mxm").build(**sizes)
+            params = t3d(8, cache_bytes=2048, remote_base=remote)
+            base = run_program(program, params, Version.BASE)
+            transformed, _ = ccdp_transform(program, CCDPConfig(machine=params))
+            ccdp = run_program(transformed, params, Version.CCDP)
+            return 100.0 * (base.elapsed - ccdp.elapsed) / base.elapsed
+
+        value = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+        _cache[("latency", remote)] = value
+        with capsys.disabled():
+            print(f"\n[remote={remote}] mxm improvement={value:6.1f}%")
+
+    def test_improvement_grows_with_latency(self):
+        """The scheme's value is latency hiding: the slower the network,
+        the bigger CCDP's edge over uncached BASE."""
+        lo = _cache.get(("latency", 50))
+        hi = _cache.get(("latency", 200))
+        if lo is None or hi is None:
+            pytest.skip("run the latency sweep first (same session)")
+        assert hi > lo

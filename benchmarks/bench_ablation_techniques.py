@@ -1,0 +1,66 @@
+"""Ablation: the contribution of each scheduling technique.
+
+The paper motivates combining Gornish's (vector) and Mowry's (pipelined)
+scheduling; this benchmark disables each technique and measures the CCDP
+improvement that remains, on the two prefetch-heavy applications.
+"""
+
+import pytest
+
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.machine.params import t3d
+from repro.runtime import Version, run_program
+from repro.workloads import workload
+
+SIZES = {"mxm": {"n": 32}, "tomcatv": {"n": 33, "steps": 2}}
+VARIANTS = {
+    "full": {},
+    "no-vpg": {"enable_vpg": False},
+    "no-vpg-no-sp": {"enable_vpg": False, "enable_sp": False},
+    "bypass-only": {"enable_vpg": False, "enable_sp": False,
+                    "enable_mbp": False},
+}
+
+_cache = {}
+
+
+def improvement(name, variant, n_pes=8):
+    key = (name, variant)
+    if key in _cache:
+        return _cache[key]
+    spec = workload(name)
+    program = spec.build(**SIZES[name])
+    params = t3d(n_pes, cache_bytes=2048)
+    base = run_program(program, params, Version.BASE)
+    config = CCDPConfig(machine=params).with_(**VARIANTS[variant])
+    transformed, _ = ccdp_transform(program, config)
+    ccdp = run_program(transformed, params, Version.CCDP, on_stale="raise")
+    value = 100.0 * (base.elapsed - ccdp.elapsed) / base.elapsed
+    _cache[key] = value
+    return value
+
+
+@pytest.mark.parametrize("name", list(SIZES))
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_technique_ablation(name, variant, benchmark, capsys):
+    value = benchmark.pedantic(lambda: improvement(name, variant),
+                               rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\n[ablation] {name:8s} {variant:14s} improvement={value:6.1f}%")
+
+    if variant == "full":
+        # removing everything must not beat the full scheme
+        assert value >= improvement(name, "bypass-only") - 1.0
+
+
+def test_vpg_matters_for_mxm():
+    """MXM's win is built on vector prefetching the A columns."""
+    assert improvement("mxm", "full") > improvement("mxm", "bypass-only") + 5.0
+
+
+def test_every_variant_is_coherent():
+    """Disabling techniques must never break coherence (targets fall back
+    to bypass reads)."""
+    for name in SIZES:
+        for variant in VARIANTS:
+            improvement(name, variant)  # raises on any stale read

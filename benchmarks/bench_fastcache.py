@@ -1,0 +1,63 @@
+"""Engineering benchmark: the vectorised trace evaluator vs. the
+event-by-event reference cache, plus a real profile of a workload trace
+(the VPENTA power-of-two aliasing diagnosis)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import DirectMappedCache
+from repro.machine.fastcache import classify_read_trace, conflict_profile
+from repro.machine.params import t3d
+
+PARAMS = t3d(1, cache_bytes=2048)
+RNG = np.random.default_rng(42)
+TRACE = RNG.integers(0, 8192, size=200_000).astype(np.int64)
+
+
+def reference_hits(addrs):
+    cache = DirectMappedCache(PARAMS)
+    data = np.zeros(PARAMS.line_words)
+    vers = np.zeros(PARAMS.line_words, dtype=np.int64)
+    hits = 0
+    for addr in addrs:
+        if cache.read(addr) is None:
+            cache.install(addr // PARAMS.line_words, data, vers)
+        else:
+            hits += 1
+    return hits
+
+
+def test_vectorised_classification(benchmark):
+    result = benchmark(lambda: classify_read_trace(TRACE, PARAMS))
+    assert result.reads == len(TRACE)
+
+
+def test_reference_classification(benchmark):
+    hits = benchmark.pedantic(lambda: reference_hits(TRACE[:20_000]),
+                              rounds=1, iterations=1)
+    fast = classify_read_trace(TRACE[:20_000], PARAMS)
+    assert hits == fast.hits  # exactness at benchmark scale too
+
+
+def test_profile_real_workload_trace(benchmark, capsys):
+    """Capture a CCDP VPENTA trace and diagnose the n=32 aliasing."""
+    from repro.coherence import CCDPConfig, ccdp_transform
+    from repro.runtime import ExecutionConfig, Interpreter, Version
+    from repro.workloads import workload
+
+    params = t3d(4, cache_bytes=2048)
+    program, _ = ccdp_transform(workload("vpenta").build(n=32),
+                                CCDPConfig(machine=params))
+    interp = Interpreter(program, params,
+                         ExecutionConfig.for_version(Version.CCDP),
+                         trace_reads=True)
+    interp.run()
+    trace = np.array(interp.machine.read_trace[0], dtype=np.int64)
+
+    result = benchmark(lambda: classify_read_trace(trace, params))
+    worst, counts = conflict_profile(trace, params, top=4)
+    with capsys.disabled():
+        print(f"\n[profile] vpenta n=32 PE0: {len(trace):,} reads, "
+              f"hit={result.hit_rate:.3f}, hottest sets={worst.tolist()}")
+    # the power-of-two layout makes the trace thrash
+    assert result.hit_rate < 0.5

@@ -1,0 +1,52 @@
+"""Reproduces **Figure 1** of the paper — the prefetch target analysis
+algorithm — by running it (with its prerequisite stale reference
+analysis) on all four applications and reporting its observable outputs:
+the prefetch set size and the group-spatial / bypass demotions.
+
+The benchmark times the full analysis pipeline (epoch graph + stale
+reference analysis + Fig. 1), i.e. compile-time cost.
+"""
+
+import pytest
+
+from repro.analysis.epochs import build_epoch_graph
+from repro.analysis.stale import analyse_stale_references
+from repro.coherence.config import CCDPConfig
+from repro.coherence.inline import inline_parallel_calls
+from repro.coherence.target_analysis import prefetch_target_analysis
+from repro.machine.params import t3d
+from repro.workloads import workload
+
+SIZES = {"mxm": {"n": 32}, "vpenta": {"n": 33},
+         "tomcatv": {"n": 33, "steps": 3}, "swim": {"n": 33, "steps": 3}}
+
+
+@pytest.mark.parametrize("name", list(SIZES))
+def test_fig1_target_analysis(name, benchmark, capsys):
+    spec = workload(name)
+    config = CCDPConfig(machine=t3d(8, cache_bytes=2048))
+
+    def run_pipeline():
+        program = spec.build(**SIZES[name]).clone()
+        inline_parallel_calls(program)
+        graph = build_epoch_graph(program)
+        stale = analyse_stale_references(program, graph)
+        return prefetch_target_analysis(program, stale, config), stale
+
+    (result, stale) = benchmark(run_pipeline)
+
+    # Fig. 1 invariants: a partition of P, leading refs only.
+    covered = ({t.uid for t in result.targets}
+               | {i.uid for i in result.demoted_group}
+               | {i.uid for i in result.demoted_bypass}
+               | {i.uid for i in result.stale_calls})
+    assert covered == set(stale.stale_reads)
+    for target in result.targets:
+        assert target.info.uid not in {i.uid for i in result.demoted_group}
+
+    with capsys.disabled():
+        print(f"\n[fig1] {name:8s} stale={len(stale.stale_reads):3d} "
+              f"targets={len(result.targets):3d} "
+              f"group-demoted={len(result.demoted_group):3d} "
+              f"bypass-demoted={len(result.demoted_bypass):3d} "
+              f"call-summaries={len(result.stale_calls)}")

@@ -1,0 +1,53 @@
+"""The paper's §6 extension: prefetching non-stale references too.
+
+    "Intuitively, we should be able to obtain further performance
+    improvement by prefetching the non-stale references as well."
+
+This benchmark measures that intuition on the simulator: CCDP vs
+CCDP+non-stale-prefetching, per application.
+"""
+
+import pytest
+
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.machine.params import t3d
+from repro.runtime import Version, run_program
+from repro.workloads import workload
+
+SIZES = {"mxm": {"n": 32}, "vpenta": {"n": 33},
+         "tomcatv": {"n": 33, "steps": 2}, "swim": {"n": 33, "steps": 2}}
+
+_results = {}
+
+
+def run_variant(name, nonstale, n_pes=8):
+    key = (name, nonstale)
+    if key in _results:
+        return _results[key]
+    program = workload(name).build(**SIZES[name])
+    params = t3d(n_pes, cache_bytes=2048)
+    config = CCDPConfig(machine=params).with_(prefetch_nonstale=nonstale)
+    transformed, report = ccdp_transform(program, config)
+    result = run_program(transformed, params, Version.CCDP, on_stale="raise")
+    _results[key] = (result, report)
+    return _results[key]
+
+
+@pytest.mark.parametrize("name", list(SIZES))
+def test_nonstale_extension(name, benchmark, capsys):
+    result, report = benchmark.pedantic(
+        lambda: run_variant(name, True), rounds=1, iterations=1)
+    plain, _ = run_variant(name, False)
+
+    assert result.stats.stale_reads == 0  # extension must stay coherent
+    assert report.nonstale_targets >= 0
+    delta = 100.0 * (plain.elapsed - result.elapsed) / plain.elapsed
+
+    with capsys.disabled():
+        print(f"\n[nonstale] {name:8s} extra_targets={report.nonstale_targets:3d} "
+              f"ccdp={plain.elapsed:,.0f} +ext={result.elapsed:,.0f} "
+              f"delta={delta:+.1f}%")
+
+    # The extension may help or cost a little overhead, but must not
+    # cripple the scheme.
+    assert result.elapsed < plain.elapsed * 1.25

@@ -1,0 +1,42 @@
+"""Simulator engine throughput: memory references simulated per second.
+
+Not a paper experiment — an engineering benchmark that tracks the
+reference interpreter's own performance so regressions are visible.
+"""
+
+import pytest
+
+from repro.machine.params import t3d
+from repro.runtime import Version, run_program
+from repro.workloads import workload
+
+
+@pytest.mark.parametrize("version", [Version.SEQ, Version.BASE, Version.CCDP])
+def test_interpreter_throughput(version, benchmark, capsys):
+    program = workload("mxm").build(n=24)
+    if version == Version.CCDP:
+        from repro.coherence import CCDPConfig, ccdp_transform
+        program, _ = ccdp_transform(
+            program, CCDPConfig(machine=t3d(4, cache_bytes=2048)))
+    params = t3d(1 if version == Version.SEQ else 4, cache_bytes=2048)
+
+    result = benchmark(lambda: run_program(program, params, version))
+
+    total = result.machine.stats.total()
+    refs = total.reads + total.writes
+    with capsys.disabled():
+        seconds = benchmark.stats.stats.mean
+        print(f"\n[throughput] {version:5s} {refs / seconds:,.0f} refs/sec "
+              f"({refs} refs per run)")
+    assert refs > 0
+
+
+def test_transform_throughput(benchmark):
+    """Compile-time cost of the full CCDP pipeline on SWIM (the largest
+    program, with interprocedural inlining)."""
+    from repro.coherence import CCDPConfig, ccdp_transform
+
+    program = workload("swim").build(n=33, steps=3)
+    config = CCDPConfig(machine=t3d(8, cache_bytes=2048))
+    transformed, report = benchmark(lambda: ccdp_transform(program, config))
+    assert report.targets.targets

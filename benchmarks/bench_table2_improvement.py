@@ -1,0 +1,61 @@
+"""Regenerates **Table 2** of the paper: percentage improvement in
+execution time of the CCDP codes over the BASE codes, per application
+per PE count, printed next to every recoverable paper cell.
+
+Shape assertions (not absolute numbers — see EXPERIMENTS.md):
+
+* CCDP improves on BASE for every application at every PE count;
+* MXM and TOMCATV improve by a large factor, VPENTA and SWIM modestly;
+* the measured ordering keeps MXM/TOMCATV above VPENTA.
+"""
+
+import pytest
+
+from repro.harness.paper_data import PAPER_IMPROVEMENT_RANGES
+from repro.harness.tables import format_table2
+from repro.runtime import Version
+
+
+@pytest.mark.parametrize("workload", ["mxm", "vpenta", "tomcatv", "swim"])
+def test_table2_improvement(workload, sweeps, runners, benchmark, capsys):
+    sweep = sweeps[workload]
+    pes = max(sweep.pe_counts())
+
+    # Timed unit: one BASE run at the largest PE count.
+    runner = runners[workload]
+    record = benchmark.pedantic(
+        lambda: runner.run_version(Version.BASE, pes), rounds=1, iterations=1)
+    assert record.correct, record.error
+
+    improvements = {n: sweep.improvement(n) for n in sweep.pe_counts()}
+    lo, hi = PAPER_IMPROVEMENT_RANGES[workload]
+
+    # CCDP wins everywhere (multi-PE; at 1 PE the gain is caching alone).
+    for n, imp in improvements.items():
+        assert imp > 0, f"{workload}@{n}: CCDP slower than BASE ({imp:.1f}%)"
+
+    # Coarse banding: the big winners stay big, the modest ones modest.
+    top = max(improvements.values())
+    if workload in ("mxm", "tomcatv"):
+        assert top > 40, f"{workload} should be a large-improvement app"
+    else:
+        assert top < 65, f"{workload} should be a modest-improvement app"
+
+    with capsys.disabled():
+        if workload == "swim":
+            print()
+            print(format_table2(list(sweeps.values())))
+            order = sorted(sweeps.values(),
+                           key=lambda s: -max(s.improvement(n)
+                                              for n in s.pe_counts()))
+            print("measured ordering:",
+                  " > ".join(s.workload for s in order))
+
+
+def test_table2_ordering(sweeps):
+    """MXM and TOMCATV must both improve more than VPENTA (the paper's
+    strongest cross-application statement)."""
+    tops = {name: max(s.improvement(n) for n in s.pe_counts())
+            for name, s in sweeps.items()}
+    assert tops["mxm"] > tops["vpenta"]
+    assert tops["tomcatv"] > tops["vpenta"]

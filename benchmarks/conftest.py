@@ -1,0 +1,57 @@
+"""Shared benchmark infrastructure.
+
+The expensive full sweeps (every workload x version x PE count) run once
+per session and are shared by the Table 1 / Table 2 benchmarks.  Sizes
+and PE counts are environment-tunable:
+
+``REPRO_BENCH_N``      problem size override (default: workload default)
+``REPRO_BENCH_STEPS``  time steps override
+``REPRO_BENCH_PES``    comma list of PE counts (default 1,2,4,8,16,32,64)
+``REPRO_BENCH_QUICK``  =1 -> PE counts 1,2,4,8 only
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.harness.experiment import ExperimentRunner, PAPER_PE_COUNTS, Sweep
+from repro.workloads import all_workloads
+
+
+def bench_pe_counts() -> Tuple[int, ...]:
+    env = os.environ.get("REPRO_BENCH_PES")
+    if env:
+        return tuple(int(p) for p in env.split(","))
+    if os.environ.get("REPRO_BENCH_QUICK"):
+        return (1, 2, 4, 8)
+    return PAPER_PE_COUNTS
+
+
+def bench_size_args() -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    if os.environ.get("REPRO_BENCH_N"):
+        out["n"] = int(os.environ["REPRO_BENCH_N"])
+    if os.environ.get("REPRO_BENCH_STEPS"):
+        out["steps"] = int(os.environ["REPRO_BENCH_STEPS"])
+    return out
+
+
+@pytest.fixture(scope="session")
+def runners() -> Dict[str, ExperimentRunner]:
+    return {spec.name: ExperimentRunner(spec, bench_size_args())
+            for spec in all_workloads()}
+
+
+@pytest.fixture(scope="session")
+def sweeps(runners) -> Dict[str, Sweep]:
+    """Full BASE+CCDP sweeps for all four applications (computed once)."""
+    pes = bench_pe_counts()
+    out = {}
+    for name, runner in runners.items():
+        print(f"\n[sweep] {name} {runner.size_args} over PEs {pes} ...",
+              flush=True)
+        out[name] = runner.sweep(pes)
+    return out

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Ablation study: which parts of the CCDP scheduler earn their keep?
+
+Runs MXM and TOMCATV with parts of the Fig. 2 scheduler switched off and
+with varied hardware parameters, printing a compact table of the
+improvement over BASE that survives each configuration. The same
+machinery backs `benchmarks/bench_ablation_*.py`.
+
+Run:  python examples/ablation_study.py
+"""
+
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.machine import t3d
+from repro.runtime import Version, run_program
+from repro.workloads import workload
+
+SIZES = {"mxm": {"n": 32}, "tomcatv": {"n": 33, "steps": 2}}
+
+SCHEDULER_VARIANTS = [
+    ("full scheme", {}),
+    ("no vector prefetch", {"enable_vpg": False}),
+    ("no VPG, no pipelining", {"enable_vpg": False, "enable_sp": False}),
+    ("bypass reads only", {"enable_vpg": False, "enable_sp": False,
+                           "enable_mbp": False}),
+    ("+ non-stale prefetch", {"prefetch_nonstale": True}),
+]
+
+HARDWARE_VARIANTS = [
+    ("queue = 2 slots", {"prefetch_queue_slots": 2}),
+    ("remote 2x slower", {"remote_base": 200}),
+    ("cache = 1 KB", {"cache_bytes": 1024}),
+]
+
+
+def improvement(name, ccdp_over=None, hw_over=None, n_pes=8):
+    program = workload(name).build(**SIZES[name])
+    params = t3d(n_pes, cache_bytes=2048).with_(**(hw_over or {}))
+    base = run_program(program, params, Version.BASE)
+    config = CCDPConfig(machine=params).with_(**(ccdp_over or {}))
+    transformed, report = ccdp_transform(program, config)
+    ccdp = run_program(transformed, params, Version.CCDP, on_stale="raise")
+    assert ccdp.stats.stale_reads == 0
+    return (100.0 * (base.elapsed - ccdp.elapsed) / base.elapsed,
+            report.schedule.counts())
+
+
+def main():
+    print("CCDP improvement over BASE at 8 PEs, by configuration")
+    print()
+    header = f"{'configuration':26s}" + "".join(f"{n:>12s}" for n in SIZES)
+    print(header)
+    print("-" * len(header))
+
+    print("scheduler ablations:")
+    for label, over in SCHEDULER_VARIANTS:
+        row = [f"  {label:24s}"]
+        for name in SIZES:
+            value, _ = improvement(name, ccdp_over=over)
+            row.append(f"{value:11.1f}%")
+        print("".join(row))
+
+    print("hardware sensitivity (full scheme):")
+    for label, over in HARDWARE_VARIANTS:
+        row = [f"  {label:24s}"]
+        for name in SIZES:
+            value, _ = improvement(name, hw_over=over)
+            row.append(f"{value:11.1f}%")
+        print("".join(row))
+
+    print()
+    print("technique mix of the full scheme:")
+    for name in SIZES:
+        _, counts = improvement(name)
+        print(f"  {name:8s} {counts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Bring your own program: a 2-D heat solver written in the text DSL.
+
+The CCDP compiler is not restricted to the paper's four kernels — this
+example writes a brand-new application as plain text (the CRAFT-style
+DSL), parses it, and takes it through the same machinery: naive caching
+breaks it, CCDP makes cached execution coherent.
+
+Run:  python examples/heat_dsl.py
+"""
+
+import numpy as np
+
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.ir import format_program, parse_program
+from repro.machine import t3d
+from repro.runtime import Version, run_program
+
+N = 20
+STEPS = 3
+
+SOURCE = f"""
+program heat
+  shared real t(20, 20) dist(block, axis=-1)
+  shared real tn(20, 20) dist(block, axis=-1)
+
+  procedure main
+    doall j = 1, 20 align(t) label(init)
+      do i = 1, 20
+        t(i, j) = 0.01 * i * j + 0.05 * j * j
+        tn(i, j) = 0.0
+      end do
+    end doall
+    do step = 1, {STEPS}
+      ! heat the west edge a little every step (serial boundary epoch)
+      do ib = 1, 20
+        t(ib, 1) = t(ib, 1) + 0.5
+      end do
+      doall j = 2, 19 align(t) label(diffuse)
+        do i = 2, 19
+          tn(i, j) = t(i, j) + 0.1 * (t(i - 1, j) + t(i + 1, j)
+                     + t(i, j - 1) + t(i, j + 1) - 4.0 * t(i, j))
+        end do
+      end doall
+      doall j = 2, 19 align(t) label(commit)
+        do i = 2, 19
+          t(i, j) = tn(i, j)
+        end do
+      end doall
+    end do
+  end procedure
+end program
+"""
+
+
+def oracle():
+    i = np.arange(1, N + 1, dtype=float)[:, None]
+    j = np.arange(1, N + 1, dtype=float)[None, :]
+    t = np.broadcast_to(0.01 * i * j + 0.05 * j * j, (N, N)).copy()
+    for _ in range(STEPS):
+        t[:, 0] += 0.5
+        tn = (t[1:-1, 1:-1]
+              + 0.1 * (t[0:-2, 1:-1] + t[2:, 1:-1]
+                       + t[1:-1, 0:-2] + t[1:-1, 2:] - 4.0 * t[1:-1, 1:-1]))
+        t[1:-1, 1:-1] = tn
+    return t
+
+
+def main():
+    program = parse_program(SOURCE)
+    params = t3d(4, cache_bytes=2048)
+    expected = oracle()
+
+    naive = run_program(program, params, Version.NAIVE)
+    print(f"naive caching: {naive.stats.stale_reads} stale reads, "
+          f"correct={np.allclose(naive.value_of('t'), expected)}")
+
+    transformed, report = ccdp_transform(program, CCDPConfig(machine=params))
+    print()
+    print(report.summary())
+    print()
+
+    ccdp = run_program(transformed, params, Version.CCDP, on_stale="raise")
+    ok = np.allclose(ccdp.value_of("t"), expected)
+    print(f"CCDP: {ccdp.stats.stale_reads} stale reads, correct={ok}")
+    assert ok
+
+    base = run_program(program, params, Version.BASE)
+    print(f"BASE (uncached): {base.elapsed:,.0f} cycles")
+    print(f"CCDP (cached)  : {ccdp.elapsed:,.0f} cycles "
+          f"({100 * (base.elapsed - ccdp.elapsed) / base.elapsed:.1f}% better)")
+
+    print()
+    print("transformed diffuse loop:")
+    text = format_program(transformed)
+    printing = False
+    for line in text.splitlines():
+        if "label(diffuse)" in line:
+            printing = True
+        if printing:
+            print("  " + line)
+            if "end doall" in line:
+                break
+
+
+if __name__ == "__main__":
+    main()

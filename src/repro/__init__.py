@@ -1,0 +1,38 @@
+"""repro — reproduction of Lim & Yew, *A Compiler-Directed Cache
+Coherence Scheme Using Data Prefetching* (IPPS 1997).
+
+The package implements the complete CCDP system:
+
+* :mod:`repro.ir` — a CRAFT-Fortran-style parallel IR (epochs, DOALL
+  loops, BLOCK-distributed arrays) with a builder API and a text DSL;
+* :mod:`repro.analysis` — the compiler analyses (affine subscripts,
+  array sections, epoch flow graph, stale reference analysis, locality);
+* :mod:`repro.coherence` — the CCDP scheme itself: prefetch target
+  analysis (paper Fig. 1), prefetch scheduling (paper Fig. 2: vector
+  prefetch generation, software pipelining, moving back prefetches),
+  and coherence code generation — entry point :func:`ccdp_transform`;
+* :mod:`repro.machine` — a Cray T3D-class simulator: non-coherent
+  write-through caches, 3-D torus, prefetch queue, vector transfers,
+  with an exact stale-read checker;
+* :mod:`repro.runtime` — interpreters executing IR programs on the
+  machine as SEQ / BASE / CCDP / NAIVE versions;
+* :mod:`repro.workloads` — MXM, VPENTA, TOMCATV, SWIM with NumPy
+  oracles;
+* :mod:`repro.harness` — Table 1 / Table 2 regeneration and reporting.
+
+Quickstart::
+
+    from repro.workloads import workload
+    from repro.coherence import ccdp_transform, CCDPConfig
+    from repro.machine import t3d
+    from repro.runtime import run_program, Version
+
+    program = workload("mxm").build_default()
+    ccdp_program, report = ccdp_transform(program, CCDPConfig(machine=t3d(8)))
+    result = run_program(ccdp_program, t3d(8), Version.CCDP)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

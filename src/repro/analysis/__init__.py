@@ -1,0 +1,31 @@
+"""Compiler analyses backing the CCDP scheme: affine subscripts, bounded
+regular sections, ownership alignment, the epoch flow graph,
+interprocedural call-graph reasoning, stale reference analysis, and
+reuse/locality analysis."""
+
+from .affine import AffineForm, AffineRef, affine_of, affine_ref
+from .alignment import AccessClass, Alignment, classify
+from .callgraph import CallGraph
+from .epochs import Epoch, EpochGraph, EpochKind, RefInfo, build_epoch_graph
+from .locality import (PrefetchGroup, ReuseInfo, classify_self_reuse,
+                       group_spatial_groups, innermost_stride)
+from .sections import (LoopEnv, Section, SectionSet, Triplet, full_section,
+                       section_of_ref)
+from .stale import (ArrayState, FlowState, StaleAnalysisResult,
+                    analyse_stale_references)
+from .parcheck import Conflict, ParCheckResult, check_doall_independence
+from .volume import VolumeEstimate, loop_volume, reuse_stays_resident
+
+__all__ = [
+    "AffineForm", "AffineRef", "affine_of", "affine_ref",
+    "AccessClass", "Alignment", "classify",
+    "CallGraph",
+    "Epoch", "EpochGraph", "EpochKind", "RefInfo", "build_epoch_graph",
+    "PrefetchGroup", "ReuseInfo", "classify_self_reuse",
+    "group_spatial_groups", "innermost_stride",
+    "LoopEnv", "Section", "SectionSet", "Triplet", "full_section",
+    "section_of_ref",
+    "ArrayState", "FlowState", "StaleAnalysisResult", "analyse_stale_references",
+    "Conflict", "ParCheckResult", "check_doall_independence",
+    "VolumeEstimate", "loop_volume", "reuse_stays_resident",
+]

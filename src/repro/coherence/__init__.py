@@ -1,0 +1,27 @@
+"""The CCDP scheme: compiler-directed cache coherence via data
+prefetching (the paper's core contribution).
+
+Entry point: :func:`ccdp_transform` — stale reference analysis,
+prefetch target analysis (Fig. 1), prefetch scheduling (Fig. 2) and
+coherence code generation, in one call.
+"""
+
+from .config import CCDPConfig
+from .driver import CCDPReport, ccdp_transform
+from .inline import inline_parallel_calls
+from .moveback import MBPOutcome, apply_move_back
+from .nonstale import add_nonstale_targets
+from .scheduling import LSCSchedule, ScheduleReport, schedule_prefetches
+from .software_pipeline import SPOutcome, try_software_pipeline
+from .target_analysis import (PrefetchTarget, TargetAnalysisResult,
+                              prefetch_target_analysis)
+from .vector_prefetch import VPGOutcome, try_vector_prefetch
+
+__all__ = [
+    "CCDPConfig", "CCDPReport", "ccdp_transform", "inline_parallel_calls",
+    "MBPOutcome", "apply_move_back", "add_nonstale_targets",
+    "LSCSchedule", "ScheduleReport", "schedule_prefetches",
+    "SPOutcome", "try_software_pipeline",
+    "PrefetchTarget", "TargetAnalysisResult", "prefetch_target_analysis",
+    "VPGOutcome", "try_vector_prefetch",
+]

@@ -1,0 +1,62 @@
+"""CCDP compiler configuration.
+
+Bundles the machine description the compiler is allowed to see (cache
+size, prefetch queue depth, latencies — the paper's "important hardware
+constraints and architectural parameters") with the empirically-tuned
+scheduling parameters the paper describes: the software-pipelining
+look-ahead range and the minimum profitable move-back distance.
+
+The ``enable_*`` switches exist for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..machine.params import MachineParams, t3d
+
+
+@dataclass(frozen=True)
+class CCDPConfig:
+    """Tunable knobs of the CCDP transformation."""
+
+    machine: MachineParams = field(default_factory=t3d)
+
+    # -- software pipelining -----------------------------------------------
+    #: clamp range for the number of iterations to prefetch ahead
+    #: ("a compiler parameter which specifies the range of the number of
+    #: loop iterations which should be prefetched ahead of time")
+    ahead_min: int = 1
+    ahead_max: int = 8
+
+    # -- moving back prefetches ----------------------------------------------
+    #: minimum cycles between prefetch and use for a move-back to be
+    #: worthwhile; closer prefetches degrade to bypass-cache fetches
+    mbp_min_cycles: float = 50.0
+
+    # -- vector prefetch generation ---------------------------------------------
+    #: fraction of the cache a single vector prefetch may occupy
+    vector_cache_fraction: float = 0.5
+    #: below this many words a vector degenerates to line prefetches
+    vector_min_words: int = 4
+
+    # -- scheme extensions / ablations ---------------------------------------------
+    #: paper §6 future work: prefetch non-stale shared reads too
+    prefetch_nonstale: bool = False
+    enable_vpg: bool = True
+    enable_sp: bool = True
+    enable_mbp: bool = True
+
+    def with_(self, **overrides) -> "CCDPConfig":
+        return replace(self, **overrides)
+
+    @property
+    def max_vector_words(self) -> int:
+        cache_cap = int(self.machine.cache_words * self.vector_cache_fraction)
+        return max(self.machine.line_words, cache_cap)
+
+    def clamp_ahead(self, distance: float) -> int:
+        return int(min(self.ahead_max, max(self.ahead_min, round(distance))))
+
+
+__all__ = ["CCDPConfig"]

@@ -1,0 +1,141 @@
+"""Software pipelining of cache-line prefetches (Mowry-style), adapted
+to the CCDP scheme as the paper describes.
+
+The loop is split into the classic three sections:
+
+* **prologue** — issue prefetches for the first ``d`` iterations;
+* **steady state** — iteration ``i`` prefetches the targets of
+  iteration ``i + d`` and then runs the original body;
+* **epilogue** — the last ``d`` iterations run without prefetches (their
+  data was prefetched by the steady state).
+
+``d`` is ``ceil(prefetch latency / loop body time)``, clamped to the
+configured range (the paper's empirically-tuned compiler parameter), and
+reduced so the outstanding prefetches fit the prefetch queue — prefetches
+are dropped entirely when even the minimum look-ahead would overflow the
+queue.  Per the paper, SP applies only to inner loops without procedure
+calls, and (Fig. 2) only to serial loops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..analysis.costmodel import average_remote_latency, loop_body_cost
+from ..ir.expr import BinOp, IntConst, IntrinsicCall
+from ..ir.loops import LSC, contains_call
+from ..ir.stmt import Loop, LoopKind, PrefetchLine, Stmt, clone_body
+from ..ir.visitor import const_int_value
+from .config import CCDPConfig
+from .schedutil import shifted_ref, warmup_invalidations
+from .target_analysis import PrefetchTarget
+
+
+@dataclass
+class SPOutcome:
+    """Successful software-pipelining of one inner loop."""
+
+    lsc: LSC
+    targets: List[PrefetchTarget]
+    distance: int
+    body_cycles: float
+    prologue: Loop = None          # type: ignore[assignment]
+    main: Loop = None              # type: ignore[assignment]
+    epilogue: Loop = None          # type: ignore[assignment]
+    bypass_fallbacks: List = field(default_factory=list)
+
+
+def try_software_pipeline(lsc: LSC, targets: Sequence[PrefetchTarget],
+                          config: CCDPConfig) -> Optional[SPOutcome]:
+    """Attempt to software-pipeline all ``targets`` of one serial inner
+    loop; rewrites the loop in place on success."""
+    loop = lsc.loop
+    if loop is None or loop.kind != LoopKind.SERIAL or not targets:
+        return None
+    if not config.enable_sp:
+        return None
+    if const_int_value(loop.step) != 1:
+        return None
+    if contains_call(loop):
+        # Restriction from the paper: loop execution time is only
+        # computable without (possibly recursive) procedure calls.
+        return None
+
+    body_cycles = loop_body_cost(loop, config.machine)
+    latency = average_remote_latency(config.machine)
+    distance = config.clamp_ahead(math.ceil(latency / max(body_cycles, 1.0)))
+
+    # Queue constraint: at steady state about distance * n_targets line
+    # prefetches are outstanding; shrink the distance to fit, and give up
+    # (prefetches dropped) when even the minimum does not fit.
+    slots = config.machine.prefetch_queue_slots
+    if distance * len(targets) > slots:
+        distance = max(1, slots // len(targets))
+    if distance * len(targets) > slots or distance < 1:
+        return None
+
+    parent = lsc.parent_body
+    assert parent is not None
+    loop_index = next(i for i, s in enumerate(parent) if s is loop)
+
+    d = distance
+    lb = loop.lower
+    ub = loop.upper
+    pf_var = f"__pf_{loop.var}"
+
+    # Prologue: prefetch iterations lb .. min(ub, lb+d-1).
+    prologue_body: List[Stmt] = [
+        PrefetchLine(shifted_ref(t.info.ref, loop.var, 0).clone(), True,
+                     for_uid=t.info.uid, distance=d)
+        for t in targets
+    ]
+    for stmt in prologue_body:
+        stmt.ref.subscripts = [  # type: ignore[attr-defined]
+            _rename_var(s, loop.var, pf_var) for s in stmt.ref.subscripts]  # type: ignore[attr-defined]
+    prologue = Loop(pf_var, lb.clone(),
+                    IntrinsicCall("min", [ub.clone(),
+                                          BinOp("+", lb.clone(), IntConst(d - 1))]),
+                    1, prologue_body, LoopKind.SERIAL, label=f"{loop.label}#pf" if loop.label else "")
+
+    # Steady state: original loop over lb .. ub-d with look-ahead prefetches.
+    main_prefetches: List[Stmt] = [
+        PrefetchLine(shifted_ref(t.info.ref, loop.var, d), True,
+                     for_uid=t.info.uid, distance=d)
+        for t in targets
+    ]
+    main = Loop(loop.var, lb.clone(), BinOp("-", ub.clone(), IntConst(d)), 1,
+                main_prefetches + loop.body, LoopKind.SERIAL, label=loop.label)
+
+    # Epilogue: last d iterations, body cloned without prefetches.
+    epilogue = Loop(loop.var,
+                    IntrinsicCall("max", [lb.clone(),
+                                          BinOp("+", BinOp("-", ub.clone(), IntConst(d)),
+                                                IntConst(1))]),
+                    ub.clone(), 1, clone_body(loop.body), LoopKind.SERIAL,
+                    label=f"{loop.label}#ep" if loop.label else "")
+
+    # Warm-up coherence for group-spatial trailing references.
+    warmups: List[Stmt] = []
+    fallbacks: List = []
+    line_elems = config.machine.line_elems(targets[0].info.decl.dtype.size)
+    for target in targets:
+        inv, fb = warmup_invalidations(target.group, loop, config, line_elems)
+        warmups.extend(inv)
+        fallbacks.extend(fb)
+
+    parent[loop_index:loop_index + 1] = warmups + [prologue, main, epilogue]
+    return SPOutcome(lsc=lsc, targets=list(targets), distance=d,
+                     body_cycles=body_cycles, prologue=prologue, main=main,
+                     epilogue=epilogue, bypass_fallbacks=fallbacks)
+
+
+def _rename_var(expr, old: str, new: str):
+    from ..ir.expr import VarRef
+    from ..ir.visitor import substitute
+
+    return substitute(expr, {old: VarRef(new)})
+
+
+__all__ = ["SPOutcome", "try_software_pipeline"]

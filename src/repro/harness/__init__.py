@@ -1,0 +1,16 @@
+"""Experiment harness: version sweeps, Table 1 / Table 2 regeneration,
+paper-vs-measured reporting, and the ``ccdp`` CLI."""
+
+from .experiment import (PAPER_PE_COUNTS, ExperimentRunner, RunRecord, Sweep,
+                         run_sweep)
+from .paper_data import (PAPER_IMPROVEMENT_RANGES, PAPER_ORDERING,
+                         PAPER_TABLE2, PE_COUNTS, paper_improvement)
+from .report import band_verdict, generate_report
+from .tables import format_table1, format_table2, table1_rows, table2_rows
+
+__all__ = [
+    "PAPER_PE_COUNTS", "ExperimentRunner", "RunRecord", "Sweep", "run_sweep",
+    "PAPER_IMPROVEMENT_RANGES", "PAPER_ORDERING", "PAPER_TABLE2", "PE_COUNTS",
+    "paper_improvement", "band_verdict", "generate_report",
+    "format_table1", "format_table2", "table1_rows", "table2_rows",
+]

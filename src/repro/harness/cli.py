@@ -1,0 +1,256 @@
+"""Command-line interface: ``ccdp`` / ``python -m repro.harness``.
+
+Subcommands
+-----------
+``table1`` / ``table2``
+    Regenerate the paper's tables on the simulator.
+``report``
+    Full sweep + EXPERIMENTS.md-style report (``--out`` to write a file).
+``compile``
+    Run the CCDP compiler on one workload and print the transformed
+    program plus the pass reports.
+``run``
+    Execute one (workload, version, PE count) and print statistics.
+``info``
+    List workloads and the machine configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from ..coherence import CCDPConfig, ccdp_transform
+from ..ir.printer import format_program
+from ..machine.params import t3d
+from ..runtime import Version, run_program
+from ..workloads import all_workloads, workload
+from .experiment import PAPER_PE_COUNTS, ExperimentRunner
+from .report import generate_report
+from .tables import format_table1, format_table2
+
+
+def _parse_pes(text: str) -> List[int]:
+    return [int(p) for p in text.split(",") if p.strip()]
+
+
+def _size_args(args: argparse.Namespace) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    if args.n is not None:
+        out["n"] = args.n
+    if getattr(args, "steps", None) is not None:
+        out["steps"] = args.steps
+    return out
+
+
+def _sweeps(args: argparse.Namespace):
+    names = args.workloads.split(",") if args.workloads else \
+        [spec.name for spec in all_workloads()]
+    pe_counts = _parse_pes(args.pes)
+    runners = {}
+    sweeps = []
+    for name in names:
+        spec = workload(name.strip())
+        runner = ExperimentRunner(spec, _size_args(args), check=not args.no_check)
+        runners[spec.name] = runner
+        print(f"running {spec.name} {runner.size_args} over PEs {pe_counts} ...",
+              file=sys.stderr)
+        sweeps.append(runner.sweep(pe_counts))
+    return sweeps, runners
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ccdp",
+        description="CCDP reproduction harness (Lim & Yew, IPPS 1997)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workloads", default="",
+                       help="comma list (default: all four)")
+        p.add_argument("--pes", default=",".join(map(str, PAPER_PE_COUNTS)),
+                       help="comma list of PE counts")
+        p.add_argument("--n", type=int, default=None, help="problem size")
+        p.add_argument("--steps", type=int, default=None, help="time steps")
+        p.add_argument("--no-check", action="store_true",
+                       help="skip oracle validation (faster)")
+
+    for name in ("table1", "table2", "report"):
+        p = sub.add_parser(name)
+        add_common(p)
+        if name == "report":
+            p.add_argument("--out", default="", help="write report to file")
+
+    p = sub.add_parser("compile", help="show the CCDP transformation")
+    p.add_argument("workload")
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--pes", default="8")
+    p.add_argument("--program", action="store_true",
+                   help="print the transformed program text")
+
+    p = sub.add_parser("run", help="run one version")
+    p.add_argument("workload")
+    p.add_argument("--version", default=Version.CCDP,
+                   choices=list(Version.ALL))
+    p.add_argument("--pes", default="8")
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--no-check", action="store_true")
+
+    p = sub.add_parser("compile-file",
+                       help="compile a DSL source file with CCDP")
+    p.add_argument("path")
+    p.add_argument("--pes", default="8")
+    p.add_argument("--run", action="store_true",
+                   help="also execute SEQ/BASE/CCDP and compare")
+    p.add_argument("--out", default="", help="write transformed DSL to file")
+
+    p = sub.add_parser("profile",
+                       help="cache-behaviour profile via the vectorised "
+                            "trace evaluator")
+    p.add_argument("workload")
+    p.add_argument("--version", default=Version.CCDP, choices=list(Version.ALL))
+    p.add_argument("--pes", default="4")
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--pe", type=int, default=0, help="which PE's trace")
+
+    sub.add_parser("info", help="list workloads and machine defaults")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "info":
+        params = t3d(8)
+        print("workloads:")
+        for spec in all_workloads():
+            print(f"  {spec.name:8s} {spec.suite:18s} default={spec.default_args} "
+                  f"paper={spec.paper_args} — {spec.description}")
+        print(f"\nmachine defaults (T3D-class): cache={params.cache_bytes}B "
+              f"direct-mapped, line={params.line_bytes}B, "
+              f"queue={params.prefetch_queue_slots} slots, "
+              f"local={params.local_mem}cyc, remote~{params.remote_base}cyc")
+        return 0
+
+    if args.command in ("table1", "table2", "report"):
+        sweeps, runners = _sweeps(args)
+        if args.command == "table1":
+            print(format_table1(sweeps))
+        elif args.command == "table2":
+            print(format_table2(sweeps))
+        else:
+            text = generate_report(sweeps, runners)
+            if args.out:
+                with open(args.out, "w") as fh:
+                    fh.write(text + "\n")
+                print(f"wrote {args.out}", file=sys.stderr)
+            else:
+                print(text)
+        bad = [s.workload for s in sweeps if not s.all_correct()]
+        if bad:
+            print(f"CORRECTNESS FAILURES: {bad}", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.command == "compile":
+        spec = workload(args.workload)
+        sizes = _size_args(args)
+        program = spec.build(**{**spec.default_args, **sizes})
+        config = CCDPConfig(machine=t3d(int(args.pes)))
+        transformed, report = ccdp_transform(program, config)
+        print(report.summary())
+        for entry in report.schedule.entries:
+            print(f"  {entry.case:28s} {entry.lsc.describe():24s} "
+                  f"{entry.techniques_used()}")
+        if args.program:
+            print()
+            print(format_program(transformed))
+        return 0
+
+    if args.command == "compile-file":
+        from ..ir.dsl import parse_program
+        from .experiment import SCALED_CACHE_BYTES
+
+        with open(args.path) as fh:
+            program = parse_program(fh.read())
+        params = t3d(int(args.pes), cache_bytes=SCALED_CACHE_BYTES)
+        transformed, report = ccdp_transform(program, CCDPConfig(machine=params))
+        print(report.summary())
+        text = format_program(transformed)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print()
+            print(text)
+        if args.run:
+            seq = run_program(program, t3d(1, cache_bytes=SCALED_CACHE_BYTES),
+                              Version.SEQ)
+            base = run_program(program, params, Version.BASE)
+            ccdp = run_program(transformed, params, Version.CCDP,
+                               on_stale="raise")
+            print(f"SEQ : {seq.elapsed:>12,.0f} cycles")
+            print(f"BASE: {base.elapsed:>12,.0f} cycles "
+                  f"(speedup {seq.elapsed / base.elapsed:.2f}x)")
+            print(f"CCDP: {ccdp.elapsed:>12,.0f} cycles "
+                  f"(speedup {seq.elapsed / ccdp.elapsed:.2f}x, "
+                  f"{100 * (base.elapsed - ccdp.elapsed) / base.elapsed:.1f}% "
+                  f"over BASE, {ccdp.stats.stale_reads} stale reads)")
+        return 0
+
+    if args.command == "profile":
+        import numpy as np
+
+        from ..machine.fastcache import (classify_read_trace,
+                                         conflict_profile,
+                                         miss_rate_vs_cache_size)
+        from ..runtime import ExecutionConfig, Interpreter
+        from .experiment import SCALED_CACHE_BYTES
+
+        spec = workload(args.workload)
+        sizes = {**spec.default_args, **_size_args(args)}
+        sizes = {k: v for k, v in sizes.items() if k in spec.default_args}
+        program = spec.build(**sizes)
+        params = t3d(int(args.pes), cache_bytes=SCALED_CACHE_BYTES)
+        if args.version == Version.CCDP:
+            transformed, _ = ccdp_transform(program, CCDPConfig(machine=params))
+            program = transformed
+        interp = Interpreter(program, params,
+                             ExecutionConfig.for_version(args.version),
+                             trace_reads=True)
+        interp.run()
+        trace = np.array(interp.machine.read_trace[args.pe], dtype=np.int64)
+        print(f"{spec.name}/{args.version}: PE {args.pe} issued "
+              f"{len(trace):,} cacheable reads")
+        result = classify_read_trace(trace, params)
+        print(f"hit rate (cold, this trace): {result.hit_rate:.3f}")
+        print("\nmiss rate vs cache size:")
+        for size, rate in miss_rate_vs_cache_size(
+                trace, params, (512, 1024, 2048, 8192, 65536)).items():
+            bar = "#" * int(rate * 50)
+            print(f"  {size:>6d} B  {rate:6.3f}  {bar}")
+        worst, counts = conflict_profile(trace, params, top=5)
+        print("\nmost-conflicted cache sets (set: misses):")
+        for set_i, count in zip(worst, counts):
+            print(f"  {set_i:>4d}: {count}")
+        return 0
+
+    if args.command == "run":
+        spec = workload(args.workload)
+        runner = ExperimentRunner(spec, _size_args(args), check=not args.no_check)
+        record = runner.run_version(args.version, int(args.pes))
+        print(record.describe())
+        for key in ("cache_hits", "cache_misses", "prefetch_issued",
+                    "prefetch_dropped", "vector_prefetches", "bypass_reads",
+                    "stale_reads"):
+            print(f"  {key:18s} {record.stats.get(key, 0):.0f}")
+        return 0 if record.correct else 1
+
+    parser.error(f"unknown command {args.command}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Experiment runner: builds, transforms, executes and checks the
+paper's program versions across PE counts.
+
+The methodology mirrors the paper §5.2: each application is built once,
+derived into BASE (CRAFT-style, shared data uncached) and CCDP
+(transformed by the compiler, shared data cached) versions, executed at
+each PE count, and timed against the sequential execution (SEQ).
+Additionally every run is validated against the workload's NumPy oracle
+and the CCDP runs are *required* to be coherent (zero stale reads) —
+something the paper could only argue, but the simulator can prove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..coherence import CCDPConfig, CCDPReport, ccdp_transform
+from ..machine.params import MachineParams, t3d
+from ..runtime import RunResult, Version, run_program
+from ..workloads.base import WorkloadSpec, check_result
+
+PAPER_PE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+#: Experiments run scaled-down problem sizes (DESIGN.md substitutions),
+#: so the cache is scaled proportionally to stay in the paper's regime
+#: (arrays much larger than one PE's cache).  8 KB / 4 matches the
+#: roughly 8-16x linear problem-size scaling.
+SCALED_CACHE_BYTES = 2048
+
+
+@dataclass
+class RunRecord:
+    """One (workload, version, PE count) execution."""
+
+    workload: str
+    version: str
+    n_pes: int
+    elapsed: float
+    stale_reads: int
+    correct: bool
+    error: Optional[str]
+    stats: Dict[str, float]
+    ccdp_report: Optional[CCDPReport] = None
+
+    def describe(self) -> str:
+        status = "ok" if self.correct else f"WRONG ({self.error})"
+        return (f"{self.workload}/{self.version} @ {self.n_pes} PEs: "
+                f"{self.elapsed:.0f} cycles, {status}")
+
+
+@dataclass
+class Sweep:
+    """All runs of one workload across versions and PE counts."""
+
+    workload: str
+    size_args: Dict[str, int]
+    seq: RunRecord = None  # type: ignore[assignment]
+    runs: Dict[Tuple[str, int], RunRecord] = field(default_factory=dict)
+
+    def record(self, version: str, n_pes: int) -> RunRecord:
+        return self.runs[(version, n_pes)]
+
+    def speedup(self, version: str, n_pes: int) -> float:
+        return self.seq.elapsed / self.record(version, n_pes).elapsed
+
+    def improvement(self, n_pes: int) -> float:
+        """% improvement in execution time of CCDP over BASE (Table 2)."""
+        base = self.record(Version.BASE, n_pes).elapsed
+        ccdp = self.record(Version.CCDP, n_pes).elapsed
+        return 100.0 * (base - ccdp) / base
+
+    def pe_counts(self) -> List[int]:
+        return sorted({n for (_, n) in self.runs})
+
+    def all_correct(self) -> bool:
+        return self.seq.correct and all(r.correct for r in self.runs.values())
+
+
+class ExperimentRunner:
+    """Caches programs/oracles and executes version runs on demand."""
+
+    def __init__(self, spec: WorkloadSpec, size_args: Optional[Dict[str, int]] = None,
+                 param_overrides: Optional[Dict[str, float]] = None,
+                 ccdp_overrides: Optional[Dict[str, object]] = None,
+                 check: bool = True) -> None:
+        self.spec = spec
+        # Ignore size keys the workload does not take (e.g. a harness-wide
+        # --steps applied to MXM/VPENTA, which have no time loop).
+        overrides = {k: v for k, v in (size_args or {}).items()
+                     if k in spec.default_args}
+        self.size_args = {**spec.default_args, **overrides}
+        self.param_overrides = {"cache_bytes": SCALED_CACHE_BYTES,
+                                **(param_overrides or {})}
+        self.ccdp_overrides = dict(ccdp_overrides or {})
+        self.check = check
+        self.program = spec.build(**self.size_args)
+        self.oracle = spec.oracle(**self.size_args) if check else {}
+        self._ccdp_cache: Dict[int, Tuple[object, CCDPReport]] = {}
+
+    # ------------------------------------------------------------------
+    def params_for(self, n_pes: int) -> MachineParams:
+        return t3d(n_pes, **self.param_overrides)
+
+    def ccdp_program(self, n_pes: int):
+        """CCDP-transformed program for a PE count (the transform sees the
+        machine description, so it is PE-count specific)."""
+        if n_pes not in self._ccdp_cache:
+            config = CCDPConfig(machine=self.params_for(n_pes)).with_(**self.ccdp_overrides)
+            self._ccdp_cache[n_pes] = ccdp_transform(self.program, config)
+        return self._ccdp_cache[n_pes]
+
+    # ------------------------------------------------------------------
+    def run_version(self, version: str, n_pes: int,
+                    on_stale: str = "record") -> RunRecord:
+        report: Optional[CCDPReport] = None
+        if version == Version.CCDP:
+            program, report = self.ccdp_program(n_pes)
+        else:
+            program = self.program
+        params = self.params_for(1 if version == Version.SEQ else n_pes)
+        result = run_program(program, params, version, on_stale=on_stale)
+        error = None
+        if self.check:
+            error = check_result(
+                {a: result.value_of(a) for a in self.spec.check_arrays},
+                self.oracle, self.spec.check_arrays)
+        return RunRecord(
+            workload=self.spec.name, version=version, n_pes=params.n_pes,
+            elapsed=result.elapsed, stale_reads=result.stats.stale_reads,
+            correct=error is None, error=error,
+            stats=result.stats.as_dict(), ccdp_report=report)
+
+    def sweep(self, pe_counts: Sequence[int] = PAPER_PE_COUNTS,
+              versions: Sequence[str] = (Version.BASE, Version.CCDP)) -> Sweep:
+        sweep = Sweep(workload=self.spec.name, size_args=dict(self.size_args))
+        sweep.seq = self.run_version(Version.SEQ, 1)
+        for n_pes in pe_counts:
+            for version in versions:
+                sweep.runs[(version, n_pes)] = self.run_version(version, n_pes)
+        return sweep
+
+
+def run_sweep(spec: WorkloadSpec, pe_counts: Sequence[int] = PAPER_PE_COUNTS,
+              size_args: Optional[Dict[str, int]] = None,
+              param_overrides: Optional[Dict[str, float]] = None,
+              ccdp_overrides: Optional[Dict[str, object]] = None,
+              check: bool = True) -> Sweep:
+    """Convenience wrapper: full BASE+CCDP sweep for one workload."""
+    runner = ExperimentRunner(spec, size_args, param_overrides,
+                              ccdp_overrides, check=check)
+    return runner.sweep(pe_counts)
+
+
+__all__ = ["RunRecord", "Sweep", "ExperimentRunner", "run_sweep",
+           "PAPER_PE_COUNTS", "SCALED_CACHE_BYTES"]

@@ -1,0 +1,63 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Table 2 (percentage improvement in execution time of the CCDP codes
+over the BASE codes) is partially recoverable from the paper text; the
+MXM column and two cells did not survive the source's table extraction,
+but the prose pins the MXM range ("a performance improvement of 64.5%
+to 89.8%") and SWIM's ("2.5% to 13.2%").  ``None`` marks unrecoverable
+cells.
+
+Table 1 (absolute speedups of BASE and CCDP over sequential time) is
+not recoverable from the source text at all; the prose supplies the
+qualitative expectations recorded in ``TABLE1_QUALITATIVE``, which the
+report generator checks instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+PE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+#: Table 2 — % improvement of CCDP over BASE, per application per PE count.
+PAPER_TABLE2: Dict[str, Tuple[Optional[float], ...]] = {
+    #            1      2      4      8      16     32     64
+    "mxm":     (None,  None,  None,  None,  None,  None,  None),
+    "vpenta":  (12.53, 13.58, 9.23,  4.44,  4.98,  6.90,  23.90),
+    "tomcatv": (44.83, 38.97, 55.85, 64.91, 69.22, 69.64, 68.51),
+    "swim":    (None,  12.54, 12.50, 12.66, 12.75, 13.07, 13.16),
+}
+
+#: Prose-level improvement ranges per application (paper §5.4).
+PAPER_IMPROVEMENT_RANGES: Dict[str, Tuple[float, float]] = {
+    "mxm": (64.5, 89.8),
+    "vpenta": (4.4, 23.9),
+    # prose says "44.8% to 68.5%" but the table's own 2-PE cell is 38.97
+    "tomcatv": (38.9, 69.7),
+    "swim": (2.5, 13.2),
+}
+
+#: Paper ordering of improvements at scale (§5.4 prose).
+PAPER_ORDERING = ("mxm", "tomcatv", "vpenta", "swim")
+
+TABLE1_QUALITATIVE = {
+    "mxm": ("BASE shows almost no speedup (remote columns of A dominate); "
+            "CCDP restores much better scaling"),
+    "vpenta": ("both versions scale well — all accesses are PE-local; "
+               "CCDP achieves close-to-ideal linear speedups"),
+    "tomcatv": ("BASE performs poorly (parallel-inner solver loops are "
+                "remote-heavy); CCDP markedly better"),
+    "swim": ("BASE already performs well (remote fraction is small); "
+             "CCDP consistently a little better"),
+}
+
+
+def paper_improvement(workload: str, n_pes: int) -> Optional[float]:
+    """Paper Table 2 cell, or None when the cell is unrecoverable."""
+    if workload not in PAPER_TABLE2 or n_pes not in PE_COUNTS:
+        return None
+    return PAPER_TABLE2[workload][PE_COUNTS.index(n_pes)]
+
+
+__all__ = ["PE_COUNTS", "PAPER_TABLE2", "PAPER_IMPROVEMENT_RANGES",
+           "PAPER_ORDERING", "TABLE1_QUALITATIVE", "paper_improvement"]

@@ -1,0 +1,95 @@
+"""Formatters that regenerate the paper's Table 1 and Table 2.
+
+Table 1: speedups of the BASE and CCDP codes over sequential execution
+time, per application per PE count.
+
+Table 2: percentage improvement in execution time of the CCDP codes
+over the BASE codes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..runtime import Version
+from .experiment import Sweep
+from .paper_data import paper_improvement
+
+
+def _fmt_cell(value: Optional[float], width: int = 7, digits: int = 2) -> str:
+    if value is None:
+        return " " * (width - 1) + "-"
+    return f"{value:>{width}.{digits}f}"
+
+
+def table1_rows(sweeps: Sequence[Sweep]) -> List[Dict[str, object]]:
+    """Structured Table 1 data: one row per PE count, BASE and CCDP
+    speedups per workload."""
+    pe_counts = sorted({n for sweep in sweeps for n in sweep.pe_counts()})
+    rows = []
+    for n_pes in pe_counts:
+        row: Dict[str, object] = {"n_pes": n_pes}
+        for sweep in sweeps:
+            if (Version.BASE, n_pes) in sweep.runs:
+                row[f"{sweep.workload}/base"] = sweep.speedup(Version.BASE, n_pes)
+                row[f"{sweep.workload}/ccdp"] = sweep.speedup(Version.CCDP, n_pes)
+        rows.append(row)
+    return rows
+
+
+def format_table1(sweeps: Sequence[Sweep]) -> str:
+    """Render Table 1 in the paper's layout."""
+    names = [sweep.workload for sweep in sweeps]
+    header1 = "        " + "".join(f"{name.upper():^16}" for name in names)
+    header2 = "#PEs    " + "".join(f"{'BASE':>7} {'CCDP':>7} " for _ in names)
+    lines = ["Table 1. Speedups over sequential execution time.",
+             header1, header2, "-" * len(header2)]
+    for row in table1_rows(sweeps):
+        cells = [f"{row['n_pes']:<8d}"]
+        for name in names:
+            cells.append(_fmt_cell(row.get(f"{name}/base")))
+            cells.append(" ")
+            cells.append(_fmt_cell(row.get(f"{name}/ccdp")))
+            cells.append(" ")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def table2_rows(sweeps: Sequence[Sweep]) -> List[Dict[str, object]]:
+    """Structured Table 2 data: measured improvement plus the paper's
+    published value where recoverable."""
+    pe_counts = sorted({n for sweep in sweeps for n in sweep.pe_counts()})
+    rows = []
+    for n_pes in pe_counts:
+        row: Dict[str, object] = {"n_pes": n_pes}
+        for sweep in sweeps:
+            if (Version.BASE, n_pes) in sweep.runs:
+                row[sweep.workload] = sweep.improvement(n_pes)
+                row[f"{sweep.workload}/paper"] = paper_improvement(sweep.workload, n_pes)
+        rows.append(row)
+    return rows
+
+
+def format_table2(sweeps: Sequence[Sweep], with_paper: bool = True) -> str:
+    """Render Table 2; optionally with the paper's cells alongside."""
+    names = [sweep.workload for sweep in sweeps]
+    if with_paper:
+        header = "#PEs    " + "".join(
+            f"{name.upper():>9} {'(paper)':>9}  " for name in names)
+    else:
+        header = "#PEs    " + "".join(f"{name.upper():>9}  " for name in names)
+    lines = ["Table 2. Improvement in execution time of CCDP codes over "
+             "BASE codes (%).", header, "-" * len(header)]
+    for row in table2_rows(sweeps):
+        cells = [f"{row['n_pes']:<8d}"]
+        for name in names:
+            cells.append(_fmt_cell(row.get(name), 9))
+            if with_paper:
+                paper = row.get(f"{name}/paper")
+                cells.append(" " + _fmt_cell(paper, 9))
+            cells.append("  ")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+__all__ = ["table1_rows", "format_table1", "table2_rows", "format_table2"]

@@ -1,0 +1,54 @@
+"""Parallel intermediate representation for the CCDP compiler.
+
+The IR models the CRAFT-Fortran subset of the paper's case studies:
+epoch-structured parallel programs over BLOCK-distributed shared arrays,
+with serial ``DO`` and parallel ``DOALL`` loops, plus explicit
+cache-management statements inserted by CCDP code generation.
+"""
+
+from .arrays import ArrayDecl, Distribution, DistKind, BLOCK_LAST, REPLICATED
+from .builder import E, ProgramBuilder, abs_, fmax, fmin, sqrt, unwrap
+from .dtypes import DType, INT, LOGICAL, REAL, REAL4, WORD_BYTES, dtype_from_name
+from .dsl import ParseError, parse_expr, parse_program
+from .expr import (ArrayRef, BinOp, Expr, FloatConst, IntConst, IntrinsicCall,
+                   RefMode, SymConst, UnaryOp, VarRef, add, aref, as_expr, div,
+                   mul, sub)
+from .loops import (LSC, collect_lscs, contains_call, contains_if,
+                    enclosing_loop_vars, has_static_bounds, inner_loops,
+                    is_innermost, loop_nest_of, static_trip_count)
+from .printer import format_expr, format_program, format_stmt
+from .program import Procedure, Program, ScalarDecl
+from .stmt import (Assign, CallStmt, If, InvalidateLines, Loop, LoopKind,
+                   PrefetchLine, PrefetchVector, ScheduleKind, Stmt,
+                   clone_body)
+from .validate import ValidationError, validate_program
+from .visitor import (const_int_value, find_statements, map_expr, parent_map,
+                      rewrite_body, substitute, substitute_in_stmt)
+
+__all__ = [
+    # arrays / types
+    "ArrayDecl", "Distribution", "DistKind", "BLOCK_LAST", "REPLICATED",
+    "DType", "INT", "REAL", "REAL4", "LOGICAL", "WORD_BYTES", "dtype_from_name",
+    # expressions
+    "Expr", "IntConst", "FloatConst", "SymConst", "VarRef", "ArrayRef",
+    "BinOp", "UnaryOp", "IntrinsicCall", "RefMode",
+    "as_expr", "add", "sub", "mul", "div", "aref",
+    # statements
+    "Stmt", "Assign", "Loop", "If", "CallStmt",
+    "PrefetchLine", "PrefetchVector", "InvalidateLines",
+    "LoopKind", "ScheduleKind", "clone_body",
+    # program
+    "Program", "Procedure", "ScalarDecl",
+    # builder / dsl / printer
+    "ProgramBuilder", "E", "unwrap", "sqrt", "abs_", "fmin", "fmax",
+    "parse_program", "parse_expr", "ParseError",
+    "format_expr", "format_stmt", "format_program",
+    # traversal / utilities
+    "map_expr", "substitute", "substitute_in_stmt", "const_int_value",
+    "rewrite_body", "find_statements", "parent_map",
+    "LSC", "collect_lscs", "static_trip_count", "has_static_bounds",
+    "is_innermost", "inner_loops", "contains_if", "contains_call",
+    "loop_nest_of", "enclosing_loop_vars",
+    # validation
+    "validate_program", "ValidationError",
+]

@@ -1,0 +1,539 @@
+"""Text front end: a tiny Fortran-flavoured DSL for IR programs.
+
+The DSL exists so example programs and tests can be written as plain
+text, and so the pretty-printer output round-trips (``parse(format(p))``
+reproduces ``p`` structurally).  Grammar sketch::
+
+    program     := "program" NAME decl* proc+ "end" "program"
+    decl        := ["shared"] TYPE NAME "(" int ("," int)* ")" dist?
+                 | TYPE NAME ["=" number]
+    dist        := "dist" "(" ("block"|"cyclic") "," "axis" "=" int ")"
+                 | "private"
+    proc        := "procedure" NAME ["(" params ")"] stmt* "end" "procedure"
+    stmt        := assign | do | doall | if | call | prefetch forms
+    do          := "do" NAME "=" expr "," expr ["," expr] opts stmt* "end" "do"
+    doall       := "doall" ... "end" "doall"   with optional schedule(...)
+    if          := "if" expr "then" stmt* ["else" stmt*] "end" "if"
+
+Expressions use Fortran-ish operators (``+ - * / ** mod and or not``,
+comparisons), intrinsics (``sqrt``, ``abs``, ``min``, ``max`` ...),
+``$name`` for symbolic (compile-time-unknown) constants, and
+``A(i, j)@bypass`` for bypass-cache references.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .arrays import ArrayDecl, DistKind, Distribution, REPLICATED
+from .dtypes import dtype_from_name
+from .expr import (ArrayRef, BinOp, Expr, FloatConst, IntConst, IntrinsicCall,
+                   INTRINSICS, RefMode, SymConst, UnaryOp, VarRef)
+from .program import Procedure, Program, ScalarDecl
+from .stmt import (Assign, If, CallStmt, InvalidateLines, Loop, LoopKind,
+                   PrefetchLine, PrefetchVector, ScheduleKind, Stmt)
+from .validate import validate_program
+
+
+class ParseError(Exception):
+    """Raised with a line/column-annotated message on malformed input."""
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>[!#][^\n]*)
+  | (?P<newline>\n)
+  | (?P<float>\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)
+  | (?P<int>\d+)
+  | (?P<sym>\$[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>\*\*|<=|>=|==|!=|[-+*/(),=<>@])
+""", re.VERBOSE)
+
+_KEYWORDS = {
+    "program", "end", "procedure", "do", "doall", "if", "then", "else",
+    "call", "shared", "private", "dist", "schedule", "label",
+    "prefetch", "vprefetch", "invalidate", "axis", "len", "stride", "ahead",
+    "preamble", "align", "and", "or", "not", "mod", "min", "max",
+}
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "col")
+
+    def __init__(self, kind: str, text: str, line: int, col: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.col = col
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    paren_depth = 0  # newlines inside parentheses continue the line
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            col = pos - line_start + 1
+            raise ParseError(f"line {line}, col {col}: unexpected character {source[pos]!r}")
+        kind = match.lastgroup
+        text = match.group()
+        col = pos - line_start + 1
+        pos = match.end()
+        if kind == "ws" or kind == "comment":
+            continue
+        if kind == "newline":
+            if paren_depth == 0 and tokens and tokens[-1].kind != "newline":
+                tokens.append(Token("newline", "\n", line, col))
+            line += 1
+            line_start = pos
+            continue
+        if kind == "op":
+            if text == "(":
+                paren_depth += 1
+            elif text == ")":
+                paren_depth = max(0, paren_depth - 1)
+        if kind == "name" and text.lower() in _KEYWORDS:
+            tokens.append(Token(text.lower(), text, line, col))
+        else:
+            tokens.append(Token(kind or "?", text, line, col))
+    tokens.append(Token("eof", "", line, 1))
+    return tokens
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise ParseError(f"line {tok.line}, col {tok.col}: expected {want!r}, got {tok.text!r}")
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def skip_newlines(self) -> None:
+        while self.accept("newline"):
+            pass
+
+    def error(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(f"line {tok.line}, col {tok.col}: {message} (at {tok.text!r})")
+
+    # -- program structure --------------------------------------------------
+    def parse_program(self) -> Program:
+        self.skip_newlines()
+        self.expect("program")
+        name = self.expect("name").text
+        program = Program(name)
+        self.skip_newlines()
+        while True:
+            tok = self.peek()
+            if tok.kind == "shared" or (tok.kind == "name" and self._looks_like_decl()):
+                self._parse_decl(program)
+                self.skip_newlines()
+            else:
+                break
+        while self.peek().kind == "procedure":
+            proc = self._parse_procedure(program)
+            program.add_procedure(proc)
+            self.skip_newlines()
+        self.expect("end")
+        self.expect("program")
+        self.skip_newlines()
+        self.expect("eof")
+        if "main" in program.procedures:
+            program.entry = "main"
+        elif program.procedures:
+            program.entry = list(program.procedures)[-1]
+        else:
+            raise ParseError("program has no procedures")
+        validate_program(program)
+        return program
+
+    def _looks_like_decl(self) -> bool:
+        tok = self.peek()
+        try:
+            dtype_from_name(tok.text)
+        except ValueError:
+            return False
+        return self.peek(1).kind == "name"
+
+    def _parse_decl(self, program: Program) -> None:
+        is_shared = bool(self.accept("shared"))
+        type_tok = self.expect("name")
+        try:
+            dtype = dtype_from_name(type_tok.text)
+        except ValueError:
+            raise ParseError(f"line {type_tok.line}: unknown type {type_tok.text!r}") from None
+        name = self.expect("name").text
+        if self.accept("op", "("):
+            shape = [self._parse_int_literal()]
+            while self.accept("op", ","):
+                shape.append(self._parse_int_literal())
+            self.expect("op", ")")
+            dist = Distribution(DistKind.BLOCK, -1)
+            if self.accept("private"):
+                dist = REPLICATED
+            elif self.accept("dist"):
+                self.expect("op", "(")
+                kind_tok = self.next()
+                kind = kind_tok.text.lower()
+                if kind not in (DistKind.BLOCK, DistKind.CYCLIC):
+                    raise ParseError(f"line {kind_tok.line}: unknown distribution {kind!r}")
+                axis = -1
+                if self.accept("op", ","):
+                    self.expect("axis")
+                    self.expect("op", "=")
+                    axis = self._parse_int_literal(signed=True)
+                self.expect("op", ")")
+                dist = Distribution(kind, axis)
+            elif not is_shared:
+                dist = REPLICATED
+            program.declare_array(ArrayDecl(name, tuple(shape), dtype, dist))
+        else:
+            init = None
+            if self.accept("op", "="):
+                init = self._parse_number_literal()
+            program.declare_scalar(ScalarDecl(name, dtype, init))
+
+    def _parse_int_literal(self, signed: bool = False) -> int:
+        negate = False
+        if signed and self.accept("op", "-"):
+            negate = True
+        tok = self.expect("int")
+        value = int(tok.text)
+        return -value if negate else value
+
+    def _parse_number_literal(self) -> float:
+        negate = bool(self.accept("op", "-"))
+        tok = self.next()
+        if tok.kind == "int":
+            value: float = int(tok.text)
+        elif tok.kind == "float":
+            value = float(tok.text)
+        else:
+            raise ParseError(f"line {tok.line}: expected a number, got {tok.text!r}")
+        return -value if negate else value
+
+    def _parse_procedure(self, program: Program) -> Procedure:
+        self.expect("procedure")
+        name = self.expect("name").text
+        params: Tuple[str, ...] = ()
+        if self.accept("op", "("):
+            names = []
+            if not self.accept("op", ")"):
+                names.append(self.expect("name").text)
+                while self.accept("op", ","):
+                    names.append(self.expect("name").text)
+                self.expect("op", ")")
+            params = tuple(names)
+        self.skip_newlines()
+        body = self._parse_stmts(("end",))
+        self.expect("end")
+        self.expect("procedure")
+        return Procedure(name, body, params)
+
+    # -- statements -----------------------------------------------------------
+    def _parse_stmts(self, stop_kinds: Tuple[str, ...]) -> List[Stmt]:
+        stmts: List[Stmt] = []
+        self.skip_newlines()
+        while self.peek().kind not in stop_kinds and self.peek().kind != "eof":
+            stmts.append(self._parse_stmt())
+            self.skip_newlines()
+        return stmts
+
+    def _parse_stmt(self) -> Stmt:
+        tok = self.peek()
+        if tok.kind in ("do", "doall"):
+            return self._parse_loop()
+        if tok.kind == "if":
+            return self._parse_if()
+        if tok.kind == "call":
+            return self._parse_call()
+        if tok.kind == "prefetch":
+            return self._parse_prefetch()
+        if tok.kind == "vprefetch":
+            return self._parse_vprefetch()
+        if tok.kind == "invalidate":
+            return self._parse_invalidate()
+        if tok.kind == "name":
+            return self._parse_assign()
+        raise self.error("expected a statement")
+
+    def _parse_loop(self) -> Loop:
+        head = self.next()
+        kind = LoopKind.DOALL if head.kind == "doall" else LoopKind.SERIAL
+        var = self.expect("name").text
+        self.expect("op", "=")
+        lower = self._parse_expr()
+        self.expect("op", ",")
+        upper = self._parse_expr()
+        step: Expr = IntConst(1)
+        if self.accept("op", ","):
+            step = self._parse_expr()
+        schedule = ScheduleKind.STATIC_BLOCK
+        label = ""
+        align = ""
+        while True:
+            if self.accept("align"):
+                self.expect("op", "(")
+                align = self.next().text
+                self.expect("op", ")")
+            elif self.accept("schedule"):
+                self.expect("op", "(")
+                sched_tok = self.next()
+                mapping = {"block": ScheduleKind.STATIC_BLOCK,
+                           "cyclic": ScheduleKind.STATIC_CYCLIC,
+                           "dynamic": ScheduleKind.DYNAMIC}
+                if sched_tok.text.lower() not in mapping:
+                    raise ParseError(f"line {sched_tok.line}: unknown schedule {sched_tok.text!r}")
+                schedule = mapping[sched_tok.text.lower()]
+                self.expect("op", ")")
+            elif self.accept("label"):
+                self.expect("op", "(")
+                label = self.next().text
+                self.expect("op", ")")
+            else:
+                break
+        self.skip_newlines()
+        preamble: List[Stmt] = []
+        if self.peek().kind == "preamble":
+            self.next()
+            preamble = self._parse_stmts(("end",))
+            self.expect("end")
+            self.expect("preamble")
+        body = self._parse_stmts(("end",))
+        self.expect("end")
+        self.expect(head.kind)
+        return Loop(var, lower, upper, step, body, kind, schedule, label, preamble, align)
+
+    def _parse_if(self) -> If:
+        self.expect("if")
+        cond = self._parse_expr()
+        self.expect("then")
+        then_body = self._parse_stmts(("else", "end"))
+        else_body: List[Stmt] = []
+        if self.accept("else"):
+            else_body = self._parse_stmts(("end",))
+        self.expect("end")
+        self.expect("if")
+        return If(cond, then_body, else_body)
+
+    def _parse_call(self) -> CallStmt:
+        self.expect("call")
+        name = self.expect("name").text
+        args: List[Expr] = []
+        if self.accept("op", "("):
+            if not self.accept("op", ")"):
+                args.append(self._parse_expr())
+                while self.accept("op", ","):
+                    args.append(self._parse_expr())
+                self.expect("op", ")")
+        return CallStmt(name, args)
+
+    def _parse_assign(self) -> Assign:
+        target = self._parse_primary()
+        if not isinstance(target, (ArrayRef, VarRef)):
+            raise self.error("assignment target must be a variable or array reference")
+        self.expect("op", "=")
+        rhs = self._parse_expr()
+        return Assign(target, rhs)
+
+    def _parse_prefetch(self) -> PrefetchLine:
+        self.expect("prefetch")
+        # All parsed prefetches are invalidate-first: that is the only
+        # coherent mode on T3D-class hardware (no in-flight masking).
+        invalidate = True
+        ref = self._parse_primary()
+        if not isinstance(ref, ArrayRef):
+            raise self.error("prefetch target must be an array reference")
+        distance = 0
+        if self.accept("ahead"):
+            self.expect("op", "(")
+            distance = self._parse_int_literal()
+            self.expect("op", ")")
+        return PrefetchLine(ref, invalidate, distance=distance)
+
+    def _parse_vprefetch(self) -> PrefetchVector:
+        self.expect("vprefetch")
+        name = self.expect("name").text
+        self.expect("op", "(")
+        subs = [self._parse_expr()]
+        while self.accept("op", ","):
+            subs.append(self._parse_expr())
+        self.expect("op", ")")
+        self.expect("axis")
+        self.expect("op", "=")
+        axis = self._parse_int_literal()
+        self.expect("len")
+        self.expect("op", "=")
+        length = self._parse_expr()
+        stride: Expr = IntConst(1)
+        if self.accept("stride"):
+            self.expect("op", "=")
+            stride = self._parse_expr()
+        return PrefetchVector(name, subs, axis, length, stride)
+
+    def _parse_invalidate(self) -> InvalidateLines:
+        self.expect("invalidate")
+        name = self.expect("name").text
+        self.expect("op", "(")
+        subs = [self._parse_expr()]
+        while self.accept("op", ","):
+            subs.append(self._parse_expr())
+        self.expect("op", ")")
+        self.expect("axis")
+        self.expect("op", "=")
+        axis = self._parse_int_literal()
+        self.expect("len")
+        self.expect("op", "=")
+        length = self._parse_expr()
+        return InvalidateLines(name, subs, axis, length)
+
+    # -- expressions -------------------------------------------------------------
+    # Precedence climbing over: or < and < comparison < add < mul < power < unary
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.accept("or"):
+            left = BinOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_cmp()
+        while self.accept("and"):
+            left = BinOp("and", left, self._parse_cmp())
+        return left
+
+    def _parse_cmp(self) -> Expr:
+        left = self._parse_add()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("<", "<=", ">", ">=", "==", "!="):
+            self.next()
+            return BinOp(tok.text, left, self._parse_add())
+        return left
+
+    def _parse_add(self) -> Expr:
+        left = self._parse_mul()
+        while True:
+            tok = self.peek()
+            if tok.kind == "op" and tok.text in ("+", "-"):
+                self.next()
+                left = BinOp(tok.text, left, self._parse_mul())
+            else:
+                return left
+
+    def _parse_mul(self) -> Expr:
+        left = self._parse_power()
+        while True:
+            tok = self.peek()
+            if tok.kind == "op" and tok.text in ("*", "/"):
+                self.next()
+                left = BinOp(tok.text, left, self._parse_power())
+            elif tok.kind == "mod":
+                self.next()
+                left = BinOp("mod", left, self._parse_power())
+            else:
+                return left
+
+    def _parse_power(self) -> Expr:
+        left = self._parse_unary()
+        if self.accept("op", "**"):
+            return BinOp("**", left, self._parse_power())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self.accept("op", "-"):
+            operand = self._parse_unary()
+            if isinstance(operand, IntConst):
+                return IntConst(-operand.value)
+            if isinstance(operand, FloatConst):
+                return FloatConst(-operand.value)
+            return BinOp("-", IntConst(0), operand)
+        if self.accept("op", "+"):
+            return self._parse_unary()
+        if self.accept("not"):
+            return UnaryOp("not", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "int":
+            return IntConst(int(tok.text))
+        if tok.kind == "float":
+            return FloatConst(float(tok.text))
+        if tok.kind == "sym":
+            return SymConst(tok.text[1:])
+        if tok.kind == "op" and tok.text == "(":
+            inner = self._parse_expr()
+            self.expect("op", ")")
+            return inner
+        if tok.kind in ("min", "max"):
+            self.expect("op", "(")
+            left = self._parse_expr()
+            self.expect("op", ",")
+            right = self._parse_expr()
+            self.expect("op", ")")
+            return IntrinsicCall(tok.kind, [left, right])
+        if tok.kind == "name":
+            name = tok.text
+            if self.peek().kind == "op" and self.peek().text == "(":
+                self.next()
+                args = [self._parse_expr()]
+                while self.accept("op", ","):
+                    args.append(self._parse_expr())
+                self.expect("op", ")")
+                if name.lower() in INTRINSICS:
+                    return IntrinsicCall(name, args)
+                ref = ArrayRef(name, args)
+                if self.accept("op", "@"):
+                    mode_tok = self.expect("name")
+                    if mode_tok.text.lower() != "bypass":
+                        raise ParseError(f"line {mode_tok.line}: unknown ref mode {mode_tok.text!r}")
+                    ref.mode = RefMode.BYPASS
+                return ref
+            return VarRef(name)
+        raise ParseError(f"line {tok.line}, col {tok.col}: expected an expression, got {tok.text!r}")
+
+
+def parse_program(source: str) -> Program:
+    """Parse DSL source text into a validated :class:`Program`."""
+    return Parser(source).parse_program()
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single expression (test/REPL convenience)."""
+    parser = Parser(source)
+    expr = parser._parse_expr()
+    parser.skip_newlines()
+    parser.expect("eof")
+    return expr
+
+
+__all__ = ["parse_program", "parse_expr", "ParseError", "tokenize"]

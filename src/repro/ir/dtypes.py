@@ -1,0 +1,79 @@
+"""Scalar data types for the parallel IR.
+
+The CCDP compiler reasons about addresses in *bytes* and *words* (the Cray
+T3D prefetch unit is one 64-bit word), so every type carries its storage
+size.  The paper's kernels are Fortran floating-point codes; we also keep
+integer types for subscript/induction arithmetic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Size of one machine word in bytes (T3D: 64-bit Alpha words).
+WORD_BYTES = 8
+
+
+class _Kind(enum.Enum):
+    INT = "integer"
+    REAL = "real"
+    LOGICAL = "logical"
+
+
+@dataclass(frozen=True)
+class DType:
+    """An IR scalar type with a fixed storage size.
+
+    Attributes
+    ----------
+    kind:
+        One of ``integer``, ``real``, ``logical`` (Fortran-flavoured).
+    size:
+        Storage size in bytes.
+    """
+
+    kind: _Kind
+    size: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind.value}*{self.size}"
+
+    @property
+    def words(self) -> float:
+        """Storage size expressed in 64-bit words (may be fractional)."""
+        return self.size / WORD_BYTES
+
+    def is_real(self) -> bool:
+        return self.kind is _Kind.REAL
+
+    def is_integer(self) -> bool:
+        return self.kind is _Kind.INT
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: 64-bit float — the element type of every shared matrix in the paper.
+REAL = DType(_Kind.REAL, 8)
+#: 32-bit float, for completeness (CRAFT supported real*4).
+REAL4 = DType(_Kind.REAL, 4)
+#: 64-bit integer (T3D native).
+INT = DType(_Kind.INT, 8)
+#: logical/boolean.
+LOGICAL = DType(_Kind.LOGICAL, 8)
+
+_BY_NAME = {t.name: t for t in (REAL, REAL4, INT, LOGICAL)}
+_BY_NAME.update({"real": REAL, "integer": INT, "logical": LOGICAL})
+
+
+def dtype_from_name(name: str) -> DType:
+    """Look up a type by Fortran-ish name (``real``, ``integer*8`` ...)."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown dtype name: {name!r}") from exc
+
+
+__all__ = ["DType", "REAL", "REAL4", "INT", "LOGICAL", "WORD_BYTES", "dtype_from_name"]

@@ -1,0 +1,324 @@
+"""Expression nodes of the parallel IR.
+
+Expressions are small mutable trees.  Node *identity* matters: the CCDP
+passes annotate and track individual reference **occurrences** (two
+textually identical ``A(i, j)`` nodes in different statements are distinct
+prefetch candidates), so ``__eq__`` is identity-based and structural
+comparison goes through :meth:`Expr.key`.
+
+Every node carries a unique ``uid`` so analyses can refer to occurrences
+stably across printing/reporting; clones receive fresh uids but remember
+the uid they were cloned from in ``origin``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional, Sequence
+
+from .dtypes import DType, INT, REAL
+
+_uid_counter = itertools.count(1)
+
+
+class RefMode:
+    """How the runtime must service an :class:`ArrayRef` read.
+
+    ``NORMAL``  — ordinary cached access.
+    ``BYPASS``  — read main memory directly, do not consult or fill the
+                  cache (the paper's *bypass-cache fetch*, used for
+                  potentially-stale references that are not worth
+                  prefetching and as the fallback for dropped prefetches).
+    """
+
+    NORMAL = "normal"
+    BYPASS = "bypass"
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ("uid", "origin")
+
+    def __init__(self) -> None:
+        self.uid: int = next(_uid_counter)
+        self.origin: Optional[int] = None
+
+    # -- structure -----------------------------------------------------
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+    def key(self) -> tuple:
+        """A hashable structural fingerprint (ignores uid/annotations)."""
+        raise NotImplementedError
+
+    def clone(self) -> "Expr":
+        raise NotImplementedError
+
+    def _stamp(self, fresh: "Expr") -> "Expr":
+        fresh.origin = self.origin if self.origin is not None else self.uid
+        return fresh
+
+    # -- traversal helpers ----------------------------------------------
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def array_refs(self) -> Iterator["ArrayRef"]:
+        for node in self.walk():
+            if isinstance(node, ArrayRef):
+                yield node
+
+    def free_vars(self) -> set:
+        return {node.name for node in self.walk() if isinstance(node, VarRef)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        from .printer import format_expr
+
+        return format_expr(self)
+
+
+class IntConst(Expr):
+    """Integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        super().__init__()
+        self.value = int(value)
+
+    def key(self) -> tuple:
+        return ("int", self.value)
+
+    def clone(self) -> "IntConst":
+        return self._stamp(IntConst(self.value))  # type: ignore[return-value]
+
+
+class FloatConst(Expr):
+    """Floating-point literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        super().__init__()
+        self.value = float(value)
+
+    def key(self) -> tuple:
+        return ("float", self.value)
+
+    def clone(self) -> "FloatConst":
+        return self._stamp(FloatConst(self.value))  # type: ignore[return-value]
+
+
+class SymConst(Expr):
+    """A compile-time-unknown but loop-invariant integer (e.g. problem size
+    read at run time).  Stale/locality analyses treat it symbolically; the
+    scheduler treats loops bounded by a :class:`SymConst` as *unknown
+    bounds* (case distinctions in the paper's Fig. 2)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+    def key(self) -> tuple:
+        return ("sym", self.name)
+
+    def clone(self) -> "SymConst":
+        return self._stamp(SymConst(self.name))  # type: ignore[return-value]
+
+
+class VarRef(Expr):
+    """Reference to a scalar variable (induction variables included)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+    def key(self) -> tuple:
+        return ("var", self.name)
+
+    def clone(self) -> "VarRef":
+        return self._stamp(VarRef(self.name))  # type: ignore[return-value]
+
+
+class ArrayRef(Expr):
+    """A subscripted array reference ``A(e1, e2, ...)``.
+
+    Used both as an rvalue (load) and, as the ``lhs`` of an assignment,
+    an lvalue (store).  ``mode`` is a runtime service annotation set by
+    CCDP code generation (see :class:`RefMode`).
+    """
+
+    __slots__ = ("array", "subscripts", "mode")
+
+    def __init__(self, array: str, subscripts: Sequence[Expr], mode: str = RefMode.NORMAL) -> None:
+        super().__init__()
+        self.array = array
+        self.subscripts = list(subscripts)
+        self.mode = mode
+
+    def children(self) -> Sequence[Expr]:
+        return tuple(self.subscripts)
+
+    def key(self) -> tuple:
+        return ("aref", self.array, tuple(s.key() for s in self.subscripts))
+
+    def clone(self) -> "ArrayRef":
+        fresh = ArrayRef(self.array, [s.clone() for s in self.subscripts], self.mode)
+        return self._stamp(fresh)  # type: ignore[return-value]
+
+    @property
+    def rank(self) -> int:
+        return len(self.subscripts)
+
+
+_BINOPS = {"+", "-", "*", "/", "**", "min", "max",
+           "<", "<=", ">", ">=", "==", "!=", "and", "or", "mod"}
+
+
+class BinOp(Expr):
+    """Binary operation.  Comparison and logical operators produce
+    logical values used in ``If`` conditions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        super().__init__()
+        if op not in _BINOPS:
+            raise ValueError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+    def key(self) -> tuple:
+        return ("bin", self.op, self.left.key(), self.right.key())
+
+    def clone(self) -> "BinOp":
+        return self._stamp(BinOp(self.op, self.left.clone(), self.right.clone()))  # type: ignore[return-value]
+
+
+class UnaryOp(Expr):
+    """Unary negation / logical not."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr) -> None:
+        super().__init__()
+        if op not in {"-", "not", "+"}:
+            raise ValueError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def key(self) -> tuple:
+        return ("un", self.op, self.operand.key())
+
+    def clone(self) -> "UnaryOp":
+        return self._stamp(UnaryOp(self.op, self.operand.clone()))  # type: ignore[return-value]
+
+
+#: Intrinsics the interpreter understands, mapped to their arity.
+INTRINSICS = {
+    "sqrt": 1, "abs": 1, "exp": 1, "log": 1, "sin": 1, "cos": 1,
+    "min": 2, "max": 2, "mod": 2, "int": 1, "real": 1, "sign": 2,
+}
+
+
+class IntrinsicCall(Expr):
+    """Call of a Fortran intrinsic (``sqrt``, ``abs``, ``min`` ...)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expr]) -> None:
+        super().__init__()
+        name = name.lower()
+        if name not in INTRINSICS:
+            raise ValueError(f"unknown intrinsic {name!r}")
+        if len(args) != INTRINSICS[name]:
+            raise ValueError(f"intrinsic {name} expects {INTRINSICS[name]} args, got {len(args)}")
+        self.name = name
+        self.args = list(args)
+
+    def children(self) -> Sequence[Expr]:
+        return tuple(self.args)
+
+    def key(self) -> tuple:
+        return ("call", self.name, tuple(a.key() for a in self.args))
+
+    def clone(self) -> "IntrinsicCall":
+        return self._stamp(IntrinsicCall(self.name, [a.clone() for a in self.args]))  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors used throughout builders, tests and workloads.
+# ---------------------------------------------------------------------------
+
+def as_expr(value) -> Expr:
+    """Coerce Python ints/floats/strs into IR expression nodes.
+
+    Strings become :class:`VarRef`; use :class:`SymConst` explicitly for
+    symbolic problem sizes.
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not IR literals; build a comparison")
+    if isinstance(value, int):
+        return IntConst(value)
+    if isinstance(value, float):
+        return FloatConst(value)
+    if isinstance(value, str):
+        return VarRef(value)
+    raise TypeError(f"cannot convert {value!r} to an IR expression")
+
+
+def add(a, b) -> BinOp:
+    return BinOp("+", as_expr(a), as_expr(b))
+
+
+def sub(a, b) -> BinOp:
+    return BinOp("-", as_expr(a), as_expr(b))
+
+
+def mul(a, b) -> BinOp:
+    return BinOp("*", as_expr(a), as_expr(b))
+
+
+def div(a, b) -> BinOp:
+    return BinOp("/", as_expr(a), as_expr(b))
+
+
+def aref(array: str, *subscripts) -> ArrayRef:
+    return ArrayRef(array, [as_expr(s) for s in subscripts])
+
+
+def expr_dtype(expr: Expr) -> DType:
+    """Crude type inference: any REAL operand makes the result REAL."""
+    if isinstance(expr, FloatConst):
+        return REAL
+    if isinstance(expr, IntConst) or isinstance(expr, SymConst):
+        return INT
+    for child in expr.children():
+        if expr_dtype(child).is_real():
+            return REAL
+    if isinstance(expr, (VarRef, ArrayRef)):
+        return REAL  # refined by the symbol table when available
+    return INT
+
+
+__all__ = [
+    "Expr", "IntConst", "FloatConst", "SymConst", "VarRef", "ArrayRef",
+    "BinOp", "UnaryOp", "IntrinsicCall", "RefMode", "INTRINSICS",
+    "as_expr", "add", "sub", "mul", "div", "aref", "expr_dtype",
+]

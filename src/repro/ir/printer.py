@@ -1,0 +1,144 @@
+"""Pretty-printer: renders IR back to the Fortran-style surface syntax.
+
+The printed form round-trips through :mod:`repro.ir.dsl` for the
+DSL-expressible subset, which the test suite exploits as a structural
+regression check on transformations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .arrays import ArrayDecl, DistKind
+from .expr import (ArrayRef, BinOp, Expr, FloatConst, IntConst, IntrinsicCall,
+                   RefMode, SymConst, UnaryOp, VarRef)
+from .program import Procedure, Program
+from .stmt import (Assign, CallStmt, If, InvalidateLines, Loop, LoopKind,
+                   PrefetchLine, PrefetchVector, ScheduleKind, Stmt)
+
+_PRECEDENCE = {
+    "or": 1, "and": 2,
+    "==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "+": 4, "-": 4,
+    "*": 5, "/": 5, "mod": 5,
+    "**": 6,
+}
+
+
+def format_expr(expr: Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, IntConst):
+        return str(expr.value)
+    if isinstance(expr, FloatConst):
+        text = repr(expr.value)
+        return text if ("." in text or "e" in text or "inf" in text or "nan" in text) else text + ".0"
+    if isinstance(expr, SymConst):
+        return f"${expr.name}"
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        subs = ", ".join(format_expr(s) for s in expr.subscripts)
+        suffix = "@bypass" if expr.mode == RefMode.BYPASS else ""
+        return f"{expr.array}({subs}){suffix}"
+    if isinstance(expr, UnaryOp):
+        inner = format_expr(expr.operand, 7)
+        op = "not " if expr.op == "not" else expr.op
+        return f"{op}{inner}"
+    if isinstance(expr, IntrinsicCall):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, BinOp):
+        if expr.op in ("min", "max"):
+            return f"{expr.op}({format_expr(expr.left)}, {format_expr(expr.right)})"
+        prec = _PRECEDENCE.get(expr.op, 4)
+        op = f" {expr.op} " if expr.op in ("and", "or") else f" {expr.op} "
+        text = f"{format_expr(expr.left, prec)}{op}{format_expr(expr.right, prec + 1)}"
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"cannot format {type(expr).__name__}")
+
+
+def format_stmt(stmt: Stmt, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(stmt, Assign):
+        return f"{pad}{format_expr(stmt.lhs)} = {format_expr(stmt.rhs)}\n"
+    if isinstance(stmt, Loop):
+        head = "doall" if stmt.kind == LoopKind.DOALL else "do"
+        sched = ""
+        if stmt.kind == LoopKind.DOALL and stmt.schedule != ScheduleKind.STATIC_BLOCK:
+            sched = f" schedule({stmt.schedule.replace('static_', '')})"
+        label = f" label({stmt.label})" if stmt.label else ""
+        align = f" align({stmt.align})" if getattr(stmt, "align", "") else ""
+        step = "" if isinstance(stmt.step, IntConst) and stmt.step.value == 1 \
+            else f", {format_expr(stmt.step)}"
+        lines = [f"{pad}{head} {stmt.var} = {format_expr(stmt.lower)}, "
+                 f"{format_expr(stmt.upper)}{step}{sched}{align}{label}\n"]
+        if stmt.preamble:
+            lines.append(f"{pad}  preamble\n")
+            lines += [format_stmt(s, indent + 2) for s in stmt.preamble]
+            lines.append(f"{pad}  end preamble\n")
+        lines += [format_stmt(s, indent + 1) for s in stmt.body]
+        lines.append(f"{pad}end {head}\n")
+        return "".join(lines)
+    if isinstance(stmt, If):
+        lines = [f"{pad}if {format_expr(stmt.cond)} then\n"]
+        lines += [format_stmt(s, indent + 1) for s in stmt.then_body]
+        if stmt.else_body:
+            lines.append(f"{pad}else\n")
+            lines += [format_stmt(s, indent + 1) for s in stmt.else_body]
+        lines.append(f"{pad}end if\n")
+        return "".join(lines)
+    if isinstance(stmt, CallStmt):
+        args = ", ".join(format_expr(a) for a in stmt.args)
+        return f"{pad}call {stmt.name}({args})\n"
+    if isinstance(stmt, PrefetchLine):
+        dist = f" ahead({stmt.distance})" if stmt.distance else ""
+        return f"{pad}prefetch {format_expr(stmt.ref)}{dist}\n"
+    if isinstance(stmt, PrefetchVector):
+        subs = ", ".join(format_expr(s) for s in stmt.start_subscripts)
+        return (f"{pad}vprefetch {stmt.array}({subs}) axis={stmt.axis} "
+                f"len={format_expr(stmt.length)} stride={format_expr(stmt.stride)}\n")
+    if isinstance(stmt, InvalidateLines):
+        subs = ", ".join(format_expr(s) for s in stmt.start_subscripts)
+        return (f"{pad}invalidate {stmt.array}({subs}) axis={stmt.axis} "
+                f"len={format_expr(stmt.length)}\n")
+    raise TypeError(f"cannot format {type(stmt).__name__}")
+
+
+def format_array_decl(decl: ArrayDecl) -> str:
+    shape = ", ".join(str(s) for s in decl.shape)
+    if decl.dist.kind == DistKind.REPLICATED:
+        dist = "private"
+    else:
+        dist = f"dist({decl.dist.kind}, axis={decl.dist.axis})"
+    return f"shared {decl.dtype.kind.value} {decl.name}({shape}) {dist}" \
+        if decl.is_shared else f"{decl.dtype.kind.value} {decl.name}({shape}) {dist}"
+
+
+def format_procedure(proc: Procedure, indent: int = 0) -> str:
+    pad = "  " * indent
+    params = f"({', '.join(proc.params)})" if proc.params else ""
+    lines = [f"{pad}procedure {proc.name}{params}\n"]
+    lines += [format_stmt(s, indent + 1) for s in proc.body]
+    lines.append(f"{pad}end procedure\n")
+    return "".join(lines)
+
+
+def format_program(program: Program) -> str:
+    lines: List[str] = [f"program {program.name}\n"]
+    for decl in program.arrays.values():
+        lines.append(f"  {format_array_decl(decl)}\n")
+    for scalar in program.scalars.values():
+        init = f" = {scalar.init}" if scalar.init is not None else ""
+        lines.append(f"  {scalar.dtype.kind.value} {scalar.name}{init}\n")
+    for name, proc in program.procedures.items():
+        if name == program.entry:
+            continue
+        lines.append("\n")
+        lines.append(format_procedure(proc, 1))
+    lines.append("\n")
+    lines.append(format_procedure(program.entry_proc, 1))
+    lines.append("end program\n")
+    return "".join(lines)
+
+
+__all__ = ["format_expr", "format_stmt", "format_procedure", "format_program",
+           "format_array_decl"]

@@ -1,0 +1,119 @@
+"""Structural validation of IR programs.
+
+Run automatically by :meth:`ProgramBuilder.finish` and by the CCDP
+driver after transformation, so malformed programs fail loudly at build
+time instead of deep inside the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .expr import ArrayRef, Expr, SymConst, VarRef
+from .program import Program
+from .stmt import (Assign, CallStmt, If, InvalidateLines, Loop, PrefetchLine,
+                   PrefetchVector, Stmt)
+
+
+class ValidationError(Exception):
+    """Raised when a program violates an IR well-formedness rule."""
+
+
+def validate_program(program: Program) -> None:
+    """Check declarations, reference arity, loop-variable scoping, and
+    call-target existence for every procedure.  Raises
+    :class:`ValidationError` on the first problem."""
+    if program.entry not in program.procedures:
+        raise ValidationError(f"missing entry procedure {program.entry!r}")
+    for proc in program.procedures.values():
+        scope: Set[str] = set(program.scalars) | set(proc.params)
+        _validate_body(program, proc.name, proc.body, scope)
+
+
+def _validate_body(program: Program, proc: str, body: List[Stmt], scope: Set[str]) -> None:
+    for stmt in body:
+        _validate_stmt(program, proc, stmt, scope)
+
+
+def _validate_stmt(program: Program, proc: str, stmt: Stmt, scope: Set[str]) -> None:
+    where = f"{proc}: {type(stmt).__name__}"
+    if isinstance(stmt, Loop):
+        for expr in stmt.expressions():
+            _validate_expr(program, where, expr, scope)
+        if stmt.align:
+            target = program.arrays.get(stmt.align)
+            if target is None:
+                raise ValidationError(f"{where}: align target {stmt.align!r} not declared")
+            if not target.is_shared:
+                raise ValidationError(f"{where}: align target {stmt.align!r} is private")
+        if stmt.preamble:
+            pre_scope = scope | set(stmt.chunk_vars())
+            _validate_body(program, proc, stmt.preamble, pre_scope)
+        inner_scope = scope | {stmt.var}
+        _validate_body(program, proc, stmt.body, inner_scope)
+        return
+    if isinstance(stmt, If):
+        _validate_expr(program, where, stmt.cond, scope)
+        _validate_body(program, proc, stmt.then_body, scope)
+        _validate_body(program, proc, stmt.else_body, scope)
+        return
+    if isinstance(stmt, Assign):
+        if isinstance(stmt.lhs, VarRef) and stmt.lhs.name not in scope:
+            # Implicit scalar definition is allowed (Fortran style) but the
+            # name must not collide with an array.
+            if stmt.lhs.name in program.arrays:
+                raise ValidationError(f"{where}: scalar assignment to array name {stmt.lhs.name!r}")
+            scope.add(stmt.lhs.name)
+        for expr in stmt.expressions():
+            _validate_expr(program, where, expr, scope)
+        return
+    if isinstance(stmt, CallStmt):
+        if stmt.name not in program.procedures:
+            raise ValidationError(f"{where}: call to undefined procedure {stmt.name!r}")
+        callee = program.procedures[stmt.name]
+        if len(stmt.args) != len(callee.params):
+            raise ValidationError(
+                f"{where}: call to {stmt.name} with {len(stmt.args)} args, "
+                f"expected {len(callee.params)}")
+        for expr in stmt.expressions():
+            _validate_expr(program, where, expr, scope)
+        return
+    if isinstance(stmt, (PrefetchLine,)):
+        _validate_expr(program, where, stmt.ref, scope)
+        return
+    if isinstance(stmt, (PrefetchVector, InvalidateLines)):
+        decl = program.arrays.get(stmt.array)
+        if decl is None:
+            raise ValidationError(f"{where}: undeclared array {stmt.array!r}")
+        if len(stmt.start_subscripts) != decl.rank:
+            raise ValidationError(f"{where}: {stmt.array} rank mismatch")
+        if not (0 <= stmt.axis < decl.rank):
+            raise ValidationError(f"{where}: axis {stmt.axis} out of range for {stmt.array}")
+        for expr in stmt.expressions():
+            _validate_expr(program, where, expr, scope)
+        return
+    raise ValidationError(f"{where}: unknown statement type")
+
+
+def _validate_expr(program: Program, where: str, expr: Expr, scope: Set[str]) -> None:
+    for node in expr.walk():
+        if isinstance(node, ArrayRef):
+            decl = program.arrays.get(node.array)
+            if decl is None:
+                raise ValidationError(f"{where}: undeclared array {node.array!r}")
+            if len(node.subscripts) != decl.rank:
+                raise ValidationError(
+                    f"{where}: {node.array} has rank {decl.rank}, "
+                    f"referenced with {len(node.subscripts)} subscripts")
+        elif isinstance(node, VarRef):
+            if node.name in program.arrays:
+                raise ValidationError(f"{where}: array {node.name!r} used without subscripts")
+            if node.name not in scope:
+                raise ValidationError(f"{where}: undefined scalar {node.name!r}")
+        elif isinstance(node, SymConst):
+            # Symbolic constants need not be bound at validation time; the
+            # runtime checks bindings before execution.
+            pass
+
+
+__all__ = ["validate_program", "ValidationError"]

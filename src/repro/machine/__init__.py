@@ -1,0 +1,25 @@
+"""Cray T3D-class machine model: non-coherent write-through caches,
+distributed memory over a 3-D torus, DTB-Annex prefetch queue, and a
+SHMEM-style vector transfer engine — with an exact stale-read checker.
+"""
+
+from .addressing import AddressMap
+from .cache import DirectMappedCache
+from .fastcache import (TraceResult, classify_read_trace, classify_trace,
+                        conflict_profile, miss_rate_vs_cache_size)
+from .machine import Machine, StaleReadError
+from .memory import Memory
+from .params import MachineParams, sequential_params, t3d
+from .pe import PE
+from .prefetchq import PrefetchEntry, PrefetchQueue, VectorTransfer, VectorUnit
+from .stats import MachineStats, PEStats
+from .topology import Torus, torus_for, torus_shape
+
+__all__ = [
+    "AddressMap", "DirectMappedCache",
+    "TraceResult", "classify_trace", "classify_read_trace",
+    "conflict_profile", "miss_rate_vs_cache_size", "Machine", "StaleReadError", "Memory",
+    "MachineParams", "t3d", "sequential_params", "PE",
+    "PrefetchEntry", "PrefetchQueue", "VectorTransfer", "VectorUnit",
+    "MachineStats", "PEStats", "Torus", "torus_for", "torus_shape",
+]

@@ -1,0 +1,114 @@
+"""Global address map: arrays -> word addresses -> home PEs.
+
+The T3D presents a global, physically-distributed address space: every
+word has a *home* PE whose local DRAM holds it.  We lay arrays out
+consecutively in a global word-addressed space, each array aligned to a
+cache-line boundary (the paper requires line-aligned arrays for the
+prefetch-target mapping calculations; the runtime relies on the same
+property).
+
+Shared arrays must have word-sized elements (the T3D prefetch unit moves
+64-bit words); narrower element types are allowed for private arrays
+only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.arrays import ArrayDecl, DistKind
+from ..ir.dtypes import WORD_BYTES
+from .params import MachineParams
+
+
+class AddressMap:
+    """Assigns line-aligned global word addresses to every array and
+    answers ownership queries."""
+
+    def __init__(self, arrays: Iterable[ArrayDecl], params: MachineParams) -> None:
+        self.params = params
+        self.bases: Dict[str, int] = {}
+        self.decls: Dict[str, ArrayDecl] = {}
+        cursor = params.line_words  # keep address 0 unused (debug aid)
+        for decl in arrays:
+            if decl.is_shared and decl.dtype.size != WORD_BYTES:
+                raise ValueError(
+                    f"shared array {decl.name}: element size must be one word "
+                    f"({WORD_BYTES} bytes) on this machine")
+            self.decls[decl.name] = decl
+            self.bases[decl.name] = cursor
+            words = decl.size  # one word per element for shared arrays
+            cursor += _round_up(words, params.line_words)
+        self.total_words = cursor
+        self._owner_cache: Dict[str, np.ndarray] = {}
+
+    # -- address arithmetic ---------------------------------------------------
+    def base(self, name: str) -> int:
+        return self.bases[name]
+
+    def addr(self, name: str, flat: int) -> int:
+        """Global word address of a flat (0-based, column-major) element."""
+        return self.bases[name] + flat
+
+    def addr_vec(self, name: str, flats: np.ndarray) -> np.ndarray:
+        return self.bases[name] + flats
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.params.line_words
+
+    # -- ownership -----------------------------------------------------------------
+    def owner_table(self, name: str) -> np.ndarray:
+        """Per-element home PE for one array (cached, flat column-major).
+
+        Private arrays have no single home; callers must special-case
+        them (each PE holds its own copy locally)."""
+        if name in self._owner_cache:
+            return self._owner_cache[name]
+        decl = self.decls[name]
+        n_pes = self.params.n_pes
+        if not decl.is_shared:
+            raise ValueError(f"array {decl.name} is private; ownership is per-PE")
+        axis = decl.dist_axis
+        stride = 1
+        for extent in decl.shape[:axis]:
+            stride *= extent
+        flat = np.arange(decl.size, dtype=np.int64)
+        axis_index = (flat // stride) % decl.shape[axis]  # 0-based
+        if decl.dist.kind == DistKind.BLOCK:
+            block = decl.block_size(n_pes)
+            owners = np.minimum(axis_index // block, n_pes - 1)
+        else:  # CYCLIC
+            owners = axis_index % n_pes
+        owners = owners.astype(np.int16)
+        self._owner_cache[name] = owners
+        return owners
+
+    def owner(self, name: str, flat: int) -> int:
+        return int(self.owner_table(name)[flat])
+
+    def is_local(self, name: str, flat: int, pe: int) -> bool:
+        decl = self.decls[name]
+        if not decl.is_shared:
+            return True
+        return self.owner(name, flat) == pe
+
+    # -- layout introspection (debugging / reports) ---------------------------------
+    def layout(self) -> List[Tuple[str, int, int]]:
+        """(name, base, words) per array, ascending base."""
+        return sorted(((name, base, self.decls[name].size)
+                       for name, base in self.bases.items()), key=lambda t: t[1])
+
+    def array_at(self, addr: int) -> Optional[str]:
+        for name, base, words in self.layout():
+            if base <= addr < base + words:
+                return name
+        return None
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return -(-value // multiple) * multiple
+
+
+__all__ = ["AddressMap"]

@@ -1,0 +1,377 @@
+"""The multiprocessor facade: memory + caches + prefetch hardware +
+timing, with an exact coherence checker.
+
+Every operation is charged to one PE's clock.  The machine is
+deliberately policy-free: whether shared data is cached (CCDP) or not
+(BASE), and whether CRAFT translation overheads apply, are per-call
+flags decided by the runtime's execution configuration.
+
+Coherence semantics: caches are non-coherent and write-through.  A read
+that hits a cached line returns the cached value *even if memory has
+moved on* — the checker records a stale-read event (and can be armed to
+raise).  A correct CCDP transformation produces zero stale reads; a
+naively-cached run produces both events and numerically wrong results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.arrays import ArrayDecl
+from .addressing import AddressMap
+from .memory import Memory
+from .params import MachineParams
+from .pe import PE
+from .prefetchq import PrefetchEntry, VectorTransfer
+from .stats import MachineStats, PEStats
+from .topology import Torus, torus_for
+
+
+class StaleReadError(RuntimeError):
+    """Raised in strict mode when a PE consumes a stale cached value."""
+
+
+class Machine:
+    """A simulated T3D-class multiprocessor."""
+
+    def __init__(self, arrays: Iterable[ArrayDecl], params: MachineParams,
+                 on_stale: str = "record", trace: bool = False) -> None:
+        if on_stale not in ("record", "raise"):
+            raise ValueError("on_stale must be 'record' or 'raise'")
+        decls = list(arrays)
+        self.params = params
+        self.addr_map = AddressMap(decls, params)
+        self.memory = Memory(decls, params)
+        self.torus = torus_for(params.n_pes)
+        self.pes: List[PE] = [PE(i, params) for i in range(params.n_pes)]
+        self.stats = MachineStats(per_pe=[pe.stats for pe in self.pes])
+        self.on_stale = on_stale
+        self._lw = params.line_words
+        # Optional per-PE access trace: lists of global word addresses of
+        # cacheable reads, consumable by repro.machine.fastcache.
+        self.trace_enabled = trace
+        self.read_trace: List[List[int]] = [[] for _ in self.pes] if trace else []
+        # Optional intra-epoch race detection: per-word last writer within
+        # the current epoch (cleared at barriers).  The epoch model forbids
+        # cross-task dependences inside one parallel epoch; this checks it
+        # dynamically, complementing the static GCD test in
+        # repro.analysis.parcheck.
+        self.race_check = False
+        self._epoch_writers: dict = {}
+        self.races: int = 0
+        self.race_examples: List[str] = []
+
+    # ------------------------------------------------------------------
+    # latency helpers
+    # ------------------------------------------------------------------
+    def read_latency(self, pe_id: int, owner: int) -> float:
+        if owner == pe_id:
+            return self.params.local_mem
+        return self.params.remote_base + self.params.remote_per_hop * self.torus.hops(pe_id, owner)
+
+    def write_latency(self, pe_id: int, owner: int) -> float:
+        if owner == pe_id:
+            return self.params.write_local
+        return (self.params.write_remote_base
+                + self.params.write_remote_per_hop * self.torus.hops(pe_id, owner))
+
+    def _owner(self, name: str, flat: int, pe_id: int) -> int:
+        decl = self.memory.decls[name]
+        if not decl.is_shared:
+            return pe_id
+        return self.addr_map.owner(name, flat)
+
+    # ------------------------------------------------------------------
+    # line fill
+    # ------------------------------------------------------------------
+    def _line_contents(self, name: str, line_addr: int, pe_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(values, versions) of one line; words outside the array are 0."""
+        base = self.addr_map.base(name)
+        decl = self.memory.decls[name]
+        lw = self._lw
+        start = line_addr * lw - base
+        words = np.zeros(lw, dtype=np.float64)
+        versions = np.zeros(lw, dtype=np.int64)
+        lo = max(start, 0)
+        hi = min(start + lw, decl.size)
+        if lo < hi:
+            off = lo - start
+            if decl.is_shared:
+                words[off:off + hi - lo] = self.memory.values[name][lo:hi]
+                versions[off:off + hi - lo] = self.memory.versions[name][lo:hi]
+            else:
+                words[off:off + hi - lo] = self.memory.private_values[name][pe_id, lo:hi]
+        return words, versions
+
+    def _install_line(self, pe: PE, name: str, line_addr: int) -> None:
+        words, versions = self._line_contents(name, line_addr, pe.pe_id)
+        pe.cache.install(line_addr, words, versions)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(self, pe_id: int, name: str, flat: int, *, cacheable: bool = True,
+             bypass: bool = False, craft: bool = False) -> float:
+        """Service one load; advances the PE clock and returns the value
+        the processor observes (stale cached data included)."""
+        pe = self.pes[pe_id]
+        pe.stats.reads += 1
+        decl = self.memory.decls[name]
+        shared = decl.is_shared
+        if self.race_check and shared:
+            writer = self._epoch_writers.get((name, flat))
+            if writer is not None and writer != pe_id:
+                self._race_event(pe_id, writer, name, flat, "read-after-write")
+
+        if bypass or not cacheable:
+            # Direct memory access: BASE-mode shared refs and CCDP
+            # bypass-cache fetches.  Always fresh.  Uncached *local* word
+            # reads stream from DRAM page mode, cheaper than a line fill.
+            owner = self._owner(name, flat, pe_id)
+            if owner == pe_id:
+                latency: float = self.params.uncached_local_read
+            else:
+                latency = self.read_latency(pe_id, owner)
+            if craft:
+                latency += self.params.craft_shared_ref_overhead
+            pe.advance(latency)
+            if bypass:
+                pe.stats.bypass_reads += 1
+            elif owner == pe_id:
+                pe.stats.uncached_local_reads += 1
+            else:
+                pe.stats.uncached_remote_reads += 1
+            if shared:
+                return self.memory.read(name, flat)
+            return self.memory.read_private(name, pe_id, flat)
+
+        addr = self.addr_map.addr(name, flat)
+        if self.trace_enabled:
+            self.read_trace[pe_id].append(addr)
+        line_addr = addr // self._lw
+        cached = pe.cache.read(addr)
+        if cached is not None:
+            value, version = cached
+            transfer = pe.vectors.match(line_addr)
+            if transfer is not None and transfer.completion > pe.clock:
+                stall = pe.wait_until(transfer.completion)
+                pe.stats.vector_stall_cycles += stall
+                # the transfer delivered fresh data; re-read the line
+                value, version = pe.cache.read(addr)  # type: ignore[misc]
+            pe.advance(self.params.cache_hit)
+            pe.stats.cache_hits += 1
+            if shared and version < self.memory.version(name, flat):
+                self._stale_event(pe_id, name, flat, version)
+            return value
+
+        # Miss: does an outstanding prefetch cover this line?
+        entry = pe.queue.match(line_addr)
+        if entry is not None:
+            late = pe.wait_until(entry.arrival)
+            pe.stats.prefetch_late_cycles += late
+            pe.advance(self.params.prefetch_extract)
+            pe.queue.extract(entry)
+            pe.stats.prefetch_extracted += 1
+            self._install_line(pe, name, line_addr)
+            fresh = pe.cache.read(addr)
+            assert fresh is not None
+            return fresh[0]
+
+        # Plain miss: fetch the line from its home memory.
+        owner = self._owner(name, flat, pe_id)
+        latency = self.read_latency(pe_id, owner)
+        if craft:
+            latency += self.params.craft_shared_ref_overhead
+        pe.advance(latency)
+        pe.stats.cache_misses += 1
+        if owner == pe_id:
+            pe.stats.local_fills += 1
+        else:
+            pe.stats.remote_fills += 1
+        self._install_line(pe, name, line_addr)
+        fresh = pe.cache.read(addr)
+        assert fresh is not None
+        return fresh[0]
+
+    def _stale_event(self, pe_id: int, name: str, flat: int, version: int) -> None:
+        self.stats.stale_reads += 1
+        self.pes[pe_id].stats.stale_hits += 1
+        if len(self.stats.stale_examples) < 16:
+            self.stats.stale_examples.append(
+                f"PE{pe_id} read stale {name}[flat={flat}] "
+                f"(cached v{version} < memory v{self.memory.version(name, flat)})")
+        if self.on_stale == "raise":
+            raise StaleReadError(self.stats.stale_examples[-1])
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write(self, pe_id: int, name: str, flat: int, value: float, *,
+              cacheable: bool = True, craft: bool = False) -> None:
+        pe = self.pes[pe_id]
+        pe.stats.writes += 1
+        decl = self.memory.decls[name]
+        if not decl.is_shared:
+            self.memory.write_private(name, pe_id, flat, value)
+            pe.advance(self.params.write_local)
+            if cacheable:
+                addr = self.addr_map.addr(name, flat)
+                pe.cache.write_through_update(addr, value, 0)
+            return
+        if self.race_check:
+            previous = self._epoch_writers.get((name, flat))
+            if previous is not None and previous != pe_id:
+                self._race_event(pe_id, previous, name, flat, "write-after-write")
+            self._epoch_writers[(name, flat)] = pe_id
+        owner = self.addr_map.owner(name, flat)
+        version = self.memory.write(name, flat, value)
+        latency = self.write_latency(pe_id, owner)
+        if craft:
+            latency += self.params.craft_shared_ref_overhead
+        pe.advance(latency)
+        if owner != pe_id:
+            pe.stats.remote_writes += 1
+        if cacheable:
+            # Write-through, no allocate: update this PE's copy if present.
+            addr = self.addr_map.addr(name, flat)
+            pe.cache.write_through_update(addr, value, version)
+
+    # ------------------------------------------------------------------
+    # prefetch operations
+    # ------------------------------------------------------------------
+    def prefetch_line(self, pe_id: int, name: str, flat: int,
+                      invalidate: bool = True) -> bool:
+        """Issue a line prefetch; returns False when dropped (queue full).
+        The target line is invalidated first, so even a dropped prefetch
+        leaves the program coherent (the use will miss to fresh memory)."""
+        pe = self.pes[pe_id]
+        addr = self.addr_map.addr(name, flat)
+        line_addr = addr // self._lw
+        if invalidate:
+            if pe.cache.invalidate_line(line_addr):
+                pe.stats.invalidations += 1
+        owner = self._owner(name, flat, pe_id)
+        cost = self.params.prefetch_issue
+        if pe.last_prefetch_pe != owner:
+            cost += self.params.dtb_setup
+            pe.stats.dtb_setups += 1
+            pe.last_prefetch_pe = owner
+        pe.advance(cost)
+        pe.queue.reclaim_arrived(pe.clock - 4 * self.params.remote_base)
+        arrival = pe.clock + self.read_latency(pe_id, owner)
+        accepted = pe.queue.issue(PrefetchEntry(
+            line_addr=line_addr, array=name, arrival=arrival,
+            issued_at=pe.clock, home_pe=owner))
+        if accepted:
+            pe.stats.prefetch_issued += 1
+        else:
+            pe.stats.prefetch_dropped += 1
+        return accepted
+
+    def prefetch_vector(self, pe_id: int, name: str, flat_start: int,
+                        length: int, stride: int = 1,
+                        invalidate: bool = True) -> None:
+        """SHMEM-style block prefetch of ``length`` elements with a fixed
+        element ``stride``.  Covered lines are installed (usable after the
+        transfer completes); reads that race the transfer stall."""
+        if length <= 0:
+            return
+        pe = self.pes[pe_id]
+        decl = self.memory.decls[name]
+        flat_last = flat_start + (length - 1) * stride
+        if not (0 <= flat_start < decl.size and 0 <= flat_last < decl.size):
+            raise IndexError(
+                f"vector prefetch of {name} out of bounds: "
+                f"[{flat_start}, {flat_last}] vs size {decl.size}")
+        addr_lo = self.addr_map.addr(name, min(flat_start, flat_last))
+        addr_hi = self.addr_map.addr(name, max(flat_start, flat_last))
+        line_lo = addr_lo // self._lw
+        line_hi = addr_hi // self._lw
+        if stride == 1:
+            install_lines = list(range(line_lo, line_hi + 1))
+        else:
+            install_lines = sorted({
+                self.addr_map.addr(name, flat_start + k * stride) // self._lw
+                for k in range(length)})
+        if len(install_lines) > pe.cache.n_lines:
+            raise ValueError(
+                f"vector prefetch touching {len(install_lines)} lines exceeds "
+                f"the cache ({pe.cache.n_lines} lines); the compiler must bound it")
+        if invalidate:
+            if stride == 1:
+                pe.stats.invalidations += pe.cache.invalidate_range(addr_lo, addr_hi)
+            else:
+                for line_addr in install_lines:
+                    if pe.cache.invalidate_line(line_addr):
+                        pe.stats.invalidations += 1
+        stall_at = pe.vectors.stall_until_slot(pe.clock)
+        stall = pe.wait_until(stall_at)
+        pe.stats.vector_stall_cycles += stall
+        pe.vectors.reap(pe.clock)
+        owner = self._owner(name, flat_start, pe_id)
+        hops = self.torus.hops(pe_id, owner) if owner != pe_id else 0
+        pe.advance(self.params.vector_startup)
+        words = length  # one word per element
+        completion = (pe.clock + self.params.vector_per_word * words
+                      + self.params.remote_per_hop * hops)
+        for line_addr in install_lines:
+            self._install_line(pe, name, line_addr)
+        pe.vectors.issue(VectorTransfer(array=name, line_lo=line_lo,
+                                        line_hi=line_hi, completion=completion))
+        pe.stats.vector_prefetches += 1
+        pe.stats.vector_words += words
+
+    def invalidate(self, pe_id: int, name: str, flat_lo: int, flat_hi: int) -> int:
+        """Explicit invalidation of the lines covering an element range."""
+        pe = self.pes[pe_id]
+        addr_lo = self.addr_map.addr(name, flat_lo)
+        addr_hi = self.addr_map.addr(name, flat_hi)
+        count = pe.cache.invalidate_range(addr_lo, addr_hi)
+        pe.stats.invalidations += count
+        pe.advance(max(1, count) * self.params.int_op)
+        return count
+
+    # ------------------------------------------------------------------
+    # synchronisation
+    # ------------------------------------------------------------------
+    def _race_event(self, reader_pe: int, writer_pe: int, name: str,
+                    flat: int, kind: str) -> None:
+        self.races += 1
+        if len(self.race_examples) < 16:
+            self.race_examples.append(
+                f"{kind}: PE{reader_pe} touched {name}[flat={flat}] "
+                f"written by PE{writer_pe} in the same epoch")
+
+    def barrier(self) -> float:
+        """All PEs synchronise; returns the post-barrier common time."""
+        self.stats.barriers += 1
+        if self.race_check:
+            self._epoch_writers.clear()
+        latest = max(pe.clock for pe in self.pes)
+        cost = self.params.barrier_cost()
+        for pe in self.pes:
+            pe.wait_until(latest)
+            pe.clock += cost
+        return latest + cost
+
+    def sync_clocks_to(self, time: float) -> None:
+        for pe in self.pes:
+            pe.wait_until(time)
+
+    def elapsed(self) -> float:
+        return max(pe.clock for pe in self.pes)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def flush_caches(self) -> None:
+        for pe in self.pes:
+            pe.cache.flush()
+
+    def coherent(self) -> bool:
+        return self.stats.stale_reads == 0
+
+
+__all__ = ["Machine", "StaleReadError"]

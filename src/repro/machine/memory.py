@@ -1,0 +1,85 @@
+"""Distributed main memory: values plus per-word versions.
+
+Memory is the coherence ground truth.  Caches are write-through, so
+memory always holds the current value of every word; staleness lives
+only in caches.  Every word carries a monotonically increasing version
+number, bumped on each write — the coherence checker compares cached
+versions against memory versions to detect stale reads *exactly*.
+
+Private (replicated) arrays hold one copy per PE and never go stale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..ir.arrays import ArrayDecl
+from .params import MachineParams
+
+
+class Memory:
+    """Value + version store for all program arrays."""
+
+    def __init__(self, arrays: Iterable[ArrayDecl], params: MachineParams) -> None:
+        self.params = params
+        self.decls: Dict[str, ArrayDecl] = {}
+        self.values: Dict[str, np.ndarray] = {}
+        self.versions: Dict[str, np.ndarray] = {}
+        self.private_values: Dict[str, np.ndarray] = {}
+        for decl in arrays:
+            self.decls[decl.name] = decl
+            if decl.is_shared:
+                self.values[decl.name] = np.zeros(decl.size, dtype=np.float64)
+                self.versions[decl.name] = np.zeros(decl.size, dtype=np.int64)
+            else:
+                self.private_values[decl.name] = np.zeros(
+                    (params.n_pes, decl.size), dtype=np.float64)
+
+    # -- shared arrays --------------------------------------------------------
+    def read(self, name: str, flat: int) -> float:
+        return float(self.values[name][flat])
+
+    def read_with_version(self, name: str, flat: int):
+        return float(self.values[name][flat]), int(self.versions[name][flat])
+
+    def write(self, name: str, flat: int, value: float) -> int:
+        """Write one word; returns its new version."""
+        self.values[name][flat] = value
+        self.versions[name][flat] += 1
+        return int(self.versions[name][flat])
+
+    def version(self, name: str, flat: int) -> int:
+        return int(self.versions[name][flat])
+
+    # -- private arrays ---------------------------------------------------------
+    def read_private(self, name: str, pe: int, flat: int) -> float:
+        return float(self.private_values[name][pe, flat])
+
+    def write_private(self, name: str, pe: int, flat: int, value: float) -> None:
+        self.private_values[name][pe, flat] = value
+
+    # -- bulk access (initialisation, result extraction, fast engine) -------------
+    def array_view(self, name: str) -> np.ndarray:
+        """Column-major (Fortran-order) ndarray view of a shared array."""
+        decl = self.decls[name]
+        return self.values[name].reshape(decl.shape, order="F")
+
+    def set_array(self, name: str, data: np.ndarray) -> None:
+        """Bulk-initialise a shared array (bumps versions once)."""
+        decl = self.decls[name]
+        flat = np.asarray(data, dtype=np.float64).reshape(decl.size, order="F")
+        self.values[name][:] = flat
+        self.versions[name] += 1
+
+    def private_view(self, name: str, pe: int) -> np.ndarray:
+        decl = self.decls[name]
+        return self.private_values[name][pe].reshape(decl.shape, order="F")
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Copies of all shared arrays (oracle comparison in tests)."""
+        return {name: self.array_view(name).copy() for name in self.values}
+
+
+__all__ = ["Memory"]

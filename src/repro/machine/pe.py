@@ -1,0 +1,49 @@
+"""Processing element state: clock, cache, prefetch hardware, stats."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cache import DirectMappedCache
+from .params import MachineParams
+from .prefetchq import PrefetchQueue, VectorUnit
+from .stats import PEStats
+
+
+class PE:
+    """All per-processor simulator state."""
+
+    __slots__ = ("pe_id", "params", "clock", "cache", "queue", "vectors",
+                 "last_prefetch_pe", "stats")
+
+    def __init__(self, pe_id: int, params: MachineParams) -> None:
+        self.pe_id = pe_id
+        self.params = params
+        self.clock: float = 0.0
+        self.cache = DirectMappedCache(params)
+        self.queue = PrefetchQueue(params)
+        self.vectors = VectorUnit(params)
+        self.last_prefetch_pe: Optional[int] = None
+        self.stats = PEStats()
+
+    def advance(self, cycles: float) -> None:
+        self.clock += cycles
+        self.stats.busy_cycles += cycles
+
+    def wait_until(self, time: float) -> float:
+        """Stall until ``time``; returns the stall duration."""
+        if time <= self.clock:
+            return 0.0
+        stall = time - self.clock
+        self.clock = time
+        self.stats.idle_cycles += stall
+        return stall
+
+    def reset_clock(self) -> None:
+        self.clock = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PE {self.pe_id} @ {self.clock:.0f} cycles>"
+
+
+__all__ = ["PE"]

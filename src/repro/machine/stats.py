@@ -1,0 +1,86 @@
+"""Execution statistics counters.
+
+One :class:`PEStats` per PE, merged into a :class:`MachineStats` for
+reporting.  Counters are plain ints (cheap to bump on the hot path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List
+
+
+@dataclass
+class PEStats:
+    """Per-PE event counters."""
+
+    reads: int = 0
+    writes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    local_fills: int = 0
+    remote_fills: int = 0
+    bypass_reads: int = 0
+    uncached_local_reads: int = 0
+    uncached_remote_reads: int = 0
+    remote_writes: int = 0
+    stale_hits: int = 0
+    prefetch_issued: int = 0
+    prefetch_dropped: int = 0
+    prefetch_extracted: int = 0
+    prefetch_late_cycles: float = 0.0
+    prefetch_unused: int = 0
+    vector_prefetches: int = 0
+    vector_words: int = 0
+    vector_stall_cycles: float = 0.0
+    invalidations: int = 0
+    dtb_setups: int = 0
+    flops: int = 0
+    iterations: int = 0
+    busy_cycles: float = 0.0
+    idle_cycles: float = 0.0
+
+    def merge(self, other: "PEStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass
+class MachineStats:
+    """Aggregated machine-level statistics for one run."""
+
+    per_pe: List[PEStats] = field(default_factory=list)
+    stale_reads: int = 0           #: coherence violations observed
+    stale_examples: List[str] = field(default_factory=list)
+    barriers: int = 0
+    epochs: int = 0
+
+    def total(self) -> PEStats:
+        out = PEStats()
+        for pe_stats in self.per_pe:
+            out.merge(pe_stats)
+        return out
+
+    def as_dict(self) -> Dict[str, float]:
+        total = self.total()
+        out = {f.name: getattr(total, f.name) for f in fields(total)}
+        out.update(stale_reads=self.stale_reads, barriers=self.barriers,
+                   epochs=self.epochs)
+        return out
+
+    def summary(self) -> str:
+        total = self.total()
+        return (f"reads={total.reads} writes={total.writes} "
+                f"hit_rate={total.hit_rate:.3f} "
+                f"prefetches={total.prefetch_issued} "
+                f"(dropped {total.prefetch_dropped}) "
+                f"vectors={total.vector_prefetches} "
+                f"stale_reads={self.stale_reads} epochs={self.epochs}")
+
+
+__all__ = ["PEStats", "MachineStats"]

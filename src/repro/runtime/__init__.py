@@ -1,0 +1,16 @@
+"""Runtime: interpreters executing IR programs on the machine model,
+iteration schedulers, and execution configurations (SEQ / BASE / CCDP /
+NAIVE program versions)."""
+
+from .exec_config import ExecutionConfig, Version
+from .interp import (EpochRecord, Interpreter, InterpreterError, RunResult,
+                     run_program)
+from .schedulers import (Chunk, block_partition, cyclic_partition,
+                         dynamic_chunks, iteration_values)
+
+__all__ = [
+    "ExecutionConfig", "Version",
+    "EpochRecord", "Interpreter", "InterpreterError", "RunResult", "run_program",
+    "Chunk", "block_partition", "cyclic_partition", "dynamic_chunks",
+    "iteration_values",
+]

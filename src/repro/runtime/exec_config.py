@@ -1,0 +1,62 @@
+"""Execution configurations: the program *versions* of the paper's
+methodology.
+
+* ``SEQ``   — sequential baseline: one PE, everything local and cached,
+  no epoch machinery.  Table 1 speedups divide by this time.
+* ``BASE``  — the paper's BASE codes: CRAFT-style software shared
+  memory.  Shared data is **not cached** (that is how CRAFT avoids the
+  coherence problem), every shared access pays an address-translation
+  overhead, and every parallel epoch pays the ``doshared`` setup cost.
+* ``CCDP``  — the optimised codes: shared data is cached, direct local
+  addressing (no CRAFT overheads), and the program has been transformed
+  by :func:`repro.coherence.ccdp_transform` to stay coherent.
+* ``NAIVE`` — shared data cached *without* the CCDP transformation.
+  Incoherent on purpose: tests use it to demonstrate that the machine
+  model really does produce stale reads and wrong numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Version:
+    SEQ = "seq"
+    BASE = "base"
+    CCDP = "ccdp"
+    NAIVE = "naive"
+
+    ALL = (SEQ, BASE, CCDP, NAIVE)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Runtime policy knobs derived from the program version."""
+
+    version: str = Version.CCDP
+    cache_shared: bool = True
+    craft_overheads: bool = False
+    on_stale: str = "record"   #: "record" or "raise"
+
+    def __post_init__(self) -> None:
+        if self.version not in Version.ALL:
+            raise ValueError(f"unknown version {self.version!r}")
+
+    @staticmethod
+    def for_version(version: str, on_stale: str = "record") -> "ExecutionConfig":
+        if version == Version.SEQ:
+            return ExecutionConfig(version, cache_shared=True,
+                                   craft_overheads=False, on_stale=on_stale)
+        if version == Version.BASE:
+            return ExecutionConfig(version, cache_shared=False,
+                                   craft_overheads=True, on_stale=on_stale)
+        if version == Version.CCDP:
+            return ExecutionConfig(version, cache_shared=True,
+                                   craft_overheads=False, on_stale=on_stale)
+        if version == Version.NAIVE:
+            return ExecutionConfig(version, cache_shared=True,
+                                   craft_overheads=False, on_stale=on_stale)
+        raise ValueError(f"unknown version {version!r}")
+
+
+__all__ = ["Version", "ExecutionConfig"]

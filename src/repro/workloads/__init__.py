@@ -1,0 +1,17 @@
+"""The paper's four application case studies as IR programs with NumPy
+oracles: MXM and VPENTA (SPEC CFP92 / NASA7), TOMCATV and SWIM
+(SPEC CFP95)."""
+
+from .base import WorkloadSpec, all_workloads, check_result, register, workload
+from .mxm import MXM, build_mxm, oracle_mxm
+from .swim import SWIM, build_swim, oracle_swim
+from .tomcatv import TOMCATV, build_tomcatv, oracle_tomcatv
+from .vpenta import VPENTA, build_vpenta, oracle_vpenta
+
+__all__ = [
+    "WorkloadSpec", "all_workloads", "check_result", "register", "workload",
+    "MXM", "build_mxm", "oracle_mxm",
+    "VPENTA", "build_vpenta", "oracle_vpenta",
+    "TOMCATV", "build_tomcatv", "oracle_tomcatv",
+    "SWIM", "build_swim", "oracle_swim",
+]

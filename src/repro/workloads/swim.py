@@ -1,0 +1,210 @@
+"""SWIM — shallow water equations by finite differences (SPEC CFP95).
+
+Fourteen shared matrices, columns BLOCK-distributed.  Three major
+subroutines (CALC1/CALC2/CALC3) are real IR *procedures* called from the
+time loop — exercising the CCDP compiler's interprocedural path (the
+calls carry DOALL loops and are inlined before analysis).  Each contains
+a doubly-nested loop whose **outer loop is parallel**; the ±1 stencil
+offsets make only the block-boundary accesses remote, which is why the
+paper's BASE SWIM already performs well and CCDP adds a small,
+consistent 2.5-13%.
+
+Periodic-boundary fix-ups run as serial epochs (one PE), so the next
+parallel epoch's reads of the boundary rows/columns are potentially
+stale — and under NAIVE caching genuinely read stale lines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import E, ProgramBuilder
+from ..ir.program import Program
+from .base import WorkloadSpec, register
+
+FSDX = 4.0 / 1.0e2
+FSDY = 4.0 / 1.0e2
+TDTS8 = 0.012
+TDTSDX = 0.009
+TDTSDY = 0.009
+TDTDX = 0.008
+TDTDY = 0.008
+ALPHA = 0.001
+
+ARRAYS = ("u", "v", "p", "unew", "vnew", "pnew", "uold", "vold", "pold",
+          "cu", "cv", "z", "h")
+
+
+def build_swim(n: int = 33, steps: int = 3) -> Program:
+    if n < 8:
+        raise ValueError("SWIM needs n >= 8")
+    b = ProgramBuilder("swim")
+    for name in ARRAYS:
+        b.shared(name, (n, n))
+    b.shared("psi", (n, n))
+    with b.proc("calc1"):
+        with b.doall("j", 1, n - 1, label="calc1", align="p"):
+            with b.do("i", 1, n - 1):
+                b.assign(b.ref("cu", E("i") + 1, "j"),
+                         0.5 * (b.ref("p", E("i") + 1, "j") + b.ref("p", "i", "j"))
+                         * b.ref("u", E("i") + 1, "j"))
+                b.assign(b.ref("cv", "i", E("j") + 1),
+                         0.5 * (b.ref("p", "i", E("j") + 1) + b.ref("p", "i", "j"))
+                         * b.ref("v", "i", E("j") + 1))
+                b.assign(b.ref("z", E("i") + 1, E("j") + 1),
+                         (FSDX * (b.ref("v", E("i") + 1, E("j") + 1) - b.ref("v", "i", E("j") + 1))
+                          - FSDY * (b.ref("u", E("i") + 1, E("j") + 1) - b.ref("u", E("i") + 1, "j")))
+                         / (b.ref("p", "i", "j") + b.ref("p", E("i") + 1, "j")
+                            + b.ref("p", E("i") + 1, E("j") + 1) + b.ref("p", "i", E("j") + 1)))
+                b.assign(b.ref("h", "i", "j"),
+                         b.ref("p", "i", "j")
+                         + 0.25 * (b.ref("u", E("i") + 1, "j") * b.ref("u", E("i") + 1, "j")
+                                   + b.ref("u", "i", "j") * b.ref("u", "i", "j")
+                                   + b.ref("v", "i", E("j") + 1) * b.ref("v", "i", E("j") + 1)
+                                   + b.ref("v", "i", "j") * b.ref("v", "i", "j")))
+    with b.proc("calc2"):
+        with b.doall("j", 1, n - 1, label="calc2", align="p"):
+            with b.do("i", 1, n - 1):
+                b.assign(b.ref("unew", E("i") + 1, "j"),
+                         b.ref("uold", E("i") + 1, "j")
+                         + TDTS8 * (b.ref("z", E("i") + 1, E("j") + 1) + b.ref("z", E("i") + 1, "j"))
+                         * (b.ref("cv", E("i") + 1, E("j") + 1) + b.ref("cv", "i", E("j") + 1)
+                            + b.ref("cv", "i", "j") + b.ref("cv", E("i") + 1, "j"))
+                         - TDTSDX * (b.ref("h", E("i") + 1, "j") - b.ref("h", "i", "j")))
+                b.assign(b.ref("vnew", "i", E("j") + 1),
+                         b.ref("vold", "i", E("j") + 1)
+                         - TDTS8 * (b.ref("z", E("i") + 1, E("j") + 1) + b.ref("z", "i", E("j") + 1))
+                         * (b.ref("cu", E("i") + 1, E("j") + 1) + b.ref("cu", "i", E("j") + 1)
+                            + b.ref("cu", "i", "j") + b.ref("cu", E("i") + 1, "j"))
+                         - TDTSDY * (b.ref("h", "i", E("j") + 1) - b.ref("h", "i", "j")))
+                b.assign(b.ref("pnew", "i", "j"),
+                         b.ref("pold", "i", "j")
+                         - TDTDX * (b.ref("cu", E("i") + 1, "j") - b.ref("cu", "i", "j"))
+                         - TDTDY * (b.ref("cv", "i", E("j") + 1) - b.ref("cv", "i", "j")))
+    with b.proc("calc3"):
+        with b.doall("j", 1, n, label="calc3", align="p"):
+            with b.do("i", 1, n):
+                b.assign(b.ref("uold", "i", "j"),
+                         b.ref("u", "i", "j")
+                         + ALPHA * (b.ref("unew", "i", "j") - 2.0 * b.ref("u", "i", "j")
+                                    + b.ref("uold", "i", "j")))
+                b.assign(b.ref("vold", "i", "j"),
+                         b.ref("v", "i", "j")
+                         + ALPHA * (b.ref("vnew", "i", "j") - 2.0 * b.ref("v", "i", "j")
+                                    + b.ref("vold", "i", "j")))
+                b.assign(b.ref("pold", "i", "j"),
+                         b.ref("p", "i", "j")
+                         + ALPHA * (b.ref("pnew", "i", "j") - 2.0 * b.ref("p", "i", "j")
+                                    + b.ref("pold", "i", "j")))
+                b.assign(b.ref("u", "i", "j"), b.ref("unew", "i", "j"))
+                b.assign(b.ref("v", "i", "j"), b.ref("vnew", "i", "j"))
+                b.assign(b.ref("p", "i", "j"), b.ref("pnew", "i", "j"))
+    with b.proc("main"):
+        # Initial fields (parallel, aligned).
+        with b.doall("j", 1, n, label="init", align="p"):
+            with b.do("i", 1, n):
+                b.assign(b.ref("psi", "i", "j"), E("i") * 0.3 - E("j") * 0.2)
+                b.assign(b.ref("u", "i", "j"), 0.05 * E("i") - 0.025 * E("j"))
+                b.assign(b.ref("v", "i", "j"), 0.04 * E("j") + 0.01 * E("i"))
+                b.assign(b.ref("p", "i", "j"), 50.0 + 0.2 * E("i") + 0.1 * E("j"))
+                b.assign(b.ref("uold", "i", "j"), 0.05 * E("i") - 0.025 * E("j"))
+                b.assign(b.ref("vold", "i", "j"), 0.04 * E("j") + 0.01 * E("i"))
+                b.assign(b.ref("pold", "i", "j"), 50.0 + 0.2 * E("i") + 0.1 * E("j"))
+                b.assign(b.ref("cu", "i", "j"), 0.0)
+                b.assign(b.ref("cv", "i", "j"), 0.0)
+                b.assign(b.ref("z", "i", "j"), 0.0)
+                b.assign(b.ref("h", "i", "j"), 0.0)
+                b.assign(b.ref("unew", "i", "j"), 0.0)
+                b.assign(b.ref("vnew", "i", "j"), 0.0)
+                b.assign(b.ref("pnew", "i", "j"), 0.0)
+        with b.do("step", 1, steps, label="time"):
+            b.call("calc1")
+            # Periodic boundary for cu/cv/z/h (serial epoch on PE 0).
+            with b.do("j", 1, n - 1, label="bc1"):
+                b.assign(b.ref("cu", 1, "j"), b.ref("cu", n, "j"))
+                b.assign(b.ref("h", n, "j"), b.ref("h", 1, "j"))
+            with b.do("i", 1, n - 1, label="bc1b"):
+                b.assign(b.ref("cv", "i", 1), b.ref("cv", "i", n))
+                b.assign(b.ref("h", "i", n), b.ref("h", "i", 1))
+            b.call("calc2")
+            # Periodic boundary for the new fields.
+            with b.do("j", 1, n - 1, label="bc2"):
+                b.assign(b.ref("unew", 1, "j"), b.ref("unew", n, "j"))
+                b.assign(b.ref("pnew", n, "j"), b.ref("pnew", 1, "j"))
+            with b.do("i", 1, n - 1, label="bc2b"):
+                b.assign(b.ref("vnew", "i", 1), b.ref("vnew", "i", n))
+                b.assign(b.ref("pnew", "i", n), b.ref("pnew", "i", 1))
+            b.call("calc3")
+    return b.finish()
+
+
+def oracle_swim(n: int = 33, steps: int = 3) -> Dict[str, np.ndarray]:
+    i = np.arange(1, n + 1, dtype=np.float64)[:, None]
+    j = np.arange(1, n + 1, dtype=np.float64)[None, :]
+    psi = np.broadcast_to(i * 0.3 - j * 0.2, (n, n)).copy()
+    u = np.broadcast_to(0.05 * i - 0.025 * j, (n, n)).copy()
+    v = np.broadcast_to(0.04 * j + 0.01 * i, (n, n)).copy()
+    p = np.broadcast_to(50.0 + 0.2 * i + 0.1 * j, (n, n)).copy()
+    uold, vold, pold = u.copy(), v.copy(), p.copy()
+    cu = np.zeros((n, n)); cv = np.zeros((n, n))
+    z = np.zeros((n, n)); h = np.zeros((n, n))
+    unew = np.zeros((n, n)); vnew = np.zeros((n, n)); pnew = np.zeros((n, n))
+
+    s = slice(0, n - 1)       # 1..n-1 (1-based)
+    s1 = slice(1, n)          # 2..n (1-based)
+    for _ in range(steps):
+        # calc1
+        cu[s1, s] = 0.5 * (p[s1, s] + p[s, s]) * u[s1, s]
+        cv[s, s1] = 0.5 * (p[s, s1] + p[s, s]) * v[s, s1]
+        z[s1, s1] = ((FSDX * (v[s1, s1] - v[s, s1]) - FSDY * (u[s1, s1] - u[s1, s]))
+                     / (p[s, s] + p[s1, s] + p[s1, s1] + p[s, s1]))
+        h[s, s] = p[s, s] + 0.25 * (u[s1, s] ** 2 + u[s, s] ** 2
+                                    + v[s, s1] ** 2 + v[s, s] ** 2)
+        # bc1
+        cu[0, s] = cu[n - 1, s]
+        h[n - 1, s] = h[0, s]
+        cv[s, 0] = cv[s, n - 1]
+        h[s, n - 1] = h[s, 0]
+        # calc2
+        unew[s1, s] = (uold[s1, s]
+                       + TDTS8 * (z[s1, s1] + z[s1, s])
+                       * (cv[s1, s1] + cv[s, s1] + cv[s, s] + cv[s1, s])
+                       - TDTSDX * (h[s1, s] - h[s, s]))
+        vnew[s, s1] = (vold[s, s1]
+                       - TDTS8 * (z[s1, s1] + z[s, s1])
+                       * (cu[s1, s1] + cu[s, s1] + cu[s, s] + cu[s1, s])
+                       - TDTSDY * (h[s, s1] - h[s, s]))
+        pnew[s, s] = (pold[s, s]
+                      - TDTDX * (cu[s1, s] - cu[s, s])
+                      - TDTDY * (cv[s, s1] - cv[s, s]))
+        # bc2
+        unew[0, s] = unew[n - 1, s]
+        pnew[n - 1, s] = pnew[0, s]
+        vnew[s, 0] = vnew[s, n - 1]
+        pnew[s, n - 1] = pnew[s, 0]
+        # calc3
+        uold = u + ALPHA * (unew - 2.0 * u + uold)
+        vold = v + ALPHA * (vnew - 2.0 * v + vold)
+        pold = p + ALPHA * (pnew - 2.0 * p + pold)
+        u = unew.copy()
+        v = vnew.copy()
+        p = pnew.copy()
+    return {"u": u, "v": v, "p": p, "uold": uold, "vold": vold, "pold": pold,
+            "cu": cu, "cv": cv, "z": z, "h": h,
+            "unew": unew, "vnew": vnew, "pnew": pnew, "psi": psi}
+
+
+SWIM = register(WorkloadSpec(
+    name="swim",
+    description="shallow water stencil; outer-parallel loops, mostly local",
+    build=build_swim,
+    oracle=oracle_swim,
+    check_arrays=("u", "v", "p"),
+    default_args={"n": 33, "steps": 3},
+    paper_args={"n": 513, "steps": 100},
+    suite="SPEC CFP95",
+))
+
+__all__ = ["build_swim", "oracle_swim", "SWIM", "ARRAYS"]

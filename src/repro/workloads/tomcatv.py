@@ -1,0 +1,172 @@
+"""TOMCATV — vectorised mesh generation (SPEC CFP95).
+
+Seven shared matrices (mesh coordinates ``x, y``, residuals ``rx, ry``,
+and the tridiagonal workspace ``aa, dd`` plus smoothing field ``d``),
+columns BLOCK-distributed.  The time loop alternates:
+
+* **loop 60** — residual/stencil computation: doubly-nested with a
+  *parallel outer* (column) loop; neighbour-column references make the
+  boundary accesses possibly-remote;
+* **loops 100/120** — forward elimination and back substitution along
+  the columns: *serial outer* (column) loop with a *parallel inner*
+  (row) loop — every PE reads the previous column, owned by a single
+  PE, which is why the paper's BASE version "does not perform very
+  well" and CCDP gains 44-69%;
+* the mesh update (parallel, aligned).
+
+Because ``x`` and ``y`` are rewritten every time step and re-read with
+±1 column offsets on the next, the uncorrected NAIVE-cached version
+really does read stale lines — this workload is the repo's coherence
+torture test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import E, ProgramBuilder
+from ..ir.program import Program
+from .base import WorkloadSpec, register
+
+REL = 0.18  #: SOR-style relaxation factor
+
+
+def build_tomcatv(n: int = 33, steps: int = 3) -> Program:
+    if n < 8:
+        raise ValueError("TOMCATV needs n >= 8")
+    b = ProgramBuilder("tomcatv")
+    for name in ("x", "y", "rx", "ry", "aa", "dd", "d"):
+        b.shared(name, (n, n))
+    for name in ("xx", "yx", "xy", "yy", "wa", "wb", "wc", "r"):
+        b.scalar(name)
+    with b.proc("main"):
+        # Mesh initialisation (parallel, aligned).
+        with b.doall("j", 1, n, label="init", align="x"):
+            with b.do("i", 1, n):
+                b.assign(b.ref("x", "i", "j"), E("i") + E("j") * 0.05)
+                b.assign(b.ref("y", "i", "j"), E("j") - E("i") * 0.03)
+                b.assign(b.ref("rx", "i", "j"), 0.0)
+                b.assign(b.ref("ry", "i", "j"), 0.0)
+                b.assign(b.ref("aa", "i", "j"), 0.0)
+                b.assign(b.ref("dd", "i", "j"), 1.0)
+                b.assign(b.ref("d", "i", "j"), 0.0)
+        with b.do("it", 1, steps, label="time"):
+            # Loop 60: residuals, parallel outer loop over columns.
+            with b.doall("j", 2, n - 1, label="loop60", align="x"):
+                with b.do("i", 2, n - 1):
+                    b.assign(b.var("xx"), b.ref("x", "i", E("j") + 1) - b.ref("x", "i", E("j") - 1))
+                    b.assign(b.var("yx"), b.ref("y", "i", E("j") + 1) - b.ref("y", "i", E("j") - 1))
+                    b.assign(b.var("xy"), b.ref("x", E("i") + 1, "j") - b.ref("x", E("i") - 1, "j"))
+                    b.assign(b.var("yy"), b.ref("y", E("i") + 1, "j") - b.ref("y", E("i") - 1, "j"))
+                    b.assign(b.var("wa"), (E("xx") * E("xx") + E("yx") * E("yx")) * 0.25)
+                    b.assign(b.var("wb"), (E("xy") * E("xy") + E("yy") * E("yy")) * 0.25)
+                    b.assign(b.var("wc"), (E("xx") * E("xy") + E("yx") * E("yy")) * 0.125)
+                    b.assign(b.ref("aa", "i", "j"), -E("wb"))
+                    b.assign(b.ref("dd", "i", "j"), E("wb") + E("wb") + E("wa") * REL + 1.0)
+                    b.assign(b.ref("rx", "i", "j"),
+                             E("wa") * (b.ref("x", E("i") + 1, "j") - 2.0 * b.ref("x", "i", "j")
+                                        + b.ref("x", E("i") - 1, "j"))
+                             - E("wc") * (b.ref("x", "i", E("j") + 1) - b.ref("x", "i", E("j") - 1)))
+                    b.assign(b.ref("ry", "i", "j"),
+                             E("wb") * (b.ref("y", "i", E("j") + 1) - 2.0 * b.ref("y", "i", "j")
+                                        + b.ref("y", "i", E("j") - 1))
+                             + E("wc") * (b.ref("y", E("i") + 1, "j") - b.ref("y", E("i") - 1, "j")))
+            # Loop 100: forward elimination — serial over columns,
+            # parallel over rows (the remote-heavy phase).
+            with b.do("j", 3, n - 1, label="loop100"):
+                with b.doall("i", 2, n - 1, label="elim"):
+                    b.assign(b.var("r"), b.ref("aa", "i", "j") / b.ref("dd", "i", E("j") - 1))
+                    b.assign(b.ref("dd", "i", "j"),
+                             b.ref("dd", "i", "j") - E("r") * b.ref("aa", "i", E("j") - 1))
+                    b.assign(b.ref("rx", "i", "j"),
+                             b.ref("rx", "i", "j") - E("r") * b.ref("rx", "i", E("j") - 1))
+                    b.assign(b.ref("ry", "i", "j"),
+                             b.ref("ry", "i", "j") - E("r") * b.ref("ry", "i", E("j") - 1))
+            # Loop 120: back substitution — same shape, reversed.
+            with b.doall("i", 2, n - 1, label="norm"):
+                b.assign(b.ref("rx", "i", n - 1),
+                         b.ref("rx", "i", n - 1) / b.ref("dd", "i", n - 1))
+                b.assign(b.ref("ry", "i", n - 1),
+                         b.ref("ry", "i", n - 1) / b.ref("dd", "i", n - 1))
+            with b.do("j", n - 2, 2, -1, label="loop120"):
+                with b.doall("i", 2, n - 1, label="bsub"):
+                    b.assign(b.ref("rx", "i", "j"),
+                             (b.ref("rx", "i", "j")
+                              - b.ref("aa", "i", "j") * b.ref("rx", "i", E("j") + 1))
+                             / b.ref("dd", "i", "j"))
+                    b.assign(b.ref("ry", "i", "j"),
+                             (b.ref("ry", "i", "j")
+                              - b.ref("aa", "i", "j") * b.ref("ry", "i", E("j") + 1))
+                             / b.ref("dd", "i", "j"))
+            # Mesh update (parallel, aligned).
+            with b.doall("j", 2, n - 1, label="update", align="x"):
+                with b.do("i", 2, n - 1):
+                    b.assign(b.ref("x", "i", "j"), b.ref("x", "i", "j") + b.ref("rx", "i", "j"))
+                    b.assign(b.ref("y", "i", "j"), b.ref("y", "i", "j") + b.ref("ry", "i", "j"))
+    return b.finish()
+
+
+def oracle_tomcatv(n: int = 33, steps: int = 3) -> Dict[str, np.ndarray]:
+    idx = np.arange(1, n + 1, dtype=np.float64)
+    x = idx[:, None] + idx[None, :] * 0.05
+    y = idx[None, :] - idx[:, None] * 0.03
+    x = np.broadcast_to(x, (n, n)).copy()
+    y = np.broadcast_to(y, (n, n)).copy()
+    rx = np.zeros((n, n))
+    ry = np.zeros((n, n))
+    aa = np.zeros((n, n))
+    dd = np.ones((n, n))
+    d = np.zeros((n, n))
+
+    interior = slice(1, n - 1)  # rows/cols 2..n-1 (1-based)
+    for _ in range(steps):
+        i = interior
+        xx = x[1:n - 1, 2:n] - x[1:n - 1, 0:n - 2]
+        yx = y[1:n - 1, 2:n] - y[1:n - 1, 0:n - 2]
+        xy = x[2:n, 1:n - 1] - x[0:n - 2, 1:n - 1]
+        yy = y[2:n, 1:n - 1] - y[0:n - 2, 1:n - 1]
+        wa = (xx * xx + yx * yx) * 0.25
+        wb = (xy * xy + yy * yy) * 0.25
+        wc = (xx * xy + yx * yy) * 0.125
+        aa[i, i] = -wb
+        dd[i, i] = wb + wb + wa * REL + 1.0
+        rx[i, i] = (wa * (x[2:n, 1:n - 1] - 2.0 * x[1:n - 1, 1:n - 1]
+                          + x[0:n - 2, 1:n - 1])
+                    - wc * (x[1:n - 1, 2:n] - x[1:n - 1, 0:n - 2]))
+        ry[i, i] = (wb * (y[1:n - 1, 2:n] - 2.0 * y[1:n - 1, 1:n - 1]
+                          + y[1:n - 1, 0:n - 2])
+                    + wc * (y[2:n, 1:n - 1] - y[0:n - 2, 1:n - 1]))
+        # loop 100 (columns 3..n-1, 1-based)
+        for col in range(2, n - 1):
+            r = aa[1:n - 1, col] / dd[1:n - 1, col - 1]
+            dd[1:n - 1, col] -= r * aa[1:n - 1, col - 1]
+            rx[1:n - 1, col] -= r * rx[1:n - 1, col - 1]
+            ry[1:n - 1, col] -= r * ry[1:n - 1, col - 1]
+        # normalisation at column n-1
+        rx[1:n - 1, n - 2] /= dd[1:n - 1, n - 2]
+        ry[1:n - 1, n - 2] /= dd[1:n - 1, n - 2]
+        # loop 120 (columns n-2 .. 2, 1-based)
+        for col in range(n - 3, 0, -1):
+            rx[1:n - 1, col] = (rx[1:n - 1, col]
+                                - aa[1:n - 1, col] * rx[1:n - 1, col + 1]) / dd[1:n - 1, col]
+            ry[1:n - 1, col] = (ry[1:n - 1, col]
+                                - aa[1:n - 1, col] * ry[1:n - 1, col + 1]) / dd[1:n - 1, col]
+        x[1:n - 1, 1:n - 1] += rx[1:n - 1, 1:n - 1]
+        y[1:n - 1, 1:n - 1] += ry[1:n - 1, 1:n - 1]
+    return {"x": x, "y": y, "rx": rx, "ry": ry, "aa": aa, "dd": dd, "d": d}
+
+
+TOMCATV = register(WorkloadSpec(
+    name="tomcatv",
+    description="mesh generation; parallel-inner solver loops are remote-heavy",
+    build=build_tomcatv,
+    oracle=oracle_tomcatv,
+    check_arrays=("x", "y"),
+    default_args={"n": 33, "steps": 3},
+    paper_args={"n": 513, "steps": 100},
+    suite="SPEC CFP95",
+))
+
+__all__ = ["build_tomcatv", "oracle_tomcatv", "TOMCATV", "REL"]

@@ -1,0 +1,137 @@
+"""VPENTA — simultaneous pentadiagonal inversion (SPEC CFP92 / NASA7).
+
+Seven shared matrices (the five bands ``a..e``, right-hand side ``f``
+and solution ``x``), columns BLOCK-distributed.  Every column holds an
+independent pentadiagonal system, so the column loop is the parallel
+loop and — as the paper observes — "during the execution of the program,
+each PE will only access the portion of shared data which is stored in
+its local memory".  The BASE version therefore performs well and the
+CCDP gains are modest, coming from caching plus avoiding the CRAFT
+shared-access primitives.
+
+A small serial boundary-conditioning epoch (performed by one PE, as
+reading input would be) makes the first rows *potentially stale* for the
+solver — the paper notes that VPENTA's potentially-stale references
+"also access data locally", which is exactly what these become.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import E, ProgramBuilder
+from ..ir.program import Program
+from .base import WorkloadSpec, register
+
+
+def build_vpenta(n: int = 33) -> Program:
+    if n < 6:
+        raise ValueError("VPENTA needs n >= 6")
+    b = ProgramBuilder("vpenta")
+    for name in ("a", "b", "c", "d", "e", "f", "x"):
+        b.shared(name, (n, n))
+    b.scalar("m1")
+    b.scalar("m2")
+    with b.proc("main"):
+        # Parallel initialisation: diagonally-dominant bands per column.
+        with b.doall("j", 1, n, label="init", align="c"):
+            with b.do("i", 1, n):
+                b.assign(b.ref("a", "i", "j"), E("i") * 0.001 + 0.05)
+                b.assign(b.ref("b", "i", "j"), E("j") * 0.002 - 0.8)
+                b.assign(b.ref("c", "i", "j"), E("i") * 0.01 + E("j") * 0.005 + 4.0)
+                b.assign(b.ref("d", "i", "j"), E("i") * 0.003 - 0.9)
+                b.assign(b.ref("e", "i", "j"), E("j") * 0.001 + 0.04)
+                b.assign(b.ref("f", "i", "j"), E("i") * 0.01 + E("j") * 0.02 + 1.0)
+                b.assign(b.ref("x", "i", "j"), 0.0)
+        # Serial boundary conditioning on PE 0: the stale-reference source.
+        with b.do("j", 1, n, label="bc"):
+            b.assign(b.ref("c", 1, "j"), b.ref("c", 1, "j") + 0.5)
+            b.assign(b.ref("f", 1, "j"), b.ref("f", 1, "j") * 1.25)
+        # Per-column pentadiagonal solve.
+        with b.doall("j", 1, n, label="solve", align="c"):
+            with b.do("i", 2, n - 1, label="fwd"):
+                # Eliminate the first sub-diagonal of row i.
+                b.assign(b.var("m1"), b.ref("b", "i", "j") / b.ref("c", E("i") - 1, "j"))
+                b.assign(b.ref("c", "i", "j"),
+                         b.ref("c", "i", "j") - E("m1") * b.ref("d", E("i") - 1, "j"))
+                b.assign(b.ref("d", "i", "j"),
+                         b.ref("d", "i", "j") - E("m1") * b.ref("e", E("i") - 1, "j"))
+                b.assign(b.ref("f", "i", "j"),
+                         b.ref("f", "i", "j") - E("m1") * b.ref("f", E("i") - 1, "j"))
+                # Eliminate the second sub-diagonal of row i+1 against row i-1.
+                b.assign(b.var("m2"), b.ref("a", E("i") + 1, "j") / b.ref("c", E("i") - 1, "j"))
+                b.assign(b.ref("b", E("i") + 1, "j"),
+                         b.ref("b", E("i") + 1, "j") - E("m2") * b.ref("d", E("i") - 1, "j"))
+                b.assign(b.ref("c", E("i") + 1, "j"),
+                         b.ref("c", E("i") + 1, "j") - E("m2") * b.ref("e", E("i") - 1, "j"))
+                b.assign(b.ref("f", E("i") + 1, "j"),
+                         b.ref("f", E("i") + 1, "j") - E("m2") * b.ref("f", E("i") - 1, "j"))
+            # Final row elimination (no i+1 row to touch).
+            b.assign(b.var("m1"), b.ref("b", n, "j") / b.ref("c", n - 1, "j"))
+            b.assign(b.ref("c", n, "j"),
+                     b.ref("c", n, "j") - E("m1") * b.ref("d", n - 1, "j"))
+            b.assign(b.ref("f", n, "j"),
+                     b.ref("f", n, "j") - E("m1") * b.ref("f", n - 1, "j"))
+            # Back substitution.
+            b.assign(b.ref("x", n, "j"), b.ref("f", n, "j") / b.ref("c", n, "j"))
+            b.assign(b.ref("x", n - 1, "j"),
+                     (b.ref("f", n - 1, "j")
+                      - b.ref("d", n - 1, "j") * b.ref("x", n, "j"))
+                     / b.ref("c", n - 1, "j"))
+            with b.do("i", n - 2, 1, -1, label="bwd"):
+                b.assign(b.ref("x", "i", "j"),
+                         (b.ref("f", "i", "j")
+                          - b.ref("d", "i", "j") * b.ref("x", E("i") + 1, "j")
+                          - b.ref("e", "i", "j") * b.ref("x", E("i") + 2, "j"))
+                         / b.ref("c", "i", "j"))
+    return b.finish()
+
+
+def oracle_vpenta(n: int = 33) -> Dict[str, np.ndarray]:
+    i = np.arange(1, n + 1, dtype=np.float64)[:, None]
+    j = np.arange(1, n + 1, dtype=np.float64)[None, :]
+    a = np.broadcast_to(i * 0.001 + 0.05, (n, n)).copy()
+    bb = np.broadcast_to(j * 0.002 - 0.8, (n, n)).copy()
+    c = i * 0.01 + j * 0.005 + 4.0
+    d = np.broadcast_to(i * 0.003 - 0.9, (n, n)).copy()
+    e = np.broadcast_to(j * 0.001 + 0.04, (n, n)).copy()
+    f = i * 0.01 + j * 0.02 + 1.0
+    x = np.zeros((n, n))
+    # boundary conditioning
+    c[0, :] += 0.5
+    f[0, :] *= 1.25
+    # forward elimination (vectorised over columns, serial over rows)
+    for row in range(1, n - 1):  # i = 2 .. n-1 (1-based)
+        m1 = bb[row] / c[row - 1]
+        c[row] -= m1 * d[row - 1]
+        d[row] -= m1 * e[row - 1]
+        f[row] -= m1 * f[row - 1]
+        m2 = a[row + 1] / c[row - 1]
+        bb[row + 1] -= m2 * d[row - 1]
+        c[row + 1] -= m2 * e[row - 1]
+        f[row + 1] -= m2 * f[row - 1]
+    m1 = bb[n - 1] / c[n - 2]
+    c[n - 1] -= m1 * d[n - 2]
+    f[n - 1] -= m1 * f[n - 2]
+    # back substitution
+    x[n - 1] = f[n - 1] / c[n - 1]
+    x[n - 2] = (f[n - 2] - d[n - 2] * x[n - 1]) / c[n - 2]
+    for row in range(n - 3, -1, -1):
+        x[row] = (f[row] - d[row] * x[row + 1] - e[row] * x[row + 2]) / c[row]
+    return {"a": a, "b": bb, "c": c, "d": d, "e": e, "f": f, "x": x}
+
+
+VPENTA = register(WorkloadSpec(
+    name="vpenta",
+    description="pentadiagonal inversion per column; fully local access",
+    build=build_vpenta,
+    oracle=oracle_vpenta,
+    check_arrays=("x", "c", "f"),
+    default_args={"n": 33},
+    paper_args={"n": 128},
+    suite="SPEC CFP92 (NASA7)",
+))
+
+__all__ = ["build_vpenta", "oracle_vpenta", "VPENTA"]

@@ -1,0 +1,114 @@
+"""Affine subscript analysis."""
+
+import pytest
+
+from repro.analysis.affine import AffineForm, affine_of, affine_ref
+from repro.ir.arrays import ArrayDecl
+from repro.ir.dsl import parse_expr
+from repro.ir.expr import ArrayRef, aref
+
+
+def form(text: str):
+    return affine_of(parse_expr(text))
+
+
+class TestAffineOf:
+    def test_constant(self):
+        f = form("7")
+        assert f.is_constant() and f.const == 7
+
+    def test_variable(self):
+        f = form("i")
+        assert f.coeff("i") == 1 and f.const == 0
+
+    def test_linear_combination(self):
+        f = form("2 * i + 3 * j - 4")
+        assert f.coeff("i") == 2 and f.coeff("j") == 3 and f.const == -4
+
+    def test_coefficient_cancellation(self):
+        f = form("i - i + 5")
+        assert f.is_constant() and f.const == 5
+
+    def test_nested_scaling(self):
+        f = form("3 * (i + 2)")
+        assert f.coeff("i") == 3 and f.const == 6
+
+    def test_negation(self):
+        f = form("-(i - 1)")
+        assert f.coeff("i") == -1 and f.const == 1
+
+    def test_symbolic_constant(self):
+        f = form("$n + i")
+        assert f.sym_coeffs == (("n", 1),)
+        assert f.is_symbolic()
+
+    def test_product_of_variables_is_not_affine(self):
+        assert form("i * j") is None
+
+    def test_division_is_not_affine(self):
+        assert form("i / 2") is None
+
+    def test_intrinsic_is_not_affine(self):
+        assert form("min(i, 4)") is None
+
+
+class TestAlgebra:
+    def test_add_sub_roundtrip(self):
+        a = form("2 * i + 1")
+        b = form("i - 3")
+        assert (a + b).coeff("i") == 3
+        assert (a - b).const == 4
+
+    def test_scale_zero_clears(self):
+        assert form("5 * i + 2").scale(0).is_constant()
+
+    def test_same_shape_ignores_constant(self):
+        assert form("i + 1").same_shape(form("i + 9"))
+        assert not form("i + 1").same_shape(form("2 * i + 1"))
+
+    def test_evaluate(self):
+        f = form("2 * i + 3 * j - 4")
+        assert f.evaluate({"i": 5, "j": 1}) == 9
+
+    def test_drop_var(self):
+        f = form("2 * i + j")
+        assert f.drop_var("i").coeff("i") == 0
+        assert f.drop_var("i").coeff("j") == 1
+
+
+class TestAffineRef:
+    def test_column_major_address(self):
+        decl = ArrayDecl("a", (10, 10))
+        ref = aref("a", "i", "j")
+        ar = affine_ref(ref, decl)
+        # address = (i-1) + 10*(j-1)
+        assert ar.address.coeff("i") == 1
+        assert ar.address.coeff("j") == 10
+        assert ar.address.const == -11
+
+    def test_innermost_stride(self):
+        decl = ArrayDecl("a", (10, 10))
+        ar = affine_ref(aref("a", "k", "j"), decl)
+        assert ar.innermost_stride("k") == 1
+        assert ar.innermost_stride("j") == 10
+        assert ar.innermost_stride("z") == 0
+
+    def test_uniformly_generated(self):
+        decl = ArrayDecl("a", (10, 10))
+        r1 = affine_ref(aref("a", "i", "j"), decl)
+        r2 = affine_ref(aref("a", parse_expr("i + 1"), "j"), decl)
+        r3 = affine_ref(aref("a", parse_expr("2 * i"), "j"), decl)
+        assert r1.uniformly_generated_with(r2)
+        assert not r1.uniformly_generated_with(r3)
+
+    def test_non_affine_subscript_gives_none(self):
+        decl = ArrayDecl("a", (10, 10))
+        assert affine_ref(aref("a", parse_expr("i * j"), 1), decl) is None
+
+    def test_address_evaluation_matches_linear_index(self):
+        decl = ArrayDecl("a", (7, 9))
+        ar = affine_ref(aref("a", "i", "j"), decl)
+        for i in (1, 3, 7):
+            for j in (1, 5, 9):
+                assert ar.address.evaluate({"i": i, "j": j}) == \
+                    decl.linear_index((i, j))

@@ -1,0 +1,158 @@
+"""Ownership alignment classification and the epoch flow graph."""
+
+import pytest
+
+import repro.ir as ir
+from repro.analysis.alignment import AccessClass, classify
+from repro.analysis.affine import affine_ref
+from repro.analysis.epochs import EpochKind, build_epoch_graph
+from repro.ir.arrays import ArrayDecl
+from repro.ir.dsl import parse_expr
+from repro.ir.expr import aref
+from repro.ir.stmt import Loop, LoopKind, ScheduleKind
+
+
+def doall(var="j", lo=1, hi=8, schedule=ScheduleKind.STATIC_BLOCK, align=""):
+    return Loop(var, lo, hi, kind=LoopKind.DOALL, schedule=schedule, align=align)
+
+
+class TestClassify:
+    decl = ArrayDecl("a", (8, 8))
+
+    def ar(self, *subs):
+        return affine_ref(ir.ArrayRef("a", [parse_expr(s) if isinstance(s, str)
+                                            else ir.as_expr(s) for s in subs]),
+                          self.decl)
+
+    def test_aligned_full_range(self):
+        out = classify(self.ar("i", "j"), self.decl, doall())
+        assert out.klass == AccessClass.ALIGNED
+        assert not out.possibly_remote
+
+    def test_shifted(self):
+        out = classify(self.ar("i", "j + 1"), self.decl, doall())
+        assert out.klass == AccessClass.SHIFTED and out.shift == 1
+
+    def test_invariant(self):
+        out = classify(self.ar("i", "k"), self.decl, doall())
+        assert out.klass == AccessClass.INVARIANT
+
+    def test_constant_subscript_is_invariant(self):
+        out = classify(self.ar("i", 3), self.decl, doall())
+        assert out.klass == AccessClass.INVARIANT
+
+    def test_scaled_subscript_is_other(self):
+        out = classify(self.ar("i", "2 * j"), self.decl, doall())
+        assert out.klass == AccessClass.OTHER
+
+    def test_subrange_without_align_is_other(self):
+        out = classify(self.ar("i", "j"), self.decl, doall(lo=2, hi=7))
+        assert out.klass == AccessClass.OTHER
+
+    def test_subrange_with_align_is_aligned(self):
+        out = classify(self.ar("i", "j"), self.decl,
+                       doall(lo=2, hi=7, align="a"), align_decl=self.decl)
+        assert out.klass == AccessClass.ALIGNED
+
+    def test_align_geometry_mismatch_is_other(self):
+        other = ArrayDecl("b", (8, 16))
+        out = classify(self.ar("i", "j"), self.decl,
+                       doall(align="b"), align_decl=other)
+        assert out.klass == AccessClass.OTHER
+
+    def test_serial_epoch(self):
+        out = classify(self.ar("i", "j"), self.decl, None)
+        assert out.klass == AccessClass.SERIAL
+
+    def test_nonaffine_is_other(self):
+        out = classify(None, self.decl, doall())
+        assert out.klass == AccessClass.OTHER
+
+    def test_cyclic_needs_cyclic_schedule(self):
+        from repro.ir.arrays import Distribution, DistKind
+        cyc = ArrayDecl("c", (8, 8), dist=Distribution(DistKind.CYCLIC, -1))
+        ar = affine_ref(aref("c", "i", "j"), cyc)
+        assert classify(ar, cyc, doall()).klass == AccessClass.OTHER
+        assert classify(ar, cyc, doall(schedule=ScheduleKind.STATIC_CYCLIC)
+                        ).klass == AccessClass.ALIGNED
+
+
+class TestEpochGraph:
+    def test_mini_mxm_epochs(self, mini_mxm):
+        graph = build_epoch_graph(mini_mxm)
+        parallel = graph.parallel_epochs()
+        assert len(parallel) == 2
+        # region loop (k) adds a self back edge on the compute epoch
+        compute = parallel[1]
+        assert compute.id in graph.succs[compute.id]
+        assert graph.back_edges
+
+    def test_serial_epoch_created_between_doalls(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        with b.proc("main"):
+            with b.doall("j", 1, 8):
+                b.assign(b.ref("a", 1, "j"), 1.0)
+            b.assign(b.ref("a", 1, 1), 2.0)
+            with b.doall("j", 1, 8):
+                b.assign(b.ref("a", 2, "j"), 3.0)
+        graph = build_epoch_graph(b.finish())
+        kinds = [e.kind for e in graph.epochs]
+        assert kinds.count(EpochKind.SERIAL) == 1
+        assert kinds.count(EpochKind.PARALLEL) == 2
+
+    def test_refs_collected_with_classes(self, mini_mxm):
+        graph = build_epoch_graph(mini_mxm)
+        compute = graph.parallel_epochs()[1]
+        classes = {r.ref.array: r.alignment.klass for r in compute.reads}
+        assert classes["a"] == AccessClass.INVARIANT
+        assert classes["b"] == AccessClass.ALIGNED
+        assert classes["c"] == AccessClass.ALIGNED
+
+    def test_writes_collected(self, mini_mxm):
+        graph = build_epoch_graph(mini_mxm)
+        init = graph.parallel_epochs()[0]
+        assert sorted({w.ref.array for w in init.writes}) == ["a", "b", "c"]
+
+    def test_if_with_doall_branches(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        b.scalar("flag", ir.INT, 1)
+        with b.proc("main"):
+            with b.doall("j", 1, 8):
+                b.assign(b.ref("a", 1, "j"), 0.0)
+            with b.if_(ir.E("flag") > 0):
+                with b.doall("j", 1, 8):
+                    b.assign(b.ref("a", 2, "j"), 1.0)
+        graph = build_epoch_graph(b.finish())
+        first = graph.parallel_epochs()[0]
+        assert len(graph.succs[first.id]) >= 1
+
+    def test_parallel_call_inlined_into_graph(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        with b.proc("kernel"):
+            with b.doall("j", 1, 8):
+                b.assign(b.ref("a", 1, "j"), 1.0)
+        with b.proc("main"):
+            with b.do("t", 1, 3):
+                b.call("kernel")
+        program = b.finish()
+        graph = build_epoch_graph(program)
+        assert len(graph.parallel_epochs()) == 1
+        assert graph.back_edges  # time loop around the inlined epoch
+
+    def test_serial_call_summarised(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        with b.proc("touch"):
+            with b.do("i", 1, 8):
+                b.assign(b.ref("a", "i", 1), b.ref("a", "i", 2))
+        with b.proc("main"):
+            b.call("touch")
+            with b.doall("j", 1, 8):
+                b.assign(b.ref("a", 1, "j"), 0.0)
+        graph = build_epoch_graph(b.finish())
+        serial = [e for e in graph.epochs if e.kind == EpochKind.SERIAL][0]
+        assert any(r.summarised_call == "touch" for r in serial.reads)
+        assert any(w.summarised_call == "touch" for w in serial.writes)

@@ -1,0 +1,68 @@
+"""Call graph construction and interprocedural queries."""
+
+import pytest
+
+import repro.ir as ir
+from repro.analysis.callgraph import CallGraph
+
+
+def chain_program(recursive=False):
+    b = ir.ProgramBuilder("p")
+    b.shared("a", (8, 8))
+    with b.proc("leaf"):
+        b.assign(b.ref("a", 1, 1), 0.0)
+    with b.proc("mid"):
+        b.call("leaf")
+    with b.proc("par"):
+        with b.doall("j", 1, 8):
+            b.assign(b.ref("a", 1, "j"), 1.0)
+    with b.proc("main"):
+        b.call("mid")
+        b.call("par")
+    program = b.finish()
+    if recursive:
+        program.procedures["leaf"].body.append(ir.CallStmt("mid"))
+    return program
+
+
+class TestCallGraph:
+    def test_edges(self):
+        graph = CallGraph.build(chain_program())
+        assert graph.callees["main"] == ["mid", "par"]
+        assert graph.callers["leaf"] == ["mid"]
+
+    def test_reachability(self):
+        graph = CallGraph.build(chain_program())
+        assert graph.reachable_from("main") == {"main", "mid", "leaf", "par"}
+        assert graph.reachable_from("mid") == {"mid", "leaf"}
+
+    def test_contains_parallelism_transitive(self):
+        graph = CallGraph.build(chain_program())
+        assert graph.contains_parallelism("par")
+        assert graph.contains_parallelism("main")
+        assert not graph.contains_parallelism("mid")
+
+    def test_recursion_detection(self):
+        graph = CallGraph.build(chain_program(recursive=True))
+        assert graph.is_recursive("mid")
+        assert graph.is_recursive("leaf")
+        assert not graph.is_recursive("par")
+        assert graph.any_recursion()
+
+    def test_topological_order(self):
+        graph = CallGraph.build(chain_program())
+        order = graph.topological_order()
+        assert order.index("leaf") < order.index("mid") < order.index("main")
+
+    def test_topological_order_rejects_recursion(self):
+        graph = CallGraph.build(chain_program(recursive=True))
+        with pytest.raises(ValueError):
+            graph.topological_order()
+
+    def test_undefined_callee_raises(self):
+        program = chain_program()
+        program.procedures["main"].body.append(ir.CallStmt("ghost"))
+        # validation would normally catch this; CallGraph double-checks
+        program.procedures["main"].body[-1].name = "ghost"
+        with pytest.raises(KeyError):
+            CallGraph.build(program)

@@ -1,0 +1,160 @@
+"""Locality (group-spatial) analysis and the static cost model."""
+
+import pytest
+
+import repro.ir as ir
+from repro.analysis.costmodel import (average_remote_latency, expr_cost,
+                                      loop_body_cost, segment_cost, stmt_cost)
+from repro.analysis.epochs import build_epoch_graph
+from repro.analysis.locality import (classify_self_reuse,
+                                     group_spatial_groups, innermost_stride)
+from repro.machine.params import t3d
+
+
+def refs_in_inner_loop(program):
+    """Collect the RefInfos of reads inside the (single) compute epoch."""
+    graph = build_epoch_graph(program)
+    epoch = graph.parallel_epochs()[-1]
+    return [r for r in epoch.reads if r.decl.is_shared]
+
+
+def stencil_program(*offsets):
+    """doall j { do i { out(i,j) = sum(a(i+off, j)) } }."""
+    b = ir.ProgramBuilder("p")
+    n = 16
+    b.shared("a", (n, n))
+    b.shared("out", (n, n))
+    with b.proc("main"):
+        with b.doall("j", 1, n):
+            with b.do("i", 4, n - 4):
+                expr = ir.E(0.0)
+                for off in offsets:
+                    sub = ir.E("i") + off if off else ir.E("i")
+                    expr = expr + b.ref("a", sub, "j")
+                b.assign(b.ref("out", "i", "j"), expr)
+    return b.finish()
+
+
+class TestGroupSpatial:
+    def test_adjacent_offsets_form_one_group(self):
+        refs = refs_in_inner_loop(stencil_program(-1, 0, 1))
+        a_refs = [r for r in refs if r.decl.name == "a"]
+        groups, nonaffine = group_spatial_groups(a_refs, "i", line_elems=4)
+        assert not nonaffine
+        assert len(groups) == 1
+        group = groups[0]
+        assert len(group.trailing) == 2
+        # leading = largest constant for a positive stride
+        assert group.leading.aref.address.const == max(
+            m.aref.address.const for m in group.members)
+        assert group.span_elems == 2
+
+    def test_far_offsets_split_groups(self):
+        refs = refs_in_inner_loop(stencil_program(0, 4))  # 4 elems = 1 line apart
+        a_refs = [r for r in refs if r.decl.name == "a"]
+        groups, _ = group_spatial_groups(a_refs, "i", line_elems=4)
+        assert len(groups) == 2
+
+    def test_chain_clustering(self):
+        # offsets 0,2,4: 0-2 share, 2-4 share -> one chained cluster
+        refs = refs_in_inner_loop(stencil_program(0, 2, 4))
+        a_refs = [r for r in refs if r.decl.name == "a"]
+        groups, _ = group_spatial_groups(a_refs, "i", line_elems=4)
+        assert len(groups) == 1 and len(groups[0].members) == 3
+
+    def test_different_arrays_never_group(self):
+        refs = refs_in_inner_loop(stencil_program(0))
+        groups, _ = group_spatial_groups(refs, "i", line_elems=4)
+        arrays = sorted(g.leading.decl.name for g in groups)
+        assert arrays == ["a"]
+
+    def test_large_stride_disables_grouping(self):
+        b = ir.ProgramBuilder("p")
+        n = 64
+        b.shared("a", (n,))
+        b.shared("out", (n,))
+        with b.proc("main"):
+            with b.doall("q", 1, 6):
+                with b.do("i", 1, 6):
+                    b.assign(b.ref("out", "i"),
+                             b.ref("a", ir.E("i") * 8) + b.ref("a", ir.E("i") * 8 + 1))
+        refs = refs_in_inner_loop(b.finish())
+        a_refs = [r for r in refs if r.decl.name == "a"]
+        groups, _ = group_spatial_groups(a_refs, "i", line_elems=4)
+        # stride 8 >= line 4: every ref is its own group
+        assert all(not g.trailing for g in groups)
+
+    def test_nonaffine_kept_separately(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (16,))
+        b.shared("idx", (16,))
+        b.shared("out", (16,))
+        with b.proc("main"):
+            with b.doall("q", 1, 4):
+                with b.do("i", 1, 16):
+                    b.assign(b.ref("out", "i"), b.ref("a", b.ref("idx", "i")))
+        refs = refs_in_inner_loop(b.finish())
+        a_refs = [r for r in refs if r.decl.name == "a"]
+        groups, nonaffine = group_spatial_groups(a_refs, "i", line_elems=4)
+        assert len(nonaffine) == 1 and not groups
+
+
+class TestSelfReuse:
+    def test_unit_stride_is_self_spatial(self):
+        refs = refs_in_inner_loop(stencil_program(0))
+        info = [r for r in refs if r.decl.name == "a"][0]
+        reuse = classify_self_reuse(info, "i", line_elems=4)
+        assert reuse.self_spatial and not reuse.self_temporal
+
+    def test_invariant_is_self_temporal(self, mini_mxm):
+        refs = refs_in_inner_loop(mini_mxm)
+        b_ref = [r for r in refs if r.decl.name == "b"][0]
+        reuse = classify_self_reuse(b_ref, "i", line_elems=4)
+        assert reuse.self_temporal
+        assert innermost_stride(b_ref, "i") == 0
+
+
+class TestCostModel:
+    params = t3d(4)
+
+    def test_add_vs_div_costs(self):
+        cheap = expr_cost(ir.parse_expr("a + b"), self.params)
+        pricey = expr_cost(ir.parse_expr("a / b"), self.params)
+        assert pricey > cheap
+
+    def test_load_costs_charged(self):
+        bare = expr_cost(ir.parse_expr("x + y"), self.params)
+        loads = expr_cost(ir.parse_expr("u(i) + v(i)"), self.params)
+        assert loads >= bare + 2 * self.params.cache_hit
+
+    def test_loop_cost_scales_with_trip(self):
+        body = [ir.Assign(ir.aref("a", "i"), ir.parse_expr("a(i) * 2.0"))]
+        small = ir.Loop("i", 1, 10, body=body)
+        big = ir.Loop("i", 1, 100, body=[s.clone() for s in body])
+        assert stmt_cost(big, self.params) > 5 * stmt_cost(small, self.params)
+
+    def test_if_averages_branches(self):
+        stmt = ir.If(ir.parse_expr("i < 2"),
+                     [ir.Assign(ir.VarRef("x"), ir.parse_expr("1.0 / y"))],
+                     [])
+        full = stmt_cost(stmt, self.params)
+        assert 0 < full < stmt_cost(stmt.then_body[0], self.params) + 10
+
+    def test_unknown_bounds_use_default_trip(self):
+        loop = ir.Loop("i", 1, ir.SymConst("n"),
+                       body=[ir.Assign(ir.VarRef("x"), 1.0)])
+        assert stmt_cost(loop, self.params) > 0
+
+    def test_loop_body_cost_includes_overhead(self):
+        loop = ir.Loop("i", 1, 10, body=[ir.Assign(ir.VarRef("x"), 1.0)])
+        assert loop_body_cost(loop, self.params) >= self.params.loop_overhead
+
+    def test_segment_cost_sums(self):
+        stmts = [ir.Assign(ir.VarRef("x"), 1.0), ir.Assign(ir.VarRef("y"), 2.0)]
+        assert segment_cost(stmts, self.params) == \
+            sum(stmt_cost(s, self.params) for s in stmts)
+
+    def test_average_remote_latency_grows_with_machine(self):
+        small = average_remote_latency(t3d(2))
+        large = average_remote_latency(t3d(64))
+        assert large > small > self.params.local_mem

@@ -1,0 +1,114 @@
+"""Static DOALL-independence verification (GCD/bounds test)."""
+
+import pytest
+
+import repro.ir as ir
+from repro.analysis.parcheck import check_doall_independence
+from repro.workloads import all_workloads
+
+
+def program_with_doall(body_builder, n=16, arrays=("a", "b")):
+    b = ir.ProgramBuilder("p")
+    for name in arrays:
+        b.shared(name, (n, n))
+    with b.proc("main"):
+        with b.doall("j", 2, n - 1):
+            body_builder(b, n)
+    return b.finish()
+
+
+class TestIndependentLoops:
+    def test_elementwise_writes(self):
+        program = program_with_doall(lambda b, n: b.assign(
+            b.ref("a", 1, "j"), 1.0))
+        result = check_doall_independence(program)
+        assert result.clean, [c.describe() for c in result.conflicts]
+
+    def test_read_neighbours_write_own(self):
+        """Jacobi pattern: reads of j±1 with writes to a DIFFERENT array
+        are independent."""
+        program = program_with_doall(lambda b, n: b.assign(
+            b.ref("b", 1, "j"),
+            b.ref("a", 1, ir.E("j") - 1) + b.ref("a", 1, ir.E("j") + 1)))
+        result = check_doall_independence(program)
+        assert result.clean
+
+    def test_inner_loop_full_column(self):
+        def body(b, n):
+            with b.do("i", 1, n):
+                b.assign(b.ref("a", "i", "j"), ir.E("i") * 1.0)
+
+        result = check_doall_independence(program_with_doall(body))
+        assert result.clean
+
+    def test_strided_disjoint_writes(self):
+        """Red sweep: iterations 2,4,6,... never collide."""
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (16, 16))
+        with b.proc("main"):
+            with b.doall("j", 2, 15, 2):
+                b.assign(b.ref("a", 1, "j"),
+                         b.ref("a", 1, ir.E("j") - 1) + b.ref("a", 1, ir.E("j") + 1))
+        result = check_doall_independence(b.finish())
+        assert result.clean
+
+    def test_workloads_pass_the_checker(self):
+        for spec in all_workloads():
+            program = spec.build_default()
+            result = check_doall_independence(program)
+            assert result.clean, (spec.name,
+                                  [c.describe() for c in result.conflicts])
+
+
+class TestDependentLoops:
+    def test_loop_carried_write_read(self):
+        """a(1, j) = a(1, j-1): classic carried dependence."""
+        program = program_with_doall(lambda b, n: b.assign(
+            b.ref("a", 1, "j"), b.ref("a", 1, ir.E("j") - 1) + 1.0))
+        result = check_doall_independence(program)
+        assert not result.clean
+        assert "distance 1" in result.conflicts[0].reason
+
+    def test_parallel_invariant_write(self):
+        """Every iteration writes a(1, 1): a write-write race."""
+        program = program_with_doall(lambda b, n: b.assign(
+            b.ref("a", 1, 1), ir.E("j") * 1.0))
+        result = check_doall_independence(program)
+        assert not result.clean
+        assert "invariant" in result.conflicts[0].reason
+
+    def test_nonaffine_write_flagged(self):
+        def body(b, n):
+            b.assign(b.ref("a", 1, b.ref("b", 1, "j")), 1.0)
+
+        result = check_doall_independence(program_with_doall(body))
+        assert not result.clean
+        assert "non-affine" in result.conflicts[0].reason
+
+    def test_scaled_collision(self):
+        """a(1, 2j) written, a(1, j) read: iterations j and 2j collide."""
+        program = program_with_doall(lambda b, n: b.assign(
+            b.ref("a", 1, ir.parse_expr("2 * j - 2")), b.ref("a", 1, "j")),
+            n=32)
+        result = check_doall_independence(program)
+        assert not result.clean
+
+    def test_far_distance_beyond_trip_is_clean(self):
+        """a(1, j) = a(1, j - 100) with a 14-iteration loop: the carried
+        distance exceeds the trip count, so no two live iterations
+        collide."""
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (16, 128))
+        with b.proc("main"):
+            with b.doall("j", 101, 114):
+                b.assign(b.ref("a", 1, "j"),
+                         b.ref("a", 1, ir.parse_expr("j - 100")) + 1.0)
+        result = check_doall_independence(b.finish())
+        assert result.clean
+
+    def test_summary_counts(self):
+        program = program_with_doall(lambda b, n: b.assign(
+            b.ref("a", 1, "j"), b.ref("a", 1, ir.E("j") - 1)))
+        result = check_doall_independence(program)
+        assert "dependences" in result.summary()
+        assert result.loops_checked == 1

@@ -1,0 +1,163 @@
+"""Bounded regular sections: triplets, sections, section sets."""
+
+import pytest
+
+from repro.analysis.affine import affine_ref
+from repro.analysis.sections import (Section, SectionSet, Triplet,
+                                     full_section, section_of_ref)
+from repro.ir.arrays import ArrayDecl
+from repro.ir.dsl import parse_expr
+from repro.ir.expr import aref
+
+
+class TestTriplet:
+    def test_count(self):
+        assert Triplet(1, 10).count() == 10
+        assert Triplet(1, 10, 3).count() == 4
+        assert Triplet(5, 4).count() == 0
+
+    def test_contains_respects_step(self):
+        t = Triplet(2, 10, 2)
+        assert t.contains(4)
+        assert not t.contains(5)
+        assert not t.contains(12)
+
+    def test_overlap_basic(self):
+        assert Triplet(1, 5).overlaps(Triplet(5, 9))
+        assert not Triplet(1, 4).overlaps(Triplet(5, 9))
+
+    def test_overlap_strided_disjoint_residues(self):
+        evens = Triplet(2, 20, 2)
+        odds = Triplet(1, 19, 2)
+        assert not evens.overlaps(odds)
+
+    def test_overlap_empty(self):
+        assert not Triplet(5, 1).overlaps(Triplet(1, 10))
+
+    def test_hull(self):
+        h = Triplet(1, 4).hull(Triplet(8, 10))
+        assert h.lo == 1 and h.hi == 10
+
+    def test_hull_keeps_common_step(self):
+        h = Triplet(1, 9, 2).hull(Triplet(11, 15, 2))
+        assert h.step == 2
+
+    def test_positive_step_required(self):
+        with pytest.raises(ValueError):
+            Triplet(1, 10, 0)
+
+
+class TestSection:
+    def make(self, *triplets):
+        return Section("a", tuple(Triplet(*t) for t in triplets))
+
+    def test_count(self):
+        s = self.make((1, 4), (1, 3))
+        assert s.count() == 12
+
+    def test_overlap_needs_all_dims(self):
+        a = self.make((1, 4), (1, 2))
+        b = self.make((2, 6), (3, 4))
+        assert not a.overlaps(b)  # second dim disjoint
+        c = self.make((2, 6), (2, 5))
+        assert a.overlaps(c)
+
+    def test_different_arrays_never_overlap(self):
+        a = Section("a", (Triplet(1, 4),))
+        b = Section("b", (Triplet(1, 4),))
+        assert not a.overlaps(b)
+
+    def test_contains_point(self):
+        s = self.make((1, 4), (2, 8, 2))
+        assert s.contains_point((2, 4))
+        assert not s.contains_point((2, 5))
+
+
+class TestSectionOfRef:
+    def test_loop_range_sweep(self):
+        decl = ArrayDecl("a", (10, 10))
+        ref = aref("a", "i", parse_expr("j + 1"))
+        ar = affine_ref(ref, decl)
+        section = section_of_ref(ar, decl, {"i": (2, 5), "j": (1, 4)})
+        assert section.triplets[0].lo == 2 and section.triplets[0].hi == 5
+        assert section.triplets[1].lo == 2 and section.triplets[1].hi == 5
+
+    def test_unknown_var_widens_to_extent(self):
+        decl = ArrayDecl("a", (10, 10))
+        ar = affine_ref(aref("a", "i", "j"), decl)
+        section = section_of_ref(ar, decl, {"i": (1, 3), "j": None})
+        assert section.triplets[1].lo == 1 and section.triplets[1].hi == 10
+
+    def test_negative_coefficient(self):
+        decl = ArrayDecl("a", (10,))
+        ar = affine_ref(aref("a", parse_expr("11 - i")), decl)
+        section = section_of_ref(ar, decl, {"i": (1, 10)})
+        assert (section.triplets[0].lo, section.triplets[0].hi) == (1, 10)
+
+    def test_clamps_into_extent(self):
+        decl = ArrayDecl("a", (10,))
+        ar = affine_ref(aref("a", parse_expr("i + 5")), decl)
+        section = section_of_ref(ar, decl, {"i": (1, 10)})
+        assert section.triplets[0].hi == 10
+
+    def test_strided_access_records_step(self):
+        decl = ArrayDecl("a", (32,))
+        ar = affine_ref(aref("a", parse_expr("2 * i")), decl)
+        section = section_of_ref(ar, decl, {"i": (1, 8)})
+        assert section.triplets[0].step == 2
+
+    def test_symbolic_coefficient_widens(self):
+        decl = ArrayDecl("a", (10,))
+        ar = affine_ref(aref("a", parse_expr("i + $n")), decl)
+        section = section_of_ref(ar, decl, {"i": (1, 2)})
+        assert section.triplets[0].hi == 10
+
+
+class TestSectionSet:
+    def seg(self, lo, hi):
+        return Section("a", (Triplet(lo, hi),))
+
+    def test_add_and_overlap(self):
+        ss = SectionSet("a")
+        assert ss.add(self.seg(1, 4))
+        assert ss.overlaps(self.seg(3, 8))
+        assert not ss.overlaps(self.seg(6, 8))
+
+    def test_subsumed_add_reports_unchanged(self):
+        ss = SectionSet("a", [self.seg(1, 10)])
+        assert not ss.add(self.seg(2, 5))
+
+    def test_add_replaces_covered_sections(self):
+        ss = SectionSet("a", [self.seg(2, 3), self.seg(5, 6)])
+        ss.add(self.seg(1, 10))
+        assert len(ss.sections) == 1
+
+    def test_overflow_merges_to_hull(self):
+        ss = SectionSet("a")
+        for k in range(SectionSet.MAX_DISJUNCTS + 3):
+            ss.add(self.seg(10 * k + 1, 10 * k + 2))
+        assert len(ss.sections) <= SectionSet.MAX_DISJUNCTS
+        # hull keeps soundness: everything added still overlaps
+        assert ss.overlaps(self.seg(1, 1))
+        assert ss.overlaps(self.seg(101, 101))
+
+    def test_union_reports_change(self):
+        a = SectionSet("a", [self.seg(1, 2)])
+        b = SectionSet("a", [self.seg(5, 6)])
+        assert a.union(b)
+        assert not a.union(b)
+
+    def test_empty_section_ignored(self):
+        ss = SectionSet("a")
+        assert not ss.add(self.seg(5, 1))
+        assert ss.empty
+
+    def test_array_mismatch_rejected(self):
+        ss = SectionSet("a")
+        with pytest.raises(ValueError):
+            ss.add(Section("b", (Triplet(1, 2),)))
+
+    def test_full_section(self):
+        decl = ArrayDecl("a", (4, 6))
+        s = full_section(decl)
+        assert s.count() == 24

@@ -1,0 +1,150 @@
+"""Stale reference analysis: the writer-class/reader-class matrix and
+the fixpoint over region-loop back edges."""
+
+import pytest
+
+import repro.ir as ir
+from repro.analysis.stale import analyse_stale_references
+
+
+def _stale_arrays(result):
+    return sorted({info.decl.name for info in result.stale_reads.values()})
+
+
+def _stale_map(result):
+    """array -> list of formatted stale refs (for targeted assertions)."""
+    out = {}
+    for info in result.stale_reads.values():
+        out.setdefault(info.decl.name, []).append(repr(info.ref))
+    return out
+
+
+class TestWriterReaderMatrix:
+    def build(self, writer, reader):
+        """One write epoch then one read epoch with selectable classes."""
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        b.shared("out", (8, 8))
+        with b.proc("main"):
+            if writer == "serial":
+                with b.do("j", 1, 8):
+                    b.assign(b.ref("a", 1, "j"), 1.0)
+            elif writer == "aligned":
+                with b.doall("j", 1, 8):
+                    b.assign(b.ref("a", 1, "j"), 1.0)
+            else:  # other
+                with b.doall("j", 1, 8):
+                    b.assign(b.ref("a", 1, 3), 1.0)
+            if reader == "serial":
+                with b.do("j", 1, 8):
+                    b.assign(b.ref("out", 1, "j"), b.ref("a", 1, "j"))
+            elif reader == "aligned":
+                with b.doall("j", 1, 8):
+                    b.assign(b.ref("out", 1, "j"), b.ref("a", 1, "j"))
+            else:  # unaligned reader
+                with b.doall("j", 1, 8):
+                    b.assign(b.ref("out", 1, "j"), b.ref("a", 1, 3))
+        return b.finish()
+
+    @pytest.mark.parametrize("writer,reader,expect_stale", [
+        ("serial", "serial", False),    # same PE (PE 0)
+        ("serial", "aligned", True),    # PE 0 wrote, owner reads
+        ("serial", "other", True),
+        ("aligned", "serial", True),    # owner wrote, PE 0 reads
+        ("aligned", "aligned", False),  # owner wrote, owner reads
+        ("aligned", "other", True),
+        ("other", "serial", True),
+        ("other", "aligned", True),
+        ("other", "other", True),
+    ])
+    def test_matrix(self, writer, reader, expect_stale):
+        result = analyse_stale_references(self.build(writer, reader))
+        stale_a = "a" in _stale_arrays(result)
+        assert stale_a == expect_stale, _stale_map(result)
+
+
+class TestFootprints:
+    def test_disjoint_sections_not_stale(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        b.shared("out", (8, 8))
+        with b.proc("main"):
+            with b.do("j", 1, 4):          # serial writes rows 1..4? no: row 1, cols 1..4
+                b.assign(b.ref("a", 1, "j"), 1.0)
+            with b.doall("j", 5, 8, align="a"):   # reads columns 5..8 only
+                b.assign(b.ref("out", 1, "j"), b.ref("a", 1, "j"))
+        result = analyse_stale_references(b.finish())
+        assert "a" not in _stale_arrays(result)
+
+    def test_first_touch_reads_never_stale(self, mini_mxm):
+        result = analyse_stale_references(mini_mxm)
+        # b and c are written aligned and read aligned; a is read invariant
+        assert _stale_arrays(result) == ["a"]
+
+    def test_reads_before_any_write_are_fresh(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        b.shared("out", (8, 8))
+        with b.proc("main"):
+            with b.doall("j", 1, 8):
+                b.assign(b.ref("out", 1, "j"), b.ref("a", 1, 3))
+        result = analyse_stale_references(b.finish())
+        assert not result.stale_reads
+
+
+class TestBackEdges:
+    def test_time_loop_makes_earlier_epoch_reads_stale(self, pingpong):
+        """In the ping-pong stencil, `fwd` reads x written by `bwd` of the
+        *previous* time step: only the back edge reveals that."""
+        result = analyse_stale_references(pingpong)
+        stale = _stale_map(result)
+        assert "x" in stale
+        # The shifted neighbour reads of x must be flagged.
+        assert any("j - 1" in s or "j + 1" in s for s in stale["x"])
+
+    def test_without_time_loop_first_sweep_is_fresh(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("x", (8, 8))
+        b.shared("y", (8, 8))
+        with b.proc("main"):
+            with b.doall("j", 1, 8, align="x"):
+                b.assign(b.ref("x", 1, "j"), 1.0)
+            with b.doall("j", 2, 7, align="x"):
+                b.assign(b.ref("y", 1, "j"),
+                         b.ref("x", 1, ir.E("j") - 1) + b.ref("x", 1, ir.E("j") + 1))
+        result = analyse_stale_references(b.finish())
+        # shifted reads of x after an aligned write: stale (different PE)
+        assert "x" in _stale_arrays(result)
+
+    def test_fixpoint_terminates_on_nested_regions(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        with b.proc("main"):
+            with b.do("t", 1, 3):
+                with b.do("u", 1, 2):
+                    with b.doall("j", 1, 8):
+                        b.assign(b.ref("a", 1, "j"), b.ref("a", 1, 1) + 1.0)
+        result = analyse_stale_references(b.finish())
+        assert result.iterations < 500
+        assert "a" in _stale_arrays(result)
+
+
+class TestResultAPI:
+    def test_partition_is_total(self, pingpong):
+        result = analyse_stale_references(pingpong)
+        stale = set(result.stale_reads)
+        fresh = set(result.fresh_reads)
+        assert not (stale & fresh)
+        graph = result.graph
+        shared_reads = {r.uid for e in graph.epochs for r in e.reads
+                        if r.decl.is_shared}
+        assert stale | fresh == shared_reads
+
+    def test_summary_mentions_counts(self, pingpong):
+        result = analyse_stale_references(pingpong)
+        assert "potentially stale" in result.summary()
+
+    def test_stale_in_epoch_filter(self, pingpong):
+        result = analyse_stale_references(pingpong)
+        for info in result.stale_reads.values():
+            assert info in result.stale_in_epoch(info.epoch_id)

@@ -1,0 +1,121 @@
+"""Loop volume estimation and its use in non-stale prefetch pruning."""
+
+import pytest
+
+import repro.ir as ir
+from repro.analysis.volume import (UNKNOWN_TRIP, VolumeEstimate, loop_volume,
+                                   reuse_stays_resident)
+from repro.machine.params import t3d
+
+PARAMS = t3d(4, cache_bytes=512)  # 16 lines
+
+
+def inner_loop(program):
+    from repro.ir.loops import inner_loops
+    return inner_loops(program.entry_proc.body)[0]
+
+
+def build(n, body_builder):
+    b = ir.ProgramBuilder("p")
+    b.shared("a", (n, n))
+    b.shared("out", (n, n))
+    with b.proc("main"):
+        with b.doall("j", 1, n):
+            with b.do("i", 1, n):
+                body_builder(b)
+    return b.finish()
+
+
+class TestLoopVolume:
+    def test_unit_stride_quarter_line_per_iter(self):
+        program = build(32, lambda b: b.assign(
+            b.ref("out", "i", "j"), b.ref("a", "i", "j")))
+        est = loop_volume(inner_loop(program), program.arrays, PARAMS)
+        # two unit-stride streams, 4 words/line -> 0.5 lines per iteration
+        assert est.lines_per_iteration == pytest.approx(0.5)
+        assert est.trip == 32
+        assert est.total_lines == pytest.approx(16)
+
+    def test_group_spatial_counted_once(self):
+        program = build(32, lambda b: b.assign(
+            b.ref("out", "i", "j"),
+            b.ref("a", "i", "j") + b.ref("a", ir.E("i") + 1, "j")))
+        est = loop_volume(inner_loop(program), program.arrays, PARAMS)
+        # the two a-refs share lines: still ~0.5 lines/iter total
+        assert est.lines_per_iteration == pytest.approx(0.5)
+
+    def test_large_stride_full_line_per_iter(self):
+        program = build(32, lambda b: b.assign(
+            b.ref("out", 1, "j"),
+            b.ref("out", 1, "j") + b.ref("a", 1, "i")))  # row walk: stride 32
+        est = loop_volume(inner_loop(program), program.arrays, PARAMS)
+        assert est.lines_per_iteration == pytest.approx(1.0)
+
+    def test_invariant_ref_is_free(self):
+        program = build(32, lambda b: b.assign(
+            b.ref("out", 1, "j"), b.ref("out", 1, "j") + b.ref("a", 2, 2)))
+        est = loop_volume(inner_loop(program), program.arrays, PARAMS)
+        # out(1,j) is invariant in i too -> zero marginal lines
+        assert est.lines_per_iteration == pytest.approx(0.0)
+
+    def test_nonaffine_rounds_up(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (32,))
+        b.shared("idx", (32,))
+        b.shared("out", (32,))
+        with b.proc("main"):
+            with b.doall("q", 1, 2):
+                with b.do("i", 1, 32):
+                    b.assign(b.ref("out", "i"), b.ref("a", b.ref("idx", "i")))
+        program = b.finish()
+        est = loop_volume(inner_loop(program), program.arrays, PARAMS)
+        assert est.nonaffine_refs == 1
+        assert est.lines_per_iteration >= 1.0
+
+    def test_unknown_trip_never_fits(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (32, 32))
+        b.sym("nn", 8)
+        with b.proc("main"):
+            with b.doall("j", 1, 32):
+                with b.do("i", 1, ir.E(ir.SymConst("nn"))):
+                    b.assign(b.ref("a", "i", "j"), 1.0)
+        program = b.finish()
+        est = loop_volume(inner_loop(program), program.arrays, PARAMS)
+        assert est.trip == UNKNOWN_TRIP
+        assert not est.fits_in(PARAMS)
+
+
+class TestResidencyPruning:
+    def test_small_loop_fits(self):
+        program = build(8, lambda b: b.assign(
+            b.ref("out", "i", "j"), b.ref("a", "i", "j")))
+        assert reuse_stays_resident(inner_loop(program), program.arrays, PARAMS)
+
+    def test_large_loop_does_not_fit(self):
+        program = build(128, lambda b: b.assign(
+            b.ref("out", "i", "j"), b.ref("a", "i", "j")))
+        assert not reuse_stays_resident(inner_loop(program), program.arrays,
+                                        PARAMS)
+
+    def test_nonstale_extension_prunes_resident_loops(self):
+        """With a cache big enough to hold the whole footprint, the
+        extension adds no latency-only targets; with a tiny cache it
+        does."""
+        from repro.coherence import CCDPConfig, ccdp_transform
+
+        def make(n):
+            return build(n, lambda b: b.assign(
+                b.ref("out", "i", "j"),
+                b.ref("out", "i", "j") + b.ref("a", "i", 3)))
+
+        big_cache = CCDPConfig(machine=t3d(4, cache_bytes=8192)).with_(
+            prefetch_nonstale=True)
+        _, rep_big = ccdp_transform(make(16), big_cache)
+
+        tiny_cache = CCDPConfig(machine=t3d(4, cache_bytes=128)).with_(
+            prefetch_nonstale=True)
+        _, rep_tiny = ccdp_transform(make(16), tiny_cache)
+
+        assert rep_big.nonstale_targets == 0
+        assert rep_tiny.nonstale_targets > 0

@@ -1,0 +1,234 @@
+"""Unit-level tests of the individual CCDP passes: inlining, VPG
+internals, SP internals, MBP internals, code generation details."""
+
+import pytest
+
+import repro.ir as ir
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.coherence.inline import inline_parallel_calls
+from repro.ir.expr import RefMode
+from repro.ir.stmt import (CallStmt, InvalidateLines, Loop, PrefetchLine,
+                           PrefetchVector)
+from repro.machine.params import t3d
+from repro.runtime import Version, run_program
+
+
+def cfg(n_pes=4, **over):
+    return CCDPConfig(machine=t3d(n_pes, cache_bytes=1024)).with_(**over)
+
+
+class TestInlining:
+    def build_with_calls(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        with b.proc("serial_helper"):
+            b.assign(b.ref("a", 1, 1), 1.0)
+        with b.proc("kernel", params=("col",)):
+            with b.doall("j", 1, 8):
+                b.assign(b.ref("a", "col", "j"), 2.0)
+        with b.proc("main"):
+            b.call("serial_helper")
+            b.call("kernel", 3)
+            b.call("kernel", 4)
+        return b.finish()
+
+    def test_only_parallel_calls_inlined(self):
+        program = self.build_with_calls()
+        count = inline_parallel_calls(program)
+        assert count == 2
+        remaining = [s for s in program.entry_proc.walk()
+                     if isinstance(s, CallStmt)]
+        assert [c.name for c in remaining] == ["serial_helper"]
+
+    def test_arguments_substituted(self):
+        program = self.build_with_calls()
+        inline_parallel_calls(program)
+        consts = [r.subscripts[0].value
+                  for s in program.entry_proc.walk()
+                  if isinstance(s, ir.Assign) and isinstance(s.lhs, ir.ArrayRef)
+                  and isinstance(r := s.lhs, ir.ArrayRef)
+                  and isinstance(r.subscripts[0], ir.IntConst)]
+        assert 3 in consts and 4 in consts
+
+    def test_inlined_program_validates_and_runs(self):
+        program = self.build_with_calls()
+        inline_parallel_calls(program)
+        ir.validate_program(program)
+        result = run_program(program, t3d(2, cache_bytes=1024), Version.CCDP)
+        assert result.value_of("a")[2, :].sum() == 16.0
+
+    def test_recursive_parallel_call_rejected(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        with b.proc("rec"):
+            with b.doall("j", 1, 8):
+                b.assign(b.ref("a", 1, "j"), 1.0)
+        with b.proc("main"):
+            b.call("rec")
+        program = b.finish()
+        program.procedures["rec"].body.append(ir.CallStmt("rec"))
+        with pytest.raises(ValueError, match="recursive"):
+            inline_parallel_calls(program)
+
+    def test_nested_inlining_converges(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        with b.proc("inner"):
+            with b.doall("j", 1, 8):
+                b.assign(b.ref("a", 1, "j"), 1.0)
+        with b.proc("outer"):
+            b.call("inner")
+        with b.proc("main"):
+            b.call("outer")
+        program = b.finish()
+        assert inline_parallel_calls(program) == 2
+
+
+class TestVPGDetails:
+    def writer_reader(self, reader, n=16):
+        b = ir.ProgramBuilder("p")
+        b.shared("x", (n, n))
+        b.shared("y", (n, n))
+        with b.proc("main"):
+            with b.do("jw", 1, n):
+                with b.do("iw", 1, n):
+                    b.assign(b.ref("x", "iw", "jw"), 1.0)
+            reader(b, n)
+        return ccdp_transform(b.finish(), cfg())
+
+    def test_vector_clamped_to_array_bounds(self):
+        def reader(b, n):
+            with b.doall("q", 1, 4):
+                with b.do("i", 1, n):  # x(i+1, .) runs off the end at i=n
+                    b.assign(b.ref("y", "i", 1),
+                             b.ref("x", ir.fmin(ir.E("i") + 1, n), 2))
+
+        # min() makes the ref non-affine -> VPG skipped, but the program
+        # must still transform and run coherently.
+        prog, report = self.writer_reader(reader)
+        result = run_program(prog, t3d(4, cache_bytes=1024), Version.CCDP,
+                             on_stale="raise")
+        assert result.stats.stale_reads == 0
+
+    def test_vector_too_large_for_cache_falls_through(self):
+        def reader(b, n):
+            with b.doall("q", 1, 2):
+                with b.do("i", 1, n):
+                    b.assign(b.ref("y", "i", 1), b.ref("x", "i", 2))
+
+        config = cfg().with_(machine=t3d(4, cache_bytes=64),  # 2 lines!
+                             vector_cache_fraction=0.5)
+        b = ir.ProgramBuilder("p")
+        n = 16
+        b.shared("x", (n, n))
+        b.shared("y", (n, n))
+        with b.proc("main"):
+            with b.do("jw", 1, n):
+                with b.do("iw", 1, n):
+                    b.assign(b.ref("x", "iw", "jw"), 1.0)
+            reader(b, n)
+        prog, report = ccdp_transform(b.finish(), config)
+        assert report.schedule.counts()["vpg"] == 0
+        result = run_program(prog, t3d(4, cache_bytes=64), Version.CCDP,
+                             on_stale="raise")
+        assert result.stats.stale_reads == 0
+
+    def test_invariant_target_becomes_hoisted_line_prefetch(self):
+        def reader(b, n):
+            with b.doall("q", 1, 4):
+                with b.do("i", 1, n):
+                    b.assign(b.ref("y", "i", 1),
+                             b.ref("y", "i", 1) + b.ref("x", 3, 3))
+
+        prog, report = self.writer_reader(reader)
+        lines = [s for s in prog.walk() if isinstance(s, PrefetchLine)]
+        assert lines, "invariant stale ref should get a line prefetch"
+        result = run_program(prog, t3d(4, cache_bytes=1024), Version.CCDP,
+                             on_stale="raise")
+        assert result.stats.stale_reads == 0
+
+    def test_group_padding_covers_trailing(self):
+        def reader(b, n):
+            with b.doall("q", 1, 4):
+                with b.do("i", 2, n - 1):
+                    b.assign(b.ref("y", "i", 1),
+                             b.ref("x", ir.E("i") - 1, 2)
+                             + b.ref("x", "i", 2)
+                             + b.ref("x", ir.E("i") + 1, 2))
+
+        prog, report = self.writer_reader(reader)
+        assert len(report.targets.demoted_group) == 2
+        result = run_program(prog, t3d(4, cache_bytes=1024), Version.CCDP,
+                             on_stale="raise")
+        assert result.stats.stale_reads == 0
+
+    def test_no_hoist_past_writer_loop(self):
+        """A prefetch must not be pulled out of a loop that rewrites the
+        prefetched array (the SWIM boundary-copy hazard)."""
+        b = ir.ProgramBuilder("p")
+        n = 16
+        b.shared("x", (n, n))
+        b.shared("y", (n, n))
+        with b.proc("main"):
+            with b.do("t", 1, 3):
+                with b.doall("j", 1, n, align="x"):  # rewrites x every step
+                    with b.do("i", 1, n):
+                        b.assign(b.ref("x", "i", "j"),
+                                 ir.E("i") * 1.0 + ir.E("t"))
+                with b.do("jr", 1, n):  # serial reader of x
+                    b.assign(b.ref("y", 1, "jr"), b.ref("x", 2, "jr"))
+        prog, report = ccdp_transform(b.finish(), cfg())
+        # whatever was generated, it must re-execute inside the time loop
+        time_loop = prog.entry_proc.body[0]
+        assert isinstance(time_loop, Loop)
+        inside = [s for s in time_loop.walk()
+                  if isinstance(s, (PrefetchLine, PrefetchVector))]
+        outside = [s for s in prog.entry_proc.body
+                   if isinstance(s, (PrefetchLine, PrefetchVector))]
+        assert not outside
+        result = run_program(prog, t3d(4, cache_bytes=1024), Version.CCDP,
+                             on_stale="raise")
+        assert result.stats.stale_reads == 0
+
+
+class TestCodegenDetails:
+    def test_stale_call_gets_pre_call_invalidation(self):
+        b = ir.ProgramBuilder("p")
+        n = 8
+        b.shared("x", (n, n))
+        b.shared("y", (n, n))
+        with b.proc("reader"):
+            with b.do("i", 1, n):
+                b.assign(b.ref("y", "i", 1), b.ref("x", "i", 1))
+        with b.proc("main"):
+            with b.doall("j", 1, n, align="x"):
+                b.assign(b.ref("x", 1, "j"), 1.0)
+            b.call("reader")
+        prog, report = ccdp_transform(b.finish(), cfg())
+        body = prog.entry_proc.body
+        inv_index = next(i for i, s in enumerate(body)
+                         if isinstance(s, InvalidateLines) and s.array == "x")
+        call_index = next(i for i, s in enumerate(body)
+                          if isinstance(s, CallStmt))
+        assert inv_index < call_index
+        result = run_program(prog, t3d(4, cache_bytes=1024), Version.CCDP,
+                             on_stale="raise")
+        assert result.stats.stale_reads == 0
+
+    def test_bypass_modes_survive_round_trip(self):
+        b = ir.ProgramBuilder("p")
+        n = 8
+        b.shared("x", (n, n))
+        b.shared("y", (n, n))
+        with b.proc("main"):
+            with b.doall("j", 1, n, align="x"):
+                b.assign(b.ref("x", 1, "j"), 1.0)
+            b.assign(b.ref("y", 1, 1), b.ref("x", 1, 5))
+        config = cfg().with_(enable_mbp=False)
+        prog, _ = ccdp_transform(b.finish(), config)
+        text = ir.format_program(prog)
+        assert "@bypass" in text
+        reparsed = ir.parse_program(text)
+        modes = [r.mode for s in reparsed.walk() for r in s.array_refs()
+                 if r.array == "x" and r.mode == RefMode.BYPASS]
+        assert modes

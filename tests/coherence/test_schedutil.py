@@ -1,0 +1,120 @@
+"""The scheduling helper utilities: hoist blockers, substitutions,
+warm-up invalidation construction."""
+
+import pytest
+
+import repro.ir as ir
+from repro.analysis.epochs import build_epoch_graph
+from repro.analysis.locality import group_spatial_groups
+from repro.coherence.config import CCDPConfig
+from repro.coherence.schedutil import (clamp_expr, defines_names, hoist_floor,
+                                       locate, shifted_ref, sub_with,
+                                       subscript_free_vars,
+                                       warmup_invalidations)
+from repro.ir.visitor import const_int_value
+from repro.machine.params import t3d
+
+
+class TestExprHelpers:
+    def test_clamp_expr_folds(self):
+        expr = clamp_expr(ir.IntConst(99), 1, 16)
+        assert const_int_value(expr) == 16
+        expr = clamp_expr(ir.IntConst(-5), 1, 16)
+        assert const_int_value(expr) == 1
+        expr = clamp_expr(ir.IntConst(7), 1, 16)
+        assert const_int_value(expr) == 7
+
+    def test_sub_with(self):
+        ref = ir.aref("a", ir.parse_expr("i + 1"), "j")
+        out = sub_with(ref, "i", ir.IntConst(4))
+        assert const_int_value(out.subscripts[0]) == 5
+        assert out.subscripts[1].key() == ("var", "j")
+
+    def test_shifted_ref(self):
+        ref = ir.aref("a", "i", "j")
+        out = shifted_ref(ref, "i", 3)
+        assert out.subscripts[0].key() == ir.parse_expr("i + 3").key()
+
+    def test_shifted_ref_zero_is_clone(self):
+        ref = ir.aref("a", "i")
+        out = shifted_ref(ref, "i", 0)
+        assert out is not ref and out.key() == ref.key()
+
+    def test_subscript_free_vars(self):
+        ref = ir.aref("a", ir.parse_expr("i + k"), ir.parse_expr("2 * j"))
+        assert subscript_free_vars(ref) == {"i", "j", "k"}
+
+
+class TestHoisting:
+    def body(self):
+        return [
+            ir.Assign(ir.VarRef("k"), ir.IntConst(3)),
+            ir.Assign(ir.aref("a", 1), ir.FloatConst(0.0)),
+            ir.Assign(ir.VarRef("m"), ir.IntConst(5)),
+            ir.Assign(ir.aref("b", 1), ir.aref("a", ir.VarRef("m"))),
+        ]
+
+    def test_locate_finds_nested(self):
+        body = self.body()
+        target = body[3].rhs
+        # locate works on statements, not exprs: find the containing stmt
+        assert locate(body, body[3]) == 3
+
+    def test_defines_names(self):
+        body = self.body()
+        assert defines_names(body[0], {"k"})
+        assert not defines_names(body[0], {"m"})
+        assert defines_names(ir.CallStmt("p") if False else body[2], {"m"})
+
+    def test_call_defines_everything(self):
+        assert defines_names(ir.CallStmt("anything"), {"zz"})
+
+    def test_hoist_stops_at_subscript_definition(self):
+        body = self.body()
+        ref = body[3].rhs  # a(m)
+        pos = hoist_floor(body, 3, ref, floor=0)
+        assert pos == 3  # cannot cross the m = 5 at index 2
+
+    def test_hoist_to_floor_when_unblocked(self):
+        body = self.body()
+        ref = ir.aref("a", 1)  # constant subscripts: nothing blocks
+        pos = hoist_floor(body, 3, ref, floor=1)
+        assert pos == 1
+
+
+class TestWarmupInvalidations:
+    def make_group(self, offsets, n=16):
+        b = ir.ProgramBuilder("p")
+        b.shared("x", (n, n))
+        b.shared("y", (n, n))
+        with b.proc("main"):
+            with b.doall("q", 1, 4):
+                with b.do("i", 4, n - 4):
+                    expr = ir.E(0.0)
+                    for off in offsets:
+                        sub = ir.E("i") + off if off else ir.E("i")
+                        expr = expr + b.ref("x", sub, "q")
+                    b.assign(b.ref("y", "i", "q"), expr)
+        program = b.finish()
+        graph = build_epoch_graph(program)
+        refs = [r for r in graph.parallel_epochs()[0].reads
+                if r.decl.name == "x"]
+        groups, _ = group_spatial_groups(refs, "i", 4)
+        loop = graph.parallel_epochs()[0].doall.body[0]
+        return groups[0], loop
+
+    def test_trailing_members_get_invalidations(self):
+        group, loop = self.make_group((-1, 0, 1))
+        config = CCDPConfig(machine=t3d(4, cache_bytes=1024))
+        stmts, fallbacks = warmup_invalidations(group, loop, config, 4)
+        assert not fallbacks
+        # two trailing members behind the leading one
+        assert len(stmts) == 2
+        for stmt in stmts:
+            assert stmt.array == "x"
+
+    def test_no_trailing_no_invalidations(self):
+        group, loop = self.make_group((0,))
+        config = CCDPConfig(machine=t3d(4, cache_bytes=1024))
+        stmts, fallbacks = warmup_invalidations(group, loop, config, 4)
+        assert not stmts and not fallbacks

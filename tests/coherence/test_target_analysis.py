@@ -1,0 +1,138 @@
+"""Prefetch target analysis (paper Fig. 1)."""
+
+import pytest
+
+import repro.ir as ir
+from repro.analysis.stale import analyse_stale_references
+from repro.coherence.config import CCDPConfig
+from repro.coherence.target_analysis import prefetch_target_analysis
+from repro.machine.params import t3d
+
+
+def analyse(program, n_pes=4):
+    config = CCDPConfig(machine=t3d(n_pes))
+    stale = analyse_stale_references(program)
+    return prefetch_target_analysis(program, stale, config), stale
+
+
+def stencil(offsets=(-1, 0, 1), in_inner_loop=True):
+    """Serial write epoch then a stencil-read epoch whose reads of x are
+    potentially stale."""
+    b = ir.ProgramBuilder("p")
+    n = 16
+    b.shared("x", (n, n))
+    b.shared("y", (n, n))
+    with b.proc("main"):
+        with b.do("j", 1, n):         # serial writer -> staleness source
+            with b.do("i0", 1, n):
+                b.assign(b.ref("x", "i0", "j"), 1.0)
+        with b.doall("j", 1, n, align="x"):
+            if in_inner_loop:
+                with b.do("i", 4, n - 4):
+                    expr = ir.E(0.0)
+                    for off in offsets:
+                        sub = ir.E("i") + off if off else ir.E("i")
+                        expr = expr + b.ref("x", sub, "j")
+                    b.assign(b.ref("y", 1, "j"), expr)
+            else:
+                expr = ir.E(0.0)
+                for off in offsets:
+                    expr = expr + b.ref("x", 4 + off, "j")
+                b.assign(b.ref("y", 1, "j"), expr)
+    return b.finish()
+
+
+class TestFig1:
+    def test_group_spatial_keeps_only_leading(self):
+        result, stale = analyse(stencil((-1, 0, 1)))
+        assert len(result.targets) == 1
+        assert len(result.demoted_group) == 2
+        leading = result.targets[0]
+        # leading reference touches new lines first: largest offset
+        assert leading.info.aref.address.const == max(
+            info.aref.address.const
+            for info in list(stale.stale_reads.values())
+            if info.decl.name == "x")
+
+    def test_all_stale_refs_accounted_for(self):
+        result, stale = analyse(stencil((-1, 0, 1)))
+        covered = ({t.uid for t in result.targets}
+                   | {i.uid for i in result.demoted_group}
+                   | {i.uid for i in result.demoted_bypass}
+                   | {i.uid for i in result.stale_calls})
+        assert covered == set(stale.stale_reads)
+
+    def test_refs_outside_inner_loops_demoted_to_bypass(self):
+        """A stale ref in straight-line code nested inside a loop (but not
+        an innermost loop) leaves the prefetch set."""
+        b = ir.ProgramBuilder("p")
+        n = 16
+        b.shared("x", (n, n))
+        b.shared("y", (n, n))
+        with b.proc("main"):
+            with b.do("j", 1, n):
+                b.assign(b.ref("x", 1, "j"), 1.0)
+            with b.doall("j", 1, n, align="x"):
+                b.assign(b.ref("y", 1, "j"), b.ref("x", 1, "j"))  # no inner loop
+                with b.do("i", 1, n):
+                    b.assign(b.ref("y", "i", "j"), b.ref("y", "i", "j") + 1.0)
+        result, stale = analyse(b.finish())
+        assert len(result.demoted_bypass) == 1
+        assert result.demoted_bypass[0].decl.name == "x"
+
+    def test_epoch_level_serial_code_kept(self):
+        """Stale refs in top-level serial code stay in S (Fig. 2 case 4)."""
+        b = ir.ProgramBuilder("p")
+        n = 16
+        b.shared("x", (n, n))
+        b.shared("y", (n, n))
+        with b.proc("main"):
+            with b.doall("j", 1, n, align="x"):
+                b.assign(b.ref("x", 1, "j"), 1.0)
+            b.assign(b.ref("y", 1, 1), b.ref("x", 1, 5))  # serial, stale
+        result, _ = analyse(b.finish())
+        assert len(result.targets) == 1
+        assert not result.targets[0].lsc.is_loop
+
+    def test_nonaffine_refs_stay_in_target_set(self):
+        b = ir.ProgramBuilder("p")
+        n = 16
+        b.shared("x", (n,))
+        b.shared("idx", (n,))
+        b.shared("y", (n,))
+        with b.proc("main"):
+            with b.do("j", 1, n):
+                b.assign(b.ref("x", "j"), 1.0)
+            with b.doall("q", 1, 4):
+                with b.do("i", 1, n):
+                    b.assign(b.ref("y", "i"), b.ref("x", b.ref("idx", "i")))
+        result, _ = analyse(b.finish())
+        targets = {t.info.decl.name for t in result.targets}
+        assert "x" in targets  # conservative: non-affine kept
+
+    def test_stale_serial_call_reads_routed_separately(self):
+        b = ir.ProgramBuilder("p")
+        n = 8
+        b.shared("x", (n, n))
+        b.shared("y", (n, n))
+        with b.proc("reader"):
+            with b.do("i", 1, n):
+                b.assign(b.ref("y", "i", 1), b.ref("x", "i", 1))
+        with b.proc("main"):
+            with b.doall("j", 1, n, align="x"):
+                b.assign(b.ref("x", 1, "j"), 1.0)
+            b.call("reader")
+        result, _ = analyse(b.finish())
+        assert result.stale_calls
+        assert all(info.summarised_call == "reader" for info in result.stale_calls)
+
+    def test_targets_by_lsc_grouping(self):
+        result, _ = analyse(stencil((0, 4)))  # two groups, one LSC
+        grouped = result.targets_by_lsc()
+        assert len(grouped) == 1
+        lsc, targets = grouped[0]
+        assert len(targets) == 2 and lsc.is_loop
+
+    def test_summary_text(self):
+        result, _ = analyse(stencil())
+        assert "prefetch targets" in result.summary()

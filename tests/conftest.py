@@ -1,0 +1,83 @@
+"""Shared fixtures: small machines and miniature programs."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.ir as ir
+from repro.machine import MachineParams, t3d
+
+
+@pytest.fixture
+def params4() -> MachineParams:
+    """A small 4-PE machine with a tiny cache (16 lines) so capacity and
+    conflict behaviour is exercised by small programs."""
+    return t3d(4, cache_bytes=512)
+
+
+@pytest.fixture
+def params1() -> MachineParams:
+    return t3d(1, cache_bytes=512)
+
+
+def build_mini_mxm(n: int = 8, unroll: int = 1) -> ir.Program:
+    """A minimal matrix multiply: init epoch + compute epoch."""
+    b = ir.ProgramBuilder("mini_mxm")
+    b.shared("a", (n, n))
+    b.shared("b", (n, n))
+    b.shared("c", (n, n))
+    with b.proc("main"):
+        with b.doall("j", 1, n, label="init"):
+            with b.do("i", 1, n):
+                b.assign(b.ref("a", "i", "j"), ir.E("i") * 1.0 + ir.E("j"))
+                b.assign(b.ref("b", "i", "j"), ir.E("i") - ir.E("j") * 1.0)
+                b.assign(b.ref("c", "i", "j"), 0.0)
+        with b.do("k", 1, n, unroll):
+            with b.doall("j", 1, n, label="compute"):
+                with b.do("i", 1, n):
+                    for u in range(unroll):
+                        ku = ir.E("k") + u if u else ir.E("k")
+                        b.assign(b.ref("c", "i", "j"),
+                                 b.ref("c", "i", "j")
+                                 + b.ref("a", "i", ku) * b.ref("b", ku, "j"))
+    return b.finish()
+
+
+def build_pingpong(n: int = 16, steps: int = 4) -> ir.Program:
+    """Two alternating stencil epochs over one array: the minimal program
+    with *genuine* staleness (neighbour columns are rewritten every step
+    and re-read with offsets)."""
+    b = ir.ProgramBuilder("pingpong")
+    b.shared("x", (n, n))
+    b.shared("y", (n, n))
+    with b.proc("main"):
+        with b.doall("j", 1, n, label="init", align="x"):
+            with b.do("i", 1, n):
+                # curved along j so the smoother keeps changing x: a linear
+                # field would be a fixed point and staleness would be
+                # numerically invisible
+                b.assign(b.ref("x", "i", "j"),
+                         ir.E("i") + ir.E("j") * 2.0
+                         + ir.E("j") * ir.E("j") * 0.05)
+                b.assign(b.ref("y", "i", "j"), 0.0)
+        with b.do("t", 1, steps):
+            with b.doall("j", 2, n - 1, label="fwd", align="x"):
+                with b.do("i", 1, n):
+                    b.assign(b.ref("y", "i", "j"),
+                             (b.ref("x", "i", ir.E("j") - 1)
+                              + b.ref("x", "i", ir.E("j") + 1)) * 0.5)
+            with b.doall("j", 2, n - 1, label="bwd", align="x"):
+                with b.do("i", 1, n):
+                    b.assign(b.ref("x", "i", "j"),
+                             b.ref("x", "i", "j") * 0.5 + b.ref("y", "i", "j") * 0.5)
+    return b.finish()
+
+
+@pytest.fixture
+def mini_mxm() -> ir.Program:
+    return build_mini_mxm()
+
+
+@pytest.fixture
+def pingpong() -> ir.Program:
+    return build_pingpong()

@@ -1,0 +1,96 @@
+"""The ``ccdp`` command-line interface."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestInfo:
+    def test_info_lists_workloads(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mxm", "vpenta", "tomcatv", "swim"):
+            assert name in out
+        assert "machine defaults" in out
+
+
+class TestCompile:
+    def test_compile_prints_reports(self, capsys):
+        assert main(["compile", "mxm", "--n", "16", "--pes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "stale analysis" in out
+        assert "case1-serial-known" in out
+
+    def test_compile_program_flag(self, capsys):
+        assert main(["compile", "mxm", "--n", "16", "--pes", "4",
+                     "--program"]) == 0
+        out = capsys.readouterr().out
+        assert "vprefetch" in out
+
+
+class TestRun:
+    def test_run_ccdp(self, capsys):
+        assert main(["run", "mxm", "--version", "ccdp", "--pes", "2",
+                     "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "mxm/ccdp" in out and "ok" in out
+
+    def test_run_base(self, capsys):
+        assert main(["run", "vpenta", "--version", "base", "--pes", "2",
+                     "--n", "17"]) == 0
+        out = capsys.readouterr().out
+        assert "stale_reads" in out
+
+
+class TestTables:
+    def test_table2_single_workload(self, capsys):
+        code = main(["table2", "--workloads", "mxm", "--pes", "1,2",
+                     "--n", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "exp.md"
+        code = main(["report", "--workloads", "mxm", "--pes", "1,2",
+                     "--n", "16", "--out", str(out_file)])
+        assert code == 0
+        text = out_file.read_text()
+        assert "# EXPERIMENTS" in text
+
+
+class TestErrors:
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["run", "linpack"])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCompileFile:
+    def test_compile_and_run_dsl_file(self, capsys):
+        assert main(["compile-file", "examples/programs/redblack.ccdp",
+                     "--pes", "2", "--run"]) == 0
+        out = capsys.readouterr().out
+        assert "stale analysis" in out
+        assert "0 stale reads" in out
+
+    def test_write_transformed_output(self, tmp_path, capsys):
+        out_file = tmp_path / "out.ccdp"
+        assert main(["compile-file", "examples/programs/redblack.ccdp",
+                     "--pes", "2", "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "vprefetch" in text
+        # the emitted DSL must be re-parseable
+        from repro.ir.dsl import parse_program
+        parse_program(text)
+
+
+class TestProfile:
+    def test_profile_prints_curves(self, capsys):
+        assert main(["profile", "vpenta", "--n", "17", "--pes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "miss rate vs cache size" in out
+        assert "most-conflicted cache sets" in out

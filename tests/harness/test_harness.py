@@ -1,0 +1,125 @@
+"""Experiment harness: sweeps, table formatting, report generation."""
+
+import pytest
+
+from repro.harness import (ExperimentRunner, PAPER_IMPROVEMENT_RANGES,
+                           band_verdict, format_table1, format_table2,
+                           generate_report, paper_improvement, run_sweep,
+                           table1_rows, table2_rows)
+from repro.runtime import Version
+from repro.workloads import workload
+
+PES = (1, 2, 4)
+SIZE = {"n": 16}
+
+
+@pytest.fixture(scope="module")
+def mxm_sweep():
+    return run_sweep(workload("mxm"), pe_counts=PES, size_args=SIZE)
+
+
+class TestRunner:
+    def test_sweep_runs_all_versions(self, mxm_sweep):
+        assert mxm_sweep.seq.version == Version.SEQ
+        for n_pes in PES:
+            assert (Version.BASE, n_pes) in mxm_sweep.runs
+            assert (Version.CCDP, n_pes) in mxm_sweep.runs
+
+    def test_all_runs_validated(self, mxm_sweep):
+        assert mxm_sweep.all_correct()
+        for (version, _), record in mxm_sweep.runs.items():
+            if version == Version.CCDP:
+                assert record.stale_reads == 0
+
+    def test_speedup_and_improvement(self, mxm_sweep):
+        for n_pes in PES:
+            base = mxm_sweep.speedup(Version.BASE, n_pes)
+            ccdp = mxm_sweep.speedup(Version.CCDP, n_pes)
+            assert ccdp > base > 0
+            assert 0 < mxm_sweep.improvement(n_pes) < 100
+
+    def test_runner_caches_ccdp_transform(self):
+        runner = ExperimentRunner(workload("mxm"), SIZE)
+        first = runner.ccdp_program(2)
+        second = runner.ccdp_program(2)
+        assert first is second
+        other = runner.ccdp_program(4)
+        assert other is not first
+
+    def test_scaled_cache_default_applied(self):
+        runner = ExperimentRunner(workload("mxm"), SIZE)
+        assert runner.params_for(2).cache_bytes == 2048
+
+    def test_param_overrides_respected(self):
+        runner = ExperimentRunner(workload("mxm"), SIZE,
+                                  param_overrides={"cache_bytes": 4096})
+        assert runner.params_for(2).cache_bytes == 4096
+
+    def test_irrelevant_size_keys_ignored(self):
+        runner = ExperimentRunner(workload("mxm"), {"n": 16, "steps": 9})
+        assert runner.size_args == {"n": 16}
+
+    def test_ccdp_report_attached(self, mxm_sweep):
+        record = mxm_sweep.record(Version.CCDP, 2)
+        assert record.ccdp_report is not None
+        assert record.ccdp_report.targets.targets
+
+
+class TestTables:
+    def test_table1_rows_structure(self, mxm_sweep):
+        rows = table1_rows([mxm_sweep])
+        assert [r["n_pes"] for r in rows] == list(PES)
+        assert "mxm/base" in rows[0] and "mxm/ccdp" in rows[0]
+
+    def test_table1_formatting(self, mxm_sweep):
+        text = format_table1([mxm_sweep])
+        assert "Table 1" in text and "MXM" in text
+        assert len(text.splitlines()) == 4 + len(PES)
+
+    def test_table2_includes_paper_cells(self, mxm_sweep):
+        text = format_table2([mxm_sweep])
+        assert "Table 2" in text and "(paper)" in text
+
+    def test_table2_rows_have_measured_values(self, mxm_sweep):
+        rows = table2_rows([mxm_sweep])
+        assert all(isinstance(r["mxm"], float) for r in rows)
+
+
+class TestPaperData:
+    def test_known_cells(self):
+        assert paper_improvement("tomcatv", 1) == pytest.approx(44.83)
+        assert paper_improvement("vpenta", 64) == pytest.approx(23.90)
+
+    def test_unrecoverable_cells_are_none(self):
+        assert paper_improvement("mxm", 8) is None
+        assert paper_improvement("swim", 1) is None
+
+    def test_unknown_lookups_are_none(self):
+        assert paper_improvement("linpack", 8) is None
+        assert paper_improvement("mxm", 3) is None
+
+    def test_ranges_cover_table_cells(self):
+        from repro.harness import PAPER_TABLE2
+        for name, cells in PAPER_TABLE2.items():
+            lo, hi = PAPER_IMPROVEMENT_RANGES[name]
+            for cell in cells:
+                if cell is not None:
+                    assert lo - 0.2 <= cell <= hi + 0.2
+
+    def test_band_verdict(self):
+        assert "matches" in band_verdict("vpenta", [10.0, 12.0, 15.0])
+        assert "outside" in band_verdict("vpenta", [80.0, 90.0, 95.0])
+
+
+class TestReport:
+    def test_report_contains_sections(self, mxm_sweep):
+        text = generate_report([mxm_sweep])
+        assert "# EXPERIMENTS" in text
+        assert "Table 1" in text and "Table 2" in text
+        assert "all correct" in text
+
+    def test_report_with_runner_includes_algorithms(self, mxm_sweep):
+        runner = ExperimentRunner(workload("mxm"), SIZE)
+        text = generate_report([mxm_sweep], {"mxm": runner})
+        assert "Fig. 1 / Fig. 2" in text
+        assert "| mxm |" in text

@@ -1,0 +1,134 @@
+"""End-to-end coherence: the headline claims of the paper, proven on the
+simulator.
+
+1. NAIVE caching on a non-coherent machine reads stale data and computes
+   wrong answers (the problem).
+2. The CCDP transformation makes the same cached execution coherent and
+   numerically correct at every PE count (the solution).
+3. CCDP is *faster* than the safe BASE scheme (the payoff).
+"""
+
+import numpy as np
+import pytest
+
+import repro.ir as ir
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.machine import StaleReadError, t3d
+from repro.runtime import Version, run_program
+from tests.conftest import build_pingpong
+
+
+def oracle_pingpong(n=16, steps=4):
+    i = np.arange(1, n + 1, dtype=np.float64)[:, None]
+    j = np.arange(1, n + 1, dtype=np.float64)[None, :]
+    x = np.broadcast_to(i + j * 2.0 + j * j * 0.05, (n, n)).copy()
+    y = np.zeros((n, n))
+    for _ in range(steps):
+        y[:, 1:n - 1] = (x[:, 0:n - 2] + x[:, 2:n]) * 0.5
+        x[:, 1:n - 1] = x[:, 1:n - 1] * 0.5 + y[:, 1:n - 1] * 0.5
+    return x, y
+
+
+PARAMS = dict(cache_bytes=2048)
+
+
+class TestTheProblem:
+    def test_naive_caching_reads_stale_data(self):
+        program = build_pingpong()
+        result = run_program(program, t3d(4, **PARAMS), Version.NAIVE)
+        assert result.stats.stale_reads > 0
+
+    def test_naive_caching_computes_wrong_values(self):
+        program = build_pingpong()
+        result = run_program(program, t3d(4, **PARAMS), Version.NAIVE)
+        x, _ = oracle_pingpong()
+        assert not np.allclose(result.value_of("x"), x)
+
+    def test_base_is_safe_but_uncached(self):
+        program = build_pingpong()
+        result = run_program(program, t3d(4, **PARAMS), Version.BASE)
+        x, _ = oracle_pingpong()
+        assert result.stats.stale_reads == 0
+        assert np.allclose(result.value_of("x"), x)
+
+
+class TestTheSolution:
+    @pytest.mark.parametrize("n_pes", [1, 2, 3, 4, 8])
+    def test_ccdp_is_coherent_and_correct(self, n_pes):
+        program = build_pingpong()
+        transformed, report = ccdp_transform(
+            program, CCDPConfig(machine=t3d(n_pes, **PARAMS)))
+        result = run_program(transformed, t3d(n_pes, **PARAMS), Version.CCDP,
+                             on_stale="raise")
+        x, y = oracle_pingpong()
+        assert result.stats.stale_reads == 0
+        assert np.allclose(result.value_of("x"), x)
+        assert np.allclose(result.value_of("y"), y)
+
+    def test_ccdp_transform_is_pure(self):
+        program = build_pingpong()
+        before = ir.format_program(program)
+        ccdp_transform(program, CCDPConfig(machine=t3d(4, **PARAMS)))
+        assert ir.format_program(program) == before
+
+    def test_transform_report_is_consistent(self):
+        program = build_pingpong()
+        _, report = ccdp_transform(program, CCDPConfig(machine=t3d(4, **PARAMS)))
+        assert report.stale.stale_reads
+        assert report.targets.targets
+        assert report.schedule.entries
+
+    def test_transformed_program_revalidates(self):
+        program = build_pingpong()
+        transformed, _ = ccdp_transform(program,
+                                        CCDPConfig(machine=t3d(4, **PARAMS)))
+        ir.validate_program(transformed)
+
+    def test_transformed_program_round_trips_through_dsl(self):
+        program = build_pingpong()
+        transformed, _ = ccdp_transform(program,
+                                        CCDPConfig(machine=t3d(4, **PARAMS)))
+        text = ir.format_program(transformed)
+        reparsed = ir.parse_program(text)
+        assert ir.format_program(reparsed) == text
+
+
+class TestThePayoff:
+    def test_ccdp_beats_base(self):
+        program = build_pingpong(n=24, steps=4)
+        params = t3d(4, **PARAMS)
+        base = run_program(program, params, Version.BASE)
+        transformed, _ = ccdp_transform(program, CCDPConfig(machine=params))
+        ccdp = run_program(transformed, params, Version.CCDP)
+        assert ccdp.elapsed < base.elapsed
+
+    def test_ccdp_close_to_or_better_than_naive(self):
+        """CCDP's coherence machinery must not cost much more than the
+        (incorrect) naive caching it replaces."""
+        program = build_pingpong(n=24, steps=4)
+        params = t3d(4, **PARAMS)
+        naive = run_program(program, params, Version.NAIVE)
+        transformed, _ = ccdp_transform(program, CCDPConfig(machine=params))
+        ccdp = run_program(transformed, params, Version.CCDP)
+        assert ccdp.elapsed < naive.elapsed * 1.6
+
+    def test_parallel_faster_than_sequential(self):
+        program = build_pingpong(n=24, steps=4)
+        seq = run_program(program, t3d(1, **PARAMS), Version.SEQ)
+        transformed, _ = ccdp_transform(program,
+                                        CCDPConfig(machine=t3d(8, **PARAMS)))
+        ccdp = run_program(transformed, t3d(8, **PARAMS), Version.CCDP)
+        assert ccdp.elapsed < seq.elapsed
+
+
+class TestNonStaleExtension:
+    def test_extension_adds_targets_and_stays_correct(self):
+        program = build_pingpong()
+        params = t3d(4, **PARAMS)
+        plain, rep1 = ccdp_transform(program, CCDPConfig(machine=params))
+        extended, rep2 = ccdp_transform(
+            program, CCDPConfig(machine=params).with_(prefetch_nonstale=True))
+        assert rep2.nonstale_targets >= 0
+        result = run_program(extended, params, Version.CCDP, on_stale="raise")
+        x, _ = oracle_pingpong()
+        assert np.allclose(result.value_of("x"), x)

@@ -1,0 +1,50 @@
+"""Every example script must run clean end to end (they are the user's
+first contact with the library)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "improvement over BASE" in proc.stdout
+        assert "result is wrong      : True" in proc.stdout  # naive breaks
+        assert "guaranteed 0" in proc.stdout
+
+    def test_mxm_case_study(self):
+        proc = run_example("mxm_case_study.py", "16", "1,2,4")
+        assert proc.returncode == 0, proc.stderr
+        assert "Table 1" in proc.stdout and "Table 2" in proc.stdout
+        assert "vector prefetches" in proc.stdout
+
+    def test_compiler_tour(self):
+        proc = run_example("compiler_tour.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Epoch flow graph" in proc.stdout
+        assert "vprefetch" in proc.stdout
+
+    def test_heat_dsl(self):
+        proc = run_example("heat_dsl.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "correct=True" in proc.stdout
+        assert "0 stale reads" in proc.stdout
+
+    @pytest.mark.slow
+    def test_ablation_study(self):
+        proc = run_example("ablation_study.py", timeout=420)
+        assert proc.returncode == 0, proc.stderr
+        assert "full scheme" in proc.stdout
+        assert "bypass reads only" in proc.stdout

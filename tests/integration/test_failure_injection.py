@@ -1,0 +1,92 @@
+"""Failure injection: CCDP's coherence guarantee must survive hostile
+hardware configurations — starved prefetch queues, tiny caches, byzantine
+latencies — because every degradation path ends in invalidate-first
+misses or bypass reads, never in a stale hit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.machine import t3d
+from repro.runtime import Version, run_program
+from repro.workloads import workload
+from tests.conftest import build_pingpong
+from tests.integration.test_end_to_end import oracle_pingpong
+
+
+def run_hostile(program, oracle_arrays, check, **hardware):
+    params = t3d(hardware.pop("n_pes", 4), **hardware)
+    transformed, _ = ccdp_transform(program, CCDPConfig(machine=params))
+    result = run_program(transformed, params, Version.CCDP, on_stale="raise")
+    assert result.stats.stale_reads == 0
+    for name in check:
+        assert np.allclose(result.value_of(name), oracle_arrays[name]), name
+    return result
+
+
+class TestHostileHardware:
+    def setup_method(self):
+        self.program = build_pingpong()
+        x, y = oracle_pingpong()
+        self.oracle = {"x": x, "y": y}
+
+    def test_one_slot_queue(self):
+        result = run_hostile(self.program, self.oracle, ("x", "y"),
+                             cache_bytes=512, prefetch_queue_slots=1)
+        # heavy dropping is fine; wrong answers are not
+        assert result.machine.stats.total().prefetch_dropped >= 0
+
+    def test_two_line_cache(self):
+        run_hostile(self.program, self.oracle, ("x", "y"), cache_bytes=64)
+
+    def test_single_outstanding_vector(self):
+        run_hostile(self.program, self.oracle, ("x", "y"),
+                    cache_bytes=512, max_outstanding_vectors=1)
+
+    def test_zero_cost_network(self):
+        run_hostile(self.program, self.oracle, ("x", "y"), cache_bytes=512,
+                    remote_base=1, remote_per_hop=0)
+
+    def test_glacial_network(self):
+        run_hostile(self.program, self.oracle, ("x", "y"), cache_bytes=512,
+                    remote_base=5000, remote_per_hop=100)
+
+    def test_many_pes_tiny_problem(self):
+        run_hostile(self.program, self.oracle, ("x", "y"), n_pes=16,
+                    cache_bytes=512)
+
+    @given(st.integers(1, 4), st.sampled_from([64, 128, 512, 2048]),
+           st.integers(1, 16))
+    @settings(max_examples=10, deadline=None)
+    def test_random_hardware_combinations(self, vectors, cache, slots):
+        program = build_pingpong(n=12, steps=2)
+        i = np.arange(1, 13, dtype=np.float64)[:, None]
+        j = np.arange(1, 13, dtype=np.float64)[None, :]
+        x = np.broadcast_to(i + j * 2.0 + j * j * 0.05, (12, 12)).copy()
+        y = np.zeros((12, 12))
+        for _ in range(2):
+            y[:, 1:11] = (x[:, 0:10] + x[:, 2:12]) * 0.5
+            x[:, 1:11] = x[:, 1:11] * 0.5 + y[:, 1:11] * 0.5
+        run_hostile(program, {"x": x, "y": y}, ("x", "y"),
+                    cache_bytes=cache, prefetch_queue_slots=slots,
+                    max_outstanding_vectors=vectors)
+
+
+class TestHostileWorkloads:
+    @pytest.mark.parametrize("name,args", [
+        ("tomcatv", {"n": 13, "steps": 2}),
+        ("swim", {"n": 13, "steps": 2}),
+    ])
+    def test_stencil_apps_on_starved_hardware(self, name, args):
+        spec = workload(name)
+        program = spec.build(**args)
+        oracle = spec.oracle(**args)
+        params = t3d(4, cache_bytes=128, prefetch_queue_slots=2,
+                     max_outstanding_vectors=1)
+        transformed, _ = ccdp_transform(program, CCDPConfig(machine=params))
+        result = run_program(transformed, params, Version.CCDP,
+                             on_stale="raise")
+        assert result.stats.stale_reads == 0
+        for array in spec.check_arrays:
+            assert np.allclose(result.value_of(array), oracle[array]), array

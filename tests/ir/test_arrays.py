@@ -1,0 +1,107 @@
+"""Array declarations: geometry, linearisation, ownership."""
+
+import pytest
+
+from repro.ir.arrays import (ArrayDecl, BLOCK_LAST, DistKind, Distribution,
+                             REPLICATED)
+from repro.ir.dtypes import REAL
+
+
+class TestGeometry:
+    def test_size_and_bytes(self):
+        decl = ArrayDecl("a", (4, 8))
+        assert decl.size == 32
+        assert decl.nbytes == 32 * 8
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("a", ())
+
+    def test_rejects_nonpositive_extent(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("a", (4, 0))
+
+    def test_column_major_strides(self):
+        decl = ArrayDecl("a", (3, 5, 7))
+        assert decl.strides() == (1, 3, 15)
+
+    def test_linear_index_first_dim_fastest(self):
+        decl = ArrayDecl("a", (4, 4))
+        assert decl.linear_index((1, 1)) == 0
+        assert decl.linear_index((2, 1)) == 1
+        assert decl.linear_index((1, 2)) == 4
+
+    def test_linear_index_bounds_checked(self):
+        decl = ArrayDecl("a", (4, 4))
+        with pytest.raises(IndexError):
+            decl.linear_index((5, 1))
+        with pytest.raises(IndexError):
+            decl.linear_index((0, 1))
+
+    def test_linear_index_rank_checked(self):
+        decl = ArrayDecl("a", (4, 4))
+        with pytest.raises(ValueError):
+            decl.linear_index((1,))
+
+
+class TestDistribution:
+    def test_default_block_last(self):
+        decl = ArrayDecl("a", (8, 8))
+        assert decl.is_shared
+        assert decl.dist_axis == 1
+
+    def test_replicated_is_private(self):
+        decl = ArrayDecl("w", (8,), REAL, REPLICATED)
+        assert not decl.is_shared
+
+    def test_unknown_distribution_kind(self):
+        with pytest.raises(ValueError):
+            Distribution("scatter")
+
+    def test_axis_out_of_range(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("a", (8, 8), dist=Distribution(DistKind.BLOCK, 5))
+
+
+class TestOwnership:
+    def test_block_size_ceil(self):
+        decl = ArrayDecl("a", (4, 10))
+        assert decl.block_size(4) == 3  # ceil(10/4)
+
+    def test_block_owner(self):
+        decl = ArrayDecl("a", (4, 8))
+        owners = [decl.owner_of_axis_index(j, 4) for j in range(1, 9)]
+        assert owners == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_block_owner_tail_clamps_to_last_pe(self):
+        decl = ArrayDecl("a", (4, 10))
+        # block size 3: indices 10 -> pe 3
+        assert decl.owner_of_axis_index(10, 4) == 3
+
+    def test_cyclic_owner(self):
+        decl = ArrayDecl("a", (4, 8), dist=Distribution(DistKind.CYCLIC, -1))
+        owners = [decl.owner_of_axis_index(j, 3) for j in range(1, 7)]
+        assert owners == [0, 1, 2, 0, 1, 2]
+
+    def test_owner_uses_distributed_axis(self):
+        decl = ArrayDecl("a", (8, 8), dist=Distribution(DistKind.BLOCK, 0))
+        assert decl.owner((1, 8), 4) == 0
+        assert decl.owner((8, 1), 4) == 3
+
+    def test_replicated_has_no_owner(self):
+        decl = ArrayDecl("w", (8,), REAL, REPLICATED)
+        with pytest.raises(ValueError):
+            decl.owner_of_axis_index(1, 4)
+
+    def test_owned_axis_range_partitions_axis(self):
+        decl = ArrayDecl("a", (4, 10))
+        ranges = [decl.owned_axis_range(p, 4) for p in range(4)]
+        covered = []
+        for lo, hi in ranges:
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(1, 11))
+
+    def test_owned_axis_range_empty_for_excess_pes(self):
+        decl = ArrayDecl("a", (4, 2))
+        lo, hi = decl.owned_axis_range(3, 4)
+        assert lo > hi  # PE 3 owns nothing when 4 PEs share 2 columns

@@ -1,0 +1,155 @@
+"""Builder API and program validation."""
+
+import pytest
+
+import repro.ir as ir
+from repro.ir.validate import ValidationError, validate_program
+
+
+def small_program():
+    b = ir.ProgramBuilder("p")
+    b.shared("a", (8, 8))
+    b.scalar("s")
+    with b.proc("main"):
+        with b.doall("j", 1, 8):
+            with b.do("i", 1, 8):
+                b.assign(b.ref("a", "i", "j"), ir.E("i") * 1.0)
+    return b
+
+
+class TestBuilder:
+    def test_finish_returns_validated_program(self):
+        program = small_program().finish()
+        assert program.entry == "main"
+        assert "a" in program.arrays
+
+    def test_finish_requires_entry(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (4,))
+        with b.proc("helper"):
+            b.assign(b.ref("a", 1), 0.0)
+        with pytest.raises(ValueError, match="main"):
+            b.finish()
+
+    def test_statement_outside_procedure_rejected(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (4,))
+        with pytest.raises(RuntimeError):
+            b.assign(b.ref("a", 1), 0.0)
+
+    def test_nested_procedures_rejected(self):
+        b = ir.ProgramBuilder("p")
+        with pytest.raises(RuntimeError):
+            with b.proc("one"):
+                with b.proc("two"):
+                    pass
+
+    def test_duplicate_array_rejected(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (4,))
+        with pytest.raises(ValueError):
+            b.shared("a", (4,))
+
+    def test_expression_sugar(self):
+        b = small_program()
+        expr = (b.var("s") + 1) * 2 - b.ref("a", 1, 1)
+        assert "s" in ir.unwrap(expr).free_vars()
+
+    def test_if_else_blocks(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (4,))
+        with b.proc("main"):
+            with b.do("i", 1, 4):
+                with b.if_(b.var("i") < 2) as node:
+                    b.assign(b.ref("a", "i"), 1.0)
+                with b.else_(node):
+                    b.assign(b.ref("a", "i"), 2.0)
+        program = b.finish()
+        if_stmt = program.entry_proc.body[0].body[0]
+        assert len(if_stmt.then_body) == 1 and len(if_stmt.else_body) == 1
+
+    def test_sym_binds_value(self):
+        b = ir.ProgramBuilder("p")
+        n = b.sym("n", 16)
+        b.shared("a", (16,))
+        with b.proc("main"):
+            with b.do("i", 1, n):
+                b.assign(b.ref("a", "i"), 0.0)
+        program = b.finish()
+        assert program.sym_value("n") == 16
+
+
+class TestValidation:
+    def test_undeclared_array(self):
+        b = small_program()
+        program = b.finish()
+        program.entry_proc.body.append(
+            ir.Assign(ir.aref("ghost", 1), ir.IntConst(0)))
+        with pytest.raises(ValidationError, match="ghost"):
+            validate_program(program)
+
+    def test_rank_mismatch(self):
+        program = small_program().finish()
+        program.entry_proc.body.append(
+            ir.Assign(ir.aref("a", 1), ir.IntConst(0)))
+        with pytest.raises(ValidationError, match="rank"):
+            validate_program(program)
+
+    def test_undefined_scalar_read(self):
+        program = small_program().finish()
+        program.entry_proc.body.append(
+            ir.Assign(ir.aref("a", 1, 1), ir.VarRef("mystery")))
+        with pytest.raises(ValidationError, match="mystery"):
+            validate_program(program)
+
+    def test_implicit_scalar_definition_allowed(self):
+        program = small_program().finish()
+        program.entry_proc.body.append(ir.Assign(ir.VarRef("t"), ir.IntConst(1)))
+        program.entry_proc.body.append(
+            ir.Assign(ir.aref("a", 1, 1), ir.VarRef("t")))
+        validate_program(program)  # must not raise
+
+    def test_call_to_undefined_procedure(self):
+        program = small_program().finish()
+        program.entry_proc.body.append(ir.CallStmt("nowhere"))
+        with pytest.raises(ValidationError, match="nowhere"):
+            validate_program(program)
+
+    def test_call_arity_checked(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (4,))
+        with b.proc("helper", params=("x",)):
+            b.assign(b.ref("a", 1), ir.E("x") * 1.0)
+        with b.proc("main"):
+            b.call("helper", 1, 2)
+        with pytest.raises(ValidationError, match="args"):
+            b.finish()
+
+    def test_align_target_must_exist(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        with b.proc("main"):
+            with b.doall("j", 1, 8, align="nothere"):
+                b.assign(b.ref("a", 1, "j"), 0.0)
+        with pytest.raises(ValidationError, match="nothere"):
+            b.finish()
+
+    def test_array_used_without_subscripts(self):
+        program = small_program().finish()
+        program.entry_proc.body.append(
+            ir.Assign(ir.aref("a", 1, 1), ir.VarRef("a")))
+        with pytest.raises(ValidationError, match="subscripts"):
+            validate_program(program)
+
+
+class TestProgramClone:
+    def test_clone_is_independent(self):
+        program = small_program().finish()
+        copy = program.clone()
+        copy.entry_proc.body.clear()
+        assert program.entry_proc.body  # original untouched
+
+    def test_clone_preserves_symbols(self):
+        program = small_program().finish()
+        program.bind(n=7)
+        assert program.clone().sym_value("n") == 7

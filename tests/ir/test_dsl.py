@@ -1,0 +1,160 @@
+"""The text DSL: parsing, error reporting, printer round trips."""
+
+import pytest
+
+from repro.ir.dsl import ParseError, parse_expr, parse_program, tokenize
+from repro.ir.expr import ArrayRef, BinOp, IntConst, RefMode, SymConst
+from repro.ir.printer import format_program
+from repro.ir.stmt import Loop, LoopKind, ScheduleKind
+
+MINI = """
+program demo
+  shared real a(8, 8) dist(block, axis=-1)
+  real s = 0.5
+
+  procedure main
+    doall j = 1, 8 align(a) label(sweep)
+      do i = 1, 8
+        a(i, j) = a(i, j) * s + 1.0
+      end do
+    end doall
+  end procedure
+end program
+"""
+
+
+class TestTokenizer:
+    def test_comments_are_skipped(self):
+        tokens = tokenize("a = 1 ! a comment\n")
+        assert all(t.kind != "comment" for t in tokens)
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n")
+        assert tokens[0].line == 1
+        assert tokens[2].line == 2
+
+    def test_float_forms(self):
+        for text in ("1.5", ".5", "1.", "2e3", "1.5e-2"):
+            tokens = tokenize(text)
+            assert tokens[0].kind == "float", text
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a = {")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+
+    def test_parentheses(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert isinstance(expr, BinOp) and expr.op == "*"
+
+    def test_power_right_associative(self):
+        expr = parse_expr("2 ** 3 ** 2")
+        assert expr.op == "**"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "**"
+
+    def test_unary_minus_folds_literal(self):
+        expr = parse_expr("-4")
+        assert isinstance(expr, IntConst) and expr.value == -4
+
+    def test_sym_const(self):
+        expr = parse_expr("$n + 1")
+        assert isinstance(expr.left, SymConst) and expr.left.name == "n"
+
+    def test_array_ref_vs_intrinsic(self):
+        expr = parse_expr("sqrt(x)")
+        assert type(expr).__name__ == "IntrinsicCall"
+        ref = parse_expr("data(x)")
+        assert isinstance(ref, ArrayRef)
+
+    def test_bypass_annotation(self):
+        ref = parse_expr("a(i, j)@bypass")
+        assert isinstance(ref, ArrayRef) and ref.mode == RefMode.BYPASS
+
+    def test_comparison(self):
+        expr = parse_expr("i <= n - 1")
+        assert expr.op == "<="
+
+    def test_logical(self):
+        expr = parse_expr("i < 2 or j > 3 and k == 1")
+        assert expr.op == "or"
+
+
+class TestPrograms:
+    def test_mini_program_parses(self):
+        program = parse_program(MINI)
+        assert "a" in program.arrays
+        assert program.scalars["s"].init == 0.5
+        loop = program.entry_proc.body[0]
+        assert isinstance(loop, Loop) and loop.kind == LoopKind.DOALL
+        assert loop.align == "a" and loop.label == "sweep"
+
+    def test_round_trip_is_fixpoint(self):
+        program = parse_program(MINI)
+        text = format_program(program)
+        again = format_program(parse_program(text))
+        assert text == again
+
+    def test_schedule_annotation(self):
+        src = MINI.replace("align(a)", "schedule(dynamic)")
+        program = parse_program(src)
+        loop = program.entry_proc.body[0]
+        assert loop.schedule == ScheduleKind.DYNAMIC
+
+    def test_entry_defaults_to_main(self):
+        program = parse_program(MINI)
+        assert program.entry == "main"
+
+    def test_private_array(self):
+        src = MINI.replace("shared real a(8, 8) dist(block, axis=-1)",
+                           "real a(8, 8) private").replace(" align(a)", "")
+        program = parse_program(src)
+        assert not program.arrays["a"].is_shared
+
+    def test_preamble_round_trip(self):
+        src = """
+program p
+  shared real a(8, 8) dist(block, axis=-1)
+  procedure main
+    doall j = 1, 8
+      preamble
+        vprefetch a(1, __lo_j) axis=0 len=8 stride=1
+      end preamble
+      a(1, j) = 1.0
+    end doall
+  end procedure
+end program
+"""
+        program = parse_program(src)
+        loop = program.entry_proc.body[0]
+        assert len(loop.preamble) == 1
+        text = format_program(program)
+        assert format_program(parse_program(text)) == text
+
+
+class TestErrors:
+    def test_undeclared_array(self):
+        src = MINI.replace("a(i, j) = a(i, j) * s + 1.0", "zz(i, j) = 1.0")
+        with pytest.raises(Exception, match="zz"):
+            parse_program(src)
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse_program("program p\n  procedure main\n  end procedure\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError, match="line"):
+            parse_expr("1 +")
+
+    def test_bad_ref_mode(self):
+        with pytest.raises(ParseError, match="mode"):
+            parse_expr("a(i)@turbo")
+
+    def test_unknown_schedule(self):
+        src = MINI.replace("align(a)", "schedule(guided)")
+        with pytest.raises(ParseError, match="schedule"):
+            parse_program(src)

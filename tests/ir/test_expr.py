@@ -1,0 +1,142 @@
+"""Expression node behaviour: identity, keys, cloning, traversal."""
+
+import pytest
+
+from repro.ir.expr import (ArrayRef, BinOp, FloatConst, IntConst,
+                           IntrinsicCall, RefMode, SymConst, UnaryOp, VarRef,
+                           add, aref, as_expr, div, expr_dtype, mul, sub)
+from repro.ir.dtypes import INT, REAL
+
+
+class TestConstruction:
+    def test_int_const(self):
+        node = IntConst(7)
+        assert node.value == 7
+        assert node.key() == ("int", 7)
+
+    def test_float_const(self):
+        node = FloatConst(2.5)
+        assert node.value == 2.5
+
+    def test_var_ref(self):
+        assert VarRef("i").key() == ("var", "i")
+
+    def test_sym_const(self):
+        assert SymConst("n").key() == ("sym", "n")
+
+    def test_array_ref(self):
+        ref = aref("a", "i", 3)
+        assert ref.array == "a"
+        assert ref.rank == 2
+        assert ref.mode == RefMode.NORMAL
+
+    def test_binop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            BinOp("@@", IntConst(1), IntConst(2))
+
+    def test_unary_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            UnaryOp("!", IntConst(1))
+
+    def test_intrinsic_arity_check(self):
+        with pytest.raises(ValueError):
+            IntrinsicCall("sqrt", [IntConst(1), IntConst(2)])
+
+    def test_intrinsic_unknown_name(self):
+        with pytest.raises(ValueError):
+            IntrinsicCall("frobnicate", [IntConst(1)])
+
+
+class TestAsExpr:
+    def test_coerces_int(self):
+        assert isinstance(as_expr(3), IntConst)
+
+    def test_coerces_float(self):
+        assert isinstance(as_expr(3.5), FloatConst)
+
+    def test_coerces_str_to_var(self):
+        node = as_expr("i")
+        assert isinstance(node, VarRef) and node.name == "i"
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            as_expr(True)
+
+    def test_rejects_none(self):
+        with pytest.raises(TypeError):
+            as_expr(None)
+
+    def test_passthrough(self):
+        node = IntConst(1)
+        assert as_expr(node) is node
+
+
+class TestIdentityAndKeys:
+    def test_uids_are_unique(self):
+        a, b = IntConst(1), IntConst(1)
+        assert a.uid != b.uid
+
+    def test_structural_key_equality(self):
+        a = add(mul("i", 2), 1)
+        b = add(mul("i", 2), 1)
+        assert a.key() == b.key()
+        assert a is not b
+
+    def test_key_distinguishes_operand_order(self):
+        assert sub("i", "j").key() != sub("j", "i").key()
+
+    def test_array_ref_key_includes_subscripts(self):
+        assert aref("a", "i").key() != aref("a", "j").key()
+        assert aref("a", "i").key() != aref("b", "i").key()
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        ref = aref("a", add("i", 1), "j")
+        copy = ref.clone()
+        assert copy is not ref
+        assert copy.key() == ref.key()
+        assert copy.subscripts[0] is not ref.subscripts[0]
+
+    def test_clone_records_origin(self):
+        ref = aref("a", "i")
+        copy = ref.clone()
+        assert copy.origin == ref.uid
+        grand = copy.clone()
+        assert grand.origin == ref.uid
+
+    def test_clone_preserves_mode(self):
+        ref = aref("a", "i")
+        ref.mode = RefMode.BYPASS
+        assert ref.clone().mode == RefMode.BYPASS
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        expr = add(mul("i", 2), aref("a", "k"))
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds[0] == "BinOp"
+        assert "ArrayRef" in kinds and "VarRef" in kinds
+
+    def test_array_refs_nested_in_subscripts(self):
+        expr = aref("a", aref("idx", "i"))
+        names = [r.array for r in expr.array_refs()]
+        assert names == ["a", "idx"]
+
+    def test_free_vars(self):
+        expr = add(mul("i", 2), div("j", "k"))
+        assert expr.free_vars() == {"i", "j", "k"}
+
+
+class TestExprDtype:
+    def test_float_literal_is_real(self):
+        assert expr_dtype(FloatConst(1.0)) is REAL
+
+    def test_int_literal_is_int(self):
+        assert expr_dtype(IntConst(1)) is INT
+
+    def test_real_propagates(self):
+        assert expr_dtype(add(IntConst(1), FloatConst(2.0))).is_real()
+
+    def test_int_arith_stays_int(self):
+        assert expr_dtype(add(IntConst(1), SymConst("n"))).is_integer()

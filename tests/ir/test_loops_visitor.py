@@ -1,0 +1,158 @@
+"""Loop utilities (LSC partitioning) and the generic visitor helpers."""
+
+import pytest
+
+import repro.ir as ir
+from repro.ir.loops import (LSC, collect_lscs, contains_call, contains_if,
+                            has_static_bounds, inner_loops, is_innermost,
+                            loop_nest_of, static_trip_count)
+from repro.ir.visitor import (const_int_value, map_expr, parent_map,
+                              rewrite_body, substitute, substitute_in_stmt)
+
+
+def nest_program():
+    b = ir.ProgramBuilder("p")
+    b.shared("a", (8, 8))
+    b.shared("w", (8,))
+    with b.proc("main"):
+        b.assign(b.ref("w", 1), 0.0)                # leading serial segment
+        with b.do("k", 1, 4):
+            with b.doall("j", 1, 8):
+                with b.do("i", 1, 8):               # innermost
+                    b.assign(b.ref("a", "i", "j"), ir.E("i") * 1.0)
+            b.assign(b.ref("w", "k"), 1.0)          # segment inside k loop
+        b.assign(b.ref("w", 2), 2.0)                # trailing segment
+    return b.finish()
+
+
+class TestTripCounts:
+    def test_constant_bounds(self):
+        assert static_trip_count(ir.Loop("i", 1, 10)) == 10
+
+    def test_step(self):
+        assert static_trip_count(ir.Loop("i", 1, 10, 3)) == 4
+
+    def test_negative_step(self):
+        assert static_trip_count(ir.Loop("i", 10, 1, -1)) == 10
+
+    def test_empty_range(self):
+        assert static_trip_count(ir.Loop("i", 5, 1)) == 0
+
+    def test_symbolic_bound_is_unknown(self):
+        loop = ir.Loop("i", 1, ir.SymConst("n"))
+        assert static_trip_count(loop) is None
+        assert not has_static_bounds(loop)
+
+    def test_symbolic_bound_resolvable_with_symbols(self):
+        loop = ir.Loop("i", 1, ir.SymConst("n"))
+        assert static_trip_count(loop, {"n": 6}) == 6
+
+
+class TestStructure:
+    def test_innermost_detection(self):
+        program = nest_program()
+        k_loop = program.entry_proc.body[1]
+        assert not is_innermost(k_loop)
+        i_loop = k_loop.body[0].body[0]
+        assert is_innermost(i_loop)
+
+    def test_inner_loops(self):
+        program = nest_program()
+        loops = inner_loops(program.entry_proc.body)
+        assert [l.var for l in loops] == ["i"]
+
+    def test_loop_nest_paths(self):
+        program = nest_program()
+        paths = loop_nest_of(program.entry_proc.body)
+        assert len(paths) == 1
+        assert [l.var for l in paths[0]] == ["k", "j", "i"]
+
+    def test_contains_if_and_call(self):
+        loop = ir.Loop("i", 1, 4, body=[ir.If(ir.VarRef("c"), [])])
+        assert contains_if(loop)
+        loop2 = ir.Loop("i", 1, 4, body=[ir.CallStmt("p")])
+        assert contains_call(loop2)
+
+
+class TestLSCPartition:
+    def test_partition_shape(self):
+        program = nest_program()
+        lscs = collect_lscs(program.entry_proc.body)
+        kinds = [(lsc.is_loop, len(lsc.enclosing_loops)) for lsc in lscs]
+        # leading segment, innermost i loop, segment in k, trailing segment
+        assert (False, 0) in kinds          # leading segment at top level
+        assert (True, 2) in kinds           # i loop under k, doall j
+        assert (False, 1) in kinds          # segment inside k loop
+
+    def test_every_assign_belongs_to_exactly_one_lsc(self):
+        program = nest_program()
+        lscs = collect_lscs(program.entry_proc.body)
+        owned = []
+        for lsc in lscs:
+            stmts = lsc.loop.walk() if lsc.is_loop else \
+                (s for stmt in lsc.stmts for s in stmt.walk())
+            owned.extend(s.uid for s in stmts if isinstance(s, ir.Assign))
+        assigns = [s.uid for s in program.walk_entry() if isinstance(s, ir.Assign)]
+        assert sorted(owned) == sorted(assigns)
+
+    def test_if_branch_lscs_are_marked(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8,))
+        with b.proc("main"):
+            with b.if_(ir.E(1) < 2):
+                with b.do("i", 1, 8):
+                    b.assign(b.ref("a", "i"), 0.0)
+        program = b.finish()
+        lscs = collect_lscs(program.entry_proc.body)
+        assert any(lsc.in_if_branch for lsc in lscs)
+
+
+class TestVisitor:
+    def test_substitute_variable(self):
+        expr = ir.add(ir.mul("i", 2), "j")
+        out = substitute(expr, {"i": ir.add("i", 5)})
+        assert out.key() == ir.add(ir.mul(ir.add("i", 5), 2), "j").key()
+
+    def test_substitute_in_stmt_covers_bodies(self):
+        loop = ir.Loop("i", 1, ir.VarRef("n"),
+                       body=[ir.Assign(ir.aref("a", "t"), ir.VarRef("t"))])
+        out = substitute_in_stmt(loop, {"t": ir.IntConst(3), "n": ir.IntConst(9)})
+        assert const_int_value(out.upper) == 9
+        assert out.body[0].lhs.subscripts[0].key() == ("int", 3)
+
+    def test_map_expr_bottom_up(self):
+        expr = ir.add(1, ir.add(2, 3))
+
+        def fold(node):
+            if isinstance(node, ir.BinOp):
+                lv = const_int_value(node.left)
+                rv = const_int_value(node.right)
+                if lv is not None and rv is not None and node.op == "+":
+                    return ir.IntConst(lv + rv)
+            return None
+
+        out = map_expr(expr, fold)
+        assert isinstance(out, ir.IntConst) and out.value == 6
+
+    def test_const_int_value_folding(self):
+        assert const_int_value(ir.parse_expr("2 * 3 + 4")) == 10
+        assert const_int_value(ir.parse_expr("7 / 2")) == 3
+        assert const_int_value(ir.parse_expr("min(3, 9)")) == 3
+        assert const_int_value(ir.parse_expr("i + 1")) is None
+
+    def test_rewrite_body_deletes_and_expands(self):
+        body = [ir.Assign(ir.VarRef("x"), 1), ir.Assign(ir.VarRef("y"), 2)]
+
+        def drop_x(stmt):
+            if isinstance(stmt, ir.Assign) and stmt.lhs.name == "x":
+                return []
+            return None
+
+        out = rewrite_body(body, drop_x)
+        assert len(out) == 1 and out[0].lhs.name == "y"
+
+    def test_parent_map(self):
+        inner = ir.Assign(ir.VarRef("x"), 1)
+        loop = ir.Loop("i", 1, 4, body=[inner])
+        parents = parent_map([loop])
+        assert parents[inner.uid] is loop

@@ -1,0 +1,104 @@
+"""Pretty-printer output details."""
+
+import pytest
+
+import repro.ir as ir
+from repro.ir.printer import (format_array_decl, format_expr, format_program,
+                              format_stmt)
+from repro.ir.stmt import InvalidateLines, PrefetchLine, PrefetchVector
+
+
+class TestExprFormatting:
+    @pytest.mark.parametrize("text", [
+        "1 + 2 * 3",
+        "(1 + 2) * 3",
+        "a(i, j) + b(k)",
+        "min(i, j) + max(1, k)",
+        "sqrt(x) / 2.0",
+        "i <= n - 1",
+        "$n + 1",
+    ])
+    def test_round_trip_stability(self, text):
+        expr = ir.parse_expr(text)
+        printed = format_expr(expr)
+        assert format_expr(ir.parse_expr(printed)) == printed
+
+    def test_parentheses_only_when_needed(self):
+        assert format_expr(ir.parse_expr("1 + 2 * 3")) == "1 + 2 * 3"
+        assert format_expr(ir.parse_expr("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    def test_float_always_has_point(self):
+        assert format_expr(ir.FloatConst(2.0)) == "2.0"
+        assert "." in format_expr(ir.FloatConst(1e20)) or "e" in format_expr(ir.FloatConst(1e20))
+
+    def test_bypass_suffix(self):
+        ref = ir.aref("a", "i")
+        ref.mode = ir.RefMode.BYPASS
+        assert format_expr(ref) == "a(i)@bypass"
+
+
+class TestStmtFormatting:
+    def test_loop_with_step(self):
+        loop = ir.Loop("k", 1, 16, 4)
+        assert "do k = 1, 16, 4" in format_stmt(loop)
+
+    def test_unit_step_omitted(self):
+        assert ", 1\n" not in format_stmt(ir.Loop("k", 1, 16))
+
+    def test_doall_annotations(self):
+        loop = ir.Loop("j", 1, 8, kind=ir.LoopKind.DOALL,
+                       schedule=ir.ScheduleKind.DYNAMIC, label="sweep",
+                       align="a")
+        text = format_stmt(loop)
+        assert "schedule(dynamic)" in text
+        assert "align(a)" in text and "label(sweep)" in text
+
+    def test_prefetch_with_distance(self):
+        stmt = PrefetchLine(ir.aref("a", "i"), distance=3)
+        assert "ahead(3)" in format_stmt(stmt)
+
+    def test_vector_prefetch(self):
+        stmt = PrefetchVector("a", [ir.IntConst(1), ir.VarRef("j")], 0, 16)
+        text = format_stmt(stmt)
+        assert "vprefetch a(1, j)" in text and "len=16" in text
+
+    def test_invalidate(self):
+        stmt = InvalidateLines("a", [ir.IntConst(1), ir.IntConst(1)], 1, 8)
+        assert "invalidate a(1, 1)" in format_stmt(stmt)
+
+    def test_indentation_nested(self):
+        inner = ir.Assign(ir.aref("a", "i"), ir.IntConst(0))
+        loop = ir.Loop("i", 1, 4, body=[inner])
+        lines = format_stmt(loop, indent=1).splitlines()
+        assert lines[0].startswith("  do")
+        assert lines[1].startswith("    a(")
+
+
+class TestDeclFormatting:
+    def test_shared_block(self):
+        decl = ir.ArrayDecl("a", (8, 8))
+        assert format_array_decl(decl) == \
+            "shared real a(8, 8) dist(block, axis=-1)"
+
+    def test_private(self):
+        decl = ir.ArrayDecl("w", (8,), dist=ir.REPLICATED)
+        assert format_array_decl(decl) == "real w(8) private"
+
+    def test_program_lists_scalars_with_init(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (4,))
+        b.scalar("s", ir.REAL, 1.5)
+        with b.proc("main"):
+            b.assign(b.ref("a", 1), 0.0)
+        text = format_program(b.finish())
+        assert "real s = 1.5" in text
+
+    def test_helper_procs_printed_before_entry(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (4,))
+        with b.proc("helper"):
+            b.assign(b.ref("a", 1), 1.0)
+        with b.proc("main"):
+            b.call("helper")
+        text = format_program(b.finish())
+        assert text.index("procedure helper") < text.index("procedure main")

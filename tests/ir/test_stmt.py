@@ -1,0 +1,122 @@
+"""Statement nodes: construction rules, bodies, cloning, walking."""
+
+import pytest
+
+from repro.ir.expr import ArrayRef, IntConst, VarRef, aref
+from repro.ir.stmt import (Assign, CallStmt, If, InvalidateLines, Loop,
+                           LoopKind, PrefetchLine, PrefetchVector,
+                           ScheduleKind)
+
+
+class TestAssign:
+    def test_scalar_target(self):
+        stmt = Assign(VarRef("s"), 1.5)
+        assert isinstance(stmt.lhs, VarRef)
+
+    def test_array_target(self):
+        stmt = Assign(aref("a", "i"), 0)
+        assert isinstance(stmt.lhs, ArrayRef)
+
+    def test_rejects_expression_target(self):
+        with pytest.raises(TypeError):
+            Assign(IntConst(3), 1)
+
+    def test_expressions_exposes_both_sides(self):
+        stmt = Assign(aref("a", "i"), aref("b", "i"))
+        assert len(stmt.expressions()) == 2
+
+
+class TestLoop:
+    def test_defaults(self):
+        loop = Loop("i", 1, 10)
+        assert loop.kind == LoopKind.SERIAL
+        assert not loop.is_parallel
+        assert loop.schedule == ScheduleKind.STATIC_BLOCK
+
+    def test_doall(self):
+        loop = Loop("j", 1, 8, kind=LoopKind.DOALL)
+        assert loop.is_parallel
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Loop("i", 1, 2, kind="whileloop")
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            Loop("i", 1, 2, kind=LoopKind.DOALL, schedule="guided")
+
+    def test_preamble_only_on_doall(self):
+        with pytest.raises(ValueError):
+            Loop("i", 1, 2, preamble=[Assign(VarRef("t"), 0)])
+
+    def test_align_only_on_doall(self):
+        with pytest.raises(ValueError):
+            Loop("i", 1, 2, align="a")
+
+    def test_chunk_vars(self):
+        loop = Loop("j", 1, 8, kind=LoopKind.DOALL)
+        assert loop.chunk_vars() == ("__lo_j", "__hi_j", "__cnt_j")
+
+    def test_bodies_includes_preamble(self):
+        pre = [PrefetchLine(aref("a", 1))]
+        loop = Loop("j", 1, 8, kind=LoopKind.DOALL, preamble=pre)
+        assert len(loop.bodies()) == 2
+
+    def test_clone_deep_copies_body_and_preamble(self):
+        loop = Loop("j", 1, 8, body=[Assign(aref("a", "j"), 1)],
+                    kind=LoopKind.DOALL,
+                    preamble=[PrefetchLine(aref("a", 1))], align="a")
+        copy = loop.clone()
+        assert copy.body[0] is not loop.body[0]
+        assert copy.preamble[0] is not loop.preamble[0]
+        assert copy.align == "a"
+        assert copy.schedule == loop.schedule
+
+
+class TestIf:
+    def test_branches(self):
+        stmt = If(VarRef("c"), [Assign(VarRef("x"), 1)], [Assign(VarRef("x"), 2)])
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_walk_covers_both_branches(self):
+        stmt = If(VarRef("c"), [Assign(VarRef("x"), 1)], [Assign(VarRef("y"), 2)])
+        assert sum(1 for _ in stmt.walk()) == 3
+
+
+class TestPrefetchStmts:
+    def test_prefetch_line_defaults_invalidate(self):
+        stmt = PrefetchLine(aref("a", "i"))
+        assert stmt.invalidate_first
+
+    def test_prefetch_line_clone_keeps_metadata(self):
+        stmt = PrefetchLine(aref("a", "i"), for_uid=42, distance=3)
+        copy = stmt.clone()
+        assert copy.for_uid == 42 and copy.distance == 3
+
+    def test_prefetch_vector_fields(self):
+        stmt = PrefetchVector("a", [IntConst(1), VarRef("j")], axis=0,
+                              length=16)
+        assert stmt.axis == 0
+        assert len(stmt.start_subscripts) == 2
+
+    def test_invalidate_lines_expressions(self):
+        stmt = InvalidateLines("a", [IntConst(1), IntConst(1)], 0, 8)
+        assert len(stmt.expressions()) == 3
+
+
+class TestWalk:
+    def test_nested_walk_order(self):
+        inner = Assign(aref("a", "i", "j"), 0)
+        loop_i = Loop("i", 1, 4, body=[inner])
+        loop_j = Loop("j", 1, 4, body=[loop_i], kind=LoopKind.DOALL)
+        seq = list(loop_j.walk())
+        assert seq[0] is loop_j and seq[1] is loop_i and seq[2] is inner
+
+    def test_array_refs_across_statements(self):
+        loop = Loop("i", 1, 4, body=[
+            Assign(aref("a", "i"), aref("b", "i")),
+            CallStmt("p", [aref("c", "i")]),
+        ])
+        names = sorted({r.array for r in loop.array_refs()})
+        assert names == ["a", "b", "c"]

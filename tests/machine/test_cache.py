@@ -1,0 +1,114 @@
+"""Direct-mapped write-through cache behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import DirectMappedCache
+from repro.machine.params import t3d
+
+
+@pytest.fixture
+def cache():
+    # 512 B cache, 32 B lines -> 16 lines of 4 words
+    return DirectMappedCache(t3d(1, cache_bytes=512))
+
+
+def line_data(value=1.0, version=1, words=4):
+    return (np.full(words, value), np.full(words, version, dtype=np.int64))
+
+
+class TestBasics:
+    def test_cold_miss(self, cache):
+        assert cache.read(100) is None
+        assert not cache.probe(100)
+
+    def test_install_then_hit(self, cache):
+        data, vers = line_data(2.5, 7)
+        cache.install(25, data, vers)  # line 25 covers addrs 100..103
+        assert cache.probe(101)
+        value, version = cache.read(102)
+        assert value == 2.5 and version == 7
+
+    def test_direct_mapped_conflict_eviction(self, cache):
+        data, vers = line_data()
+        cache.install(3, data, vers)
+        cache.install(3 + 16, data, vers)  # same set (16 lines)
+        assert cache.read(3 * 4) is None
+        assert cache.read((3 + 16) * 4) is not None
+
+    def test_distinct_sets_coexist(self, cache):
+        data, vers = line_data()
+        cache.install(3, data, vers)
+        cache.install(4, data, vers)
+        assert cache.probe(12) and cache.probe(16)
+
+    def test_occupancy(self, cache):
+        data, vers = line_data()
+        assert cache.occupancy() == 0
+        cache.install(1, data, vers)
+        cache.install(2, data, vers)
+        assert cache.occupancy() == 2
+
+
+class TestWriteThrough:
+    def test_update_present_line(self, cache):
+        data, vers = line_data(1.0, 1)
+        cache.install(5, data, vers)
+        assert cache.write_through_update(21, 9.0, 4)
+        value, version = cache.read(21)
+        assert value == 9.0 and version == 4
+        # neighbouring word untouched
+        assert cache.read(20) == (1.0, 1)
+
+    def test_no_allocate_on_miss(self, cache):
+        assert not cache.write_through_update(200, 1.0, 1)
+        assert cache.read(200) is None
+
+
+class TestInvalidation:
+    def test_invalidate_line(self, cache):
+        data, vers = line_data()
+        cache.install(7, data, vers)
+        assert cache.invalidate_line(7)
+        assert cache.read(28) is None
+        assert not cache.invalidate_line(7)  # already gone
+
+    def test_invalidate_range_partial(self, cache):
+        data, vers = line_data()
+        for line in range(3):
+            cache.install(line, data, vers)
+        dropped = cache.invalidate_range(0, 5)  # lines 0 and 1
+        assert dropped == 2
+        assert cache.probe(8)  # line 2 still present
+
+    def test_invalidate_huge_range_flushes(self, cache):
+        data, vers = line_data()
+        for line in range(4):
+            cache.install(line, data, vers)
+        dropped = cache.invalidate_range(0, 4 * 16 * 10)
+        assert dropped == 4
+        assert cache.occupancy() == 0
+
+    def test_invalidate_range_skips_aliased_other_tags(self, cache):
+        data, vers = line_data()
+        cache.install(16, data, vers)  # set 0 holds line 16
+        dropped = cache.invalidate_range(0, 3)  # asks for line 0 only
+        assert dropped == 0
+        assert cache.probe(64)
+
+    def test_flush(self, cache):
+        data, vers = line_data()
+        cache.install(1, data, vers)
+        cache.flush()
+        assert cache.occupancy() == 0
+
+
+class TestStaleData:
+    def test_cache_returns_stale_values(self, cache):
+        """The cache is oblivious to memory: it returns what it holds.
+        (The machine-level checker is what notices version skew.)"""
+        data, vers = line_data(1.0, version=1)
+        cache.install(2, data, vers)
+        # memory has moved to version 5 elsewhere; the cache still says v1
+        value, version = cache.read(8)
+        assert version == 1 and value == 1.0

@@ -1,0 +1,242 @@
+"""Machine-level semantics: reads/writes/prefetches, timing, and the
+exact stale-read checker."""
+
+import numpy as np
+import pytest
+
+from repro.ir.arrays import ArrayDecl, REPLICATED
+from repro.machine.machine import Machine, StaleReadError
+from repro.machine.params import t3d
+
+
+def make_machine(n_pes=4, on_stale="record", **over):
+    over.setdefault("cache_bytes", 512)
+    params = t3d(n_pes, **over)
+    decls = [ArrayDecl("a", (4, 8)), ArrayDecl("w", (8,), dist=REPLICATED)]
+    return Machine(decls, params, on_stale=on_stale)
+
+
+class TestReadsAndWrites:
+    def test_read_returns_written_value(self):
+        m = make_machine()
+        m.write(0, "a", 5, 3.25)
+        assert m.read(0, "a", 5) == 3.25
+
+    def test_miss_then_hit_timing(self):
+        m = make_machine()
+        t0 = m.pes[0].clock
+        m.read(0, "a", 0)  # miss (local: column 1 owned by PE 0)
+        t1 = m.pes[0].clock
+        m.read(0, "a", 0)  # hit
+        t2 = m.pes[0].clock
+        assert t1 - t0 == m.params.local_mem
+        assert t2 - t1 == m.params.cache_hit
+
+    def test_spatial_locality_within_line(self):
+        m = make_machine()
+        m.read(0, "a", 0)
+        before = m.pes[0].stats.cache_misses
+        m.read(0, "a", 1)  # same 4-word line
+        assert m.pes[0].stats.cache_misses == before
+
+    def test_remote_read_charges_network(self):
+        m = make_machine()
+        m.read(0, "a", 31)  # column 8 owned by PE 3
+        assert m.pes[0].clock >= m.params.remote_base
+        assert m.pes[0].stats.remote_fills == 1
+
+    def test_uncached_read_does_not_install(self):
+        m = make_machine()
+        m.read(0, "a", 0, cacheable=False)
+        assert m.pes[0].cache.occupancy() == 0
+        assert m.pes[0].stats.uncached_local_reads == 1
+
+    def test_bypass_read_is_fresh_and_uncached(self):
+        m = make_machine()
+        m.read(0, "a", 0)           # install line
+        m.write(1, "a", 0, 7.0)     # remote write makes PE0's line stale
+        value = m.read(0, "a", 0, bypass=True)
+        assert value == 7.0
+        assert m.stats.stale_reads == 0
+
+    def test_craft_overhead_added(self):
+        m = make_machine()
+        m.read(0, "a", 0, cacheable=False, craft=True)
+        assert m.pes[0].clock == (m.params.uncached_local_read
+                                  + m.params.craft_shared_ref_overhead)
+
+    def test_private_arrays_are_per_pe(self):
+        m = make_machine()
+        m.write(0, "w", 2, 1.0)
+        m.write(1, "w", 2, 2.0)
+        assert m.read(0, "w", 2) == 1.0
+        assert m.read(1, "w", 2) == 2.0
+
+    def test_write_through_updates_own_cache(self):
+        m = make_machine()
+        m.read(0, "a", 0)
+        m.write(0, "a", 0, 5.5)
+        before = m.pes[0].stats.cache_misses
+        assert m.read(0, "a", 0) == 5.5
+        assert m.pes[0].stats.cache_misses == before  # still a hit
+        assert m.stats.stale_reads == 0
+
+
+class TestStaleness:
+    def test_remote_write_leaves_stale_copy(self):
+        m = make_machine()
+        m.read(0, "a", 16)          # PE0 caches column 5 (owned by PE2)
+        m.write(2, "a", 16, 42.0)   # the owner updates it
+        value = m.read(0, "a", 16)  # PE0 still sees the old value
+        assert value != 42.0
+        assert m.stats.stale_reads == 1
+        assert m.pes[0].stats.stale_hits == 1
+        assert not m.coherent()
+
+    def test_strict_mode_raises(self):
+        m = make_machine(on_stale="raise")
+        m.read(0, "a", 16)
+        m.write(2, "a", 16, 42.0)
+        with pytest.raises(StaleReadError):
+            m.read(0, "a", 16)
+
+    def test_invalidate_restores_coherence(self):
+        m = make_machine()
+        m.read(0, "a", 16)
+        m.write(2, "a", 16, 42.0)
+        m.invalidate(0, "a", 16, 16)
+        assert m.read(0, "a", 16) == 42.0
+        assert m.coherent()
+
+    def test_stale_examples_recorded(self):
+        m = make_machine()
+        m.read(0, "a", 16)
+        m.write(2, "a", 16, 1.0)
+        m.read(0, "a", 16)
+        assert "PE0" in m.stats.stale_examples[0]
+
+
+class TestPrefetchLine:
+    def test_prefetch_hides_latency(self):
+        m = make_machine()
+        assert m.prefetch_line(0, "a", 31)  # remote line
+        # burn cycles doing unrelated local work while the line flies
+        for _ in range(200):
+            m.read(0, "a", 0)
+        t_before = m.pes[0].clock
+        value = m.read(0, "a", 31)
+        cost = m.pes[0].clock - t_before
+        assert cost <= m.params.prefetch_extract + m.params.cache_hit
+        assert m.pes[0].stats.prefetch_extracted == 1
+
+    def test_prefetch_invalidates_stale_line_first(self):
+        m = make_machine()
+        m.read(0, "a", 16)
+        m.write(2, "a", 16, 9.0)
+        m.prefetch_line(0, "a", 16)
+        assert m.read(0, "a", 16) == 9.0
+        assert m.coherent()
+
+    def test_early_use_waits_for_arrival(self):
+        m = make_machine()
+        m.prefetch_line(0, "a", 31)
+        t0 = m.pes[0].clock
+        m.read(0, "a", 31)  # immediately: must stall till arrival
+        assert m.pes[0].clock - t0 > m.params.prefetch_extract
+        assert m.pes[0].stats.prefetch_late_cycles > 0
+
+    def test_queue_full_drops(self):
+        m = make_machine(prefetch_queue_slots=2)
+        results = [m.prefetch_line(0, "a", k * 4) for k in (1, 3, 5)]
+        assert results == [True, True, False]
+        assert m.pes[0].stats.prefetch_dropped == 1
+
+    def test_dropped_prefetch_still_coherent(self):
+        m = make_machine(prefetch_queue_slots=1)
+        m.read(0, "a", 16)
+        m.write(2, "a", 16, 9.0)
+        m.prefetch_line(0, "a", 28)     # fills the only slot
+        m.prefetch_line(0, "a", 16)     # dropped, but invalidated first
+        assert m.read(0, "a", 16) == 9.0
+        assert m.coherent()
+
+    def test_coalesces_same_line(self):
+        m = make_machine()
+        m.prefetch_line(0, "a", 16)
+        m.prefetch_line(0, "a", 17)  # same line
+        assert m.pes[0].queue.outstanding == 1
+
+    def test_dtb_setup_charged_on_target_change(self):
+        m = make_machine()
+        m.prefetch_line(0, "a", 16)  # owner PE2: DTB setup
+        setups0 = m.pes[0].stats.dtb_setups
+        m.prefetch_line(0, "a", 20)  # column 6, still PE2: no new setup
+        m.prefetch_line(0, "a", 31)  # PE3: setup again
+        assert setups0 == 1
+        assert m.pes[0].stats.dtb_setups == 2
+
+
+class TestVectorPrefetch:
+    def test_vector_installs_fresh_lines(self):
+        m = make_machine()
+        m.read(0, "a", 16)
+        m.write(2, "a", 16, 4.0)
+        m.prefetch_vector(0, "a", 16, 8)  # columns 5-6
+        # give the transfer time to complete
+        m.pes[0].advance(10_000)
+        assert m.read(0, "a", 16) == 4.0
+        assert m.coherent()
+
+    def test_racing_read_stalls_until_completion(self):
+        m = make_machine()
+        m.prefetch_vector(0, "a", 16, 8)
+        t0 = m.pes[0].clock
+        m.read(0, "a", 17)
+        stall = m.pes[0].stats.vector_stall_cycles
+        assert stall > 0
+        assert m.pes[0].clock >= t0 + stall
+
+    def test_strided_vector_counts_touched_lines(self):
+        m = make_machine()
+        # row access: stride 4 elements = exactly one line per element
+        m.prefetch_vector(0, "a", 0, 8, stride=4)
+        m.pes[0].advance(10_000)
+        hits_before = m.pes[0].stats.cache_hits
+        m.read(0, "a", 12)
+        assert m.pes[0].stats.cache_hits == hits_before + 1
+
+    def test_out_of_bounds_rejected(self):
+        m = make_machine()
+        with pytest.raises(IndexError):
+            m.prefetch_vector(0, "a", 30, 10)
+
+    def test_oversized_vector_rejected(self):
+        m = make_machine(cache_bytes=64)  # 2 lines
+        with pytest.raises(ValueError, match="lines"):
+            m.prefetch_vector(0, "a", 0, 32)
+
+    def test_outstanding_vector_limit_stalls(self):
+        m = make_machine(max_outstanding_vectors=1)
+        m.prefetch_vector(0, "a", 0, 8)
+        stall_before = m.pes[0].stats.vector_stall_cycles
+        m.prefetch_vector(0, "a", 16, 8)
+        assert m.pes[0].stats.vector_stall_cycles > stall_before
+
+
+class TestBarrier:
+    def test_barrier_aligns_clocks(self):
+        m = make_machine()
+        m.pes[2].advance(500)
+        m.barrier()
+        clocks = {pe.clock for pe in m.pes}
+        assert len(clocks) == 1
+        assert clocks.pop() == 500 + m.params.barrier_cost()
+
+    def test_single_pe_barrier_free(self):
+        m = make_machine(n_pes=1)
+        assert m.params.barrier_cost() == 0
+
+    def test_elapsed_is_max_clock(self):
+        m = make_machine()
+        m.pes[1].advance(123)
+        assert m.elapsed() == 123

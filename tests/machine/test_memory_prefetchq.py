@@ -1,0 +1,125 @@
+"""Memory versioning and the prefetch queue / vector unit primitives."""
+
+import numpy as np
+import pytest
+
+from repro.ir.arrays import ArrayDecl, REPLICATED
+from repro.machine.memory import Memory
+from repro.machine.params import t3d
+from repro.machine.prefetchq import (PrefetchEntry, PrefetchQueue,
+                                     VectorTransfer, VectorUnit)
+
+PARAMS = t3d(4, cache_bytes=512)
+
+
+def make_memory():
+    return Memory([ArrayDecl("a", (4, 4)), ArrayDecl("w", (4,), dist=REPLICATED)],
+                  PARAMS)
+
+
+class TestMemory:
+    def test_initial_state(self):
+        mem = make_memory()
+        assert mem.read("a", 0) == 0.0
+        assert mem.version("a", 0) == 0
+
+    def test_write_bumps_version(self):
+        mem = make_memory()
+        v1 = mem.write("a", 3, 1.5)
+        v2 = mem.write("a", 3, 2.5)
+        assert (v1, v2) == (1, 2)
+        assert mem.read_with_version("a", 3) == (2.5, 2)
+
+    def test_versions_are_per_word(self):
+        mem = make_memory()
+        mem.write("a", 0, 1.0)
+        assert mem.version("a", 0) == 1
+        assert mem.version("a", 1) == 0
+
+    def test_array_view_is_column_major(self):
+        mem = make_memory()
+        mem.write("a", 1, 9.0)  # flat 1 = (row 2, col 1)
+        view = mem.array_view("a")
+        assert view[1, 0] == 9.0
+
+    def test_set_array_bulk(self):
+        mem = make_memory()
+        data = np.arange(16, dtype=float).reshape(4, 4)
+        mem.set_array("a", data)
+        assert np.array_equal(mem.array_view("a"), data)
+        assert mem.version("a", 5) == 1  # bulk init bumps versions
+
+    def test_private_per_pe(self):
+        mem = make_memory()
+        mem.write_private("w", 0, 1, 5.0)
+        mem.write_private("w", 3, 1, 6.0)
+        assert mem.read_private("w", 0, 1) == 5.0
+        assert mem.read_private("w", 3, 1) == 6.0
+        assert mem.read_private("w", 1, 1) == 0.0
+
+    def test_snapshot_is_a_copy(self):
+        mem = make_memory()
+        snap = mem.snapshot()
+        mem.write("a", 0, 7.0)
+        assert snap["a"][0, 0] == 0.0
+
+
+class TestPrefetchQueue:
+    def entry(self, line, arrival=100.0):
+        return PrefetchEntry(line_addr=line, array="a", arrival=arrival,
+                             issued_at=0.0, home_pe=1)
+
+    def test_fifo_capacity(self):
+        queue = PrefetchQueue(t3d(1, prefetch_queue_slots=2))
+        assert queue.issue(self.entry(1))
+        assert queue.issue(self.entry(2))
+        assert not queue.issue(self.entry(3))
+        assert queue.dropped == 1 and queue.issued == 2
+
+    def test_coalesce_counts_as_accepted(self):
+        queue = PrefetchQueue(PARAMS)
+        queue.issue(self.entry(5))
+        assert queue.issue(self.entry(5))
+        assert queue.outstanding == 1
+
+    def test_match_and_extract(self):
+        queue = PrefetchQueue(PARAMS)
+        queue.issue(self.entry(5))
+        entry = queue.match(5)
+        assert entry is not None
+        queue.extract(entry)
+        assert queue.match(5) is None
+
+    def test_reclaim_arrived(self):
+        queue = PrefetchQueue(PARAMS)
+        queue.issue(self.entry(1, arrival=10.0))
+        queue.issue(self.entry(2, arrival=500.0))
+        queue.reclaim_arrived(now=100.0)
+        assert queue.match(1) is None
+        assert queue.match(2) is not None
+
+
+class TestVectorUnit:
+    def test_covers(self):
+        transfer = VectorTransfer("a", 4, 8, completion=100.0)
+        assert transfer.covers(4) and transfer.covers(8)
+        assert not transfer.covers(9)
+
+    def test_stall_until_slot(self):
+        unit = VectorUnit(t3d(1, max_outstanding_vectors=1))
+        unit.issue(VectorTransfer("a", 0, 3, completion=50.0))
+        assert unit.stall_until_slot(now=10.0) == 50.0
+        assert unit.stall_until_slot(now=60.0) == 60.0
+
+    def test_match_prefers_earliest_completion(self):
+        unit = VectorUnit(t3d(1, max_outstanding_vectors=4))
+        unit.issue(VectorTransfer("a", 0, 10, completion=90.0))
+        unit.issue(VectorTransfer("a", 5, 8, completion=40.0))
+        match = unit.match(6)
+        assert match is not None and match.completion == 40.0
+
+    def test_issue_over_capacity_raises(self):
+        unit = VectorUnit(t3d(1, max_outstanding_vectors=1))
+        unit.issue(VectorTransfer("a", 0, 1, completion=10.0))
+        with pytest.raises(RuntimeError):
+            unit.issue(VectorTransfer("a", 2, 3, completion=20.0))

@@ -1,0 +1,97 @@
+"""Dynamic intra-epoch race detection (the runtime counterpart of the
+static GCD independence test)."""
+
+import pytest
+
+import repro.ir as ir
+from repro.machine import Machine, t3d
+from repro.ir.arrays import ArrayDecl
+from repro.machine.params import MachineParams
+from repro.runtime import ExecutionConfig, Interpreter, Version
+from repro.workloads import all_workloads
+
+
+def run_with_race_check(program, n_pes=4):
+    params = t3d(n_pes, cache_bytes=1024)
+    interp = Interpreter(program, params,
+                         ExecutionConfig.for_version(Version.CCDP))
+    interp.machine.race_check = True
+    result = interp.run()
+    return result, interp.machine
+
+
+class TestMachineLevel:
+    def make(self):
+        machine = Machine([ArrayDecl("a", (4, 8))], t3d(4, cache_bytes=512))
+        machine.race_check = True
+        return machine
+
+    def test_write_write_race(self):
+        machine = self.make()
+        machine.write(0, "a", 5, 1.0)
+        machine.write(1, "a", 5, 2.0)
+        assert machine.races == 1
+        assert "write-after-write" in machine.race_examples[0]
+
+    def test_read_after_remote_write_race(self):
+        machine = self.make()
+        machine.write(0, "a", 5, 1.0)
+        machine.read(1, "a", 5)
+        assert machine.races == 1
+        assert "read-after-write" in machine.race_examples[0]
+
+    def test_same_pe_rmw_is_fine(self):
+        machine = self.make()
+        machine.write(2, "a", 5, 1.0)
+        machine.read(2, "a", 5)
+        machine.write(2, "a", 5, 2.0)
+        assert machine.races == 0
+
+    def test_barrier_resets_epoch(self):
+        machine = self.make()
+        machine.write(0, "a", 5, 1.0)
+        machine.barrier()
+        machine.read(1, "a", 5)  # different epoch: a dependence, not a race
+        assert machine.races == 0
+
+    def test_disabled_by_default(self):
+        machine = Machine([ArrayDecl("a", (4, 8))], t3d(4, cache_bytes=512))
+        machine.write(0, "a", 5, 1.0)
+        machine.write(1, "a", 5, 2.0)
+        assert machine.races == 0
+
+
+class TestProgramLevel:
+    def test_workloads_are_race_free(self):
+        for spec in all_workloads():
+            args = dict(spec.default_args)
+            args["n"] = 16 if spec.name == "mxm" else 13
+            if "steps" in args:
+                args["steps"] = 2
+            result, machine = run_with_race_check(spec.build(**args))
+            assert machine.races == 0, (spec.name, machine.race_examples)
+
+    def test_racy_doall_is_flagged(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        with b.proc("main"):
+            with b.doall("j", 1, 8):
+                b.assign(b.ref("a", 1, 1), ir.E("j") * 1.0)  # all tasks hit (1,1)
+        _, machine = run_with_race_check(b.finish())
+        assert machine.races > 0
+
+    def test_static_checker_agrees_with_dynamic(self):
+        """The static GCD test flags the same racy loop the dynamic
+        detector catches."""
+        from repro.analysis.parcheck import check_doall_independence
+
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        with b.proc("main"):
+            with b.doall("j", 2, 8):
+                b.assign(b.ref("a", 1, "j"), b.ref("a", 1, ir.E("j") - 1))
+        program = b.finish()
+        static = check_doall_independence(program)
+        assert not static.clean
+        _, machine = run_with_race_check(program)
+        assert machine.races > 0

@@ -1,0 +1,76 @@
+"""Machine parameters and statistics plumbing."""
+
+import pytest
+
+from repro.machine.params import MachineParams, sequential_params, t3d
+from repro.machine.stats import MachineStats, PEStats
+
+
+class TestParams:
+    def test_derived_geometry(self):
+        params = t3d(8)
+        assert params.line_words == 4
+        assert params.n_lines == 256
+        assert params.cache_words == 1024
+
+    def test_line_elems(self):
+        params = t3d(1)
+        assert params.line_elems(8) == 4
+        assert params.line_elems(4) == 8
+        assert params.line_elems(64) == 1  # never below one element
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineParams(n_pes=0)
+        with pytest.raises(ValueError):
+            MachineParams(line_bytes=30)
+        with pytest.raises(ValueError):
+            MachineParams(cache_bytes=100, line_bytes=32)
+
+    def test_with_override(self):
+        params = t3d(4)
+        variant = params.with_(remote_base=500)
+        assert variant.remote_base == 500
+        assert variant.n_pes == 4
+        assert params.remote_base != 500  # frozen original untouched
+
+    def test_barrier_cost_scaling(self):
+        assert t3d(1).barrier_cost() == 0
+        assert t3d(4).barrier_cost() < t3d(64).barrier_cost()
+
+    def test_sequential_params(self):
+        seq = sequential_params(t3d(16, remote_base=77))
+        assert seq.n_pes == 1
+        assert seq.remote_base == 77
+
+    def test_t3d_with_overrides(self):
+        params = t3d(8, cache_bytes=1024)
+        assert params.cache_bytes == 1024 and params.n_pes == 8
+
+
+class TestStats:
+    def test_merge(self):
+        a = PEStats(reads=3, cache_hits=2, busy_cycles=10.0)
+        b = PEStats(reads=4, cache_hits=1, busy_cycles=5.0)
+        a.merge(b)
+        assert a.reads == 7 and a.cache_hits == 3 and a.busy_cycles == 15.0
+
+    def test_hit_rate(self):
+        stats = PEStats(cache_hits=3, cache_misses=1)
+        assert stats.hit_rate == 0.75
+        assert PEStats().hit_rate == 0.0
+
+    def test_machine_total(self):
+        machine = MachineStats(per_pe=[PEStats(reads=1), PEStats(reads=2)])
+        assert machine.total().reads == 3
+
+    def test_as_dict_includes_machine_fields(self):
+        machine = MachineStats(per_pe=[PEStats()], stale_reads=5, epochs=2)
+        d = machine.as_dict()
+        assert d["stale_reads"] == 5 and d["epochs"] == 2
+
+    def test_summary_text(self):
+        machine = MachineStats(per_pe=[PEStats(reads=10, cache_hits=5,
+                                               cache_misses=5)])
+        text = machine.summary()
+        assert "reads=10" in text and "hit_rate=0.500" in text

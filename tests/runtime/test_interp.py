@@ -1,0 +1,276 @@
+"""The reference interpreter: semantics, epochs, versions, register
+promotion."""
+
+import numpy as np
+import pytest
+
+import repro.ir as ir
+from repro.machine.params import t3d
+from repro.runtime import (ExecutionConfig, Interpreter, InterpreterError,
+                           Version, run_program)
+
+
+def run(program, n_pes=2, version=Version.CCDP, **params_over):
+    params_over.setdefault("cache_bytes", 512)
+    return run_program(program, t3d(n_pes, **params_over), version)
+
+
+def simple_program(body_builder, arrays=(("a", (8, 8)),), scalars=()):
+    b = ir.ProgramBuilder("p")
+    for name, shape in arrays:
+        b.shared(name, shape)
+    for name in scalars:
+        b.scalar(name)
+    with b.proc("main"):
+        body_builder(b)
+    return b.finish()
+
+
+class TestExpressionSemantics:
+    def check_scalar(self, expr_text, expected, env_setup=()):
+        def body(b):
+            for name, value in env_setup:
+                b.assign(b.var(name), value)
+            b.assign(b.var("out"), ir.parse_expr(expr_text))
+            b.assign(b.ref("a", 1, 1), ir.E("out") * 1.0)
+
+        program = simple_program(body, scalars=["out"] + [n for n, _ in env_setup])
+        result = run(program, n_pes=1, version=Version.SEQ)
+        assert result.value_of("a")[0, 0] == pytest.approx(expected)
+
+    def test_arithmetic(self):
+        self.check_scalar("2 + 3 * 4", 14)
+
+    def test_division_real(self):
+        self.check_scalar("7.0 / 2.0", 3.5)
+
+    def test_division_integer_truncates(self):
+        self.check_scalar("7 / 2", 3)
+
+    def test_power(self):
+        self.check_scalar("2.0 ** 3", 8.0)
+
+    def test_intrinsics(self):
+        self.check_scalar("sqrt(16.0)", 4.0)
+        self.check_scalar("abs(0 - 3.5)", 3.5)
+        self.check_scalar("min(4, 7) + max(4, 7)", 11)
+        self.check_scalar("sign(3.0, 0.0 - 1.0)", -3.0)
+
+    def test_comparison_in_if(self):
+        def body(b):
+            with b.if_(ir.E(3) < 5):
+                b.assign(b.ref("a", 1, 1), 1.0)
+            with b.if_(ir.E(3) > 5):
+                b.assign(b.ref("a", 2, 1), 1.0)
+
+        program = simple_program(body)
+        result = run(program, n_pes=1, version=Version.SEQ)
+        assert result.value_of("a")[0, 0] == 1.0
+        assert result.value_of("a")[1, 0] == 0.0
+
+    def test_symbolic_constant_needs_binding(self):
+        def body(b):
+            with b.do("i", 1, ir.E(ir.SymConst("n"))):
+                b.assign(b.ref("a", "i", 1), 1.0)
+
+        program = simple_program(body)
+        with pytest.raises(KeyError, match="unbound"):
+            run(program, n_pes=1, version=Version.SEQ)
+        program.bind(n=5)
+        result = run(program, n_pes=1, version=Version.SEQ)
+        assert result.value_of("a")[:, 0].sum() == 5
+
+    def test_out_of_bounds_read_raises(self):
+        def body(b):
+            b.assign(b.ref("a", 1, 1), b.ref("a", 9, 1))
+
+        with pytest.raises(IndexError):
+            run(simple_program(body), n_pes=1, version=Version.SEQ)
+
+
+class TestLoopsAndCalls:
+    def test_negative_step_loop(self):
+        def body(b):
+            with b.do("i", 8, 1, -1):
+                b.assign(b.ref("a", "i", 1), ir.E("i") * 1.0)
+
+        result = run(simple_program(body), n_pes=1, version=Version.SEQ)
+        assert result.value_of("a")[:, 0].tolist() == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_loop_carried_dependence(self):
+        def body(b):
+            b.assign(b.ref("a", 1, 1), 1.0)
+            with b.do("i", 2, 8):
+                b.assign(b.ref("a", "i", 1), b.ref("a", ir.E("i") - 1, 1) * 2.0)
+
+        result = run(simple_program(body), n_pes=1, version=Version.SEQ)
+        assert result.value_of("a")[7, 0] == 128.0
+
+    def test_procedure_call_with_params(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8,))
+        with b.proc("store", params=("where", "what")):
+            b.assign(b.ref("a", "where"), ir.E("what") * 1.0)
+        with b.proc("main"):
+            b.call("store", 3, 42.0)
+            b.call("store", 5, 7.0)
+        result = run(b.finish(), n_pes=1, version=Version.SEQ)
+        assert result.value_of("a")[2] == 42.0
+        assert result.value_of("a")[4] == 7.0
+
+    def test_nested_doall_rejected(self):
+        b = ir.ProgramBuilder("p")
+        b.shared("a", (8, 8))
+        with b.proc("main"):
+            with b.doall("j", 1, 8):
+                with b.doall("i", 1, 8):
+                    b.assign(b.ref("a", "i", "j"), 1.0)
+        with pytest.raises(InterpreterError, match="nested DOALL"):
+            run(b.finish(), n_pes=2)
+
+
+class TestEpochExecution:
+    def test_epoch_count(self, mini_mxm):
+        result = run(mini_mxm, n_pes=2)
+        # init epoch + 8 compute epochs (k region loop)
+        assert result.stats.epochs == 9
+
+    def test_single_pe_runs_without_barrier_cost(self, mini_mxm):
+        result = run(mini_mxm, n_pes=1, version=Version.SEQ)
+        assert result.stats.barriers == 0
+
+    def test_multi_pe_barriers(self, mini_mxm):
+        result = run(mini_mxm, n_pes=2)
+        assert result.stats.barriers >= result.stats.epochs
+
+    def test_doall_work_is_distributed(self, mini_mxm):
+        result = run(mini_mxm, n_pes=4)
+        reads = [pe.reads for pe in result.machine.stats.per_pe]
+        assert all(r > 0 for r in reads)
+
+    def test_dynamic_scheduling_executes_everything(self):
+        def body(b):
+            with b.doall("j", 1, 8, schedule=ir.ScheduleKind.DYNAMIC):
+                with b.do("i", 1, 8):
+                    b.assign(b.ref("a", "i", "j"), 1.0)
+
+        result = run(simple_program(body), n_pes=3)
+        assert result.value_of("a").sum() == 64
+
+    def test_cyclic_scheduling_executes_everything(self):
+        def body(b):
+            with b.doall("j", 1, 8, schedule=ir.ScheduleKind.STATIC_CYCLIC):
+                with b.do("i", 1, 8):
+                    b.assign(b.ref("a", "i", "j"), 2.0)
+
+        result = run(simple_program(body), n_pes=3)
+        assert result.value_of("a").sum() == 128
+
+    def test_owner_aligned_partition(self):
+        def body(b):
+            with b.doall("j", 2, 7, align="a"):
+                b.assign(b.ref("a", 1, "j"), 1.0)
+
+        result = run(simple_program(body), n_pes=4)
+        # every iteration ran on the owner -> no remote writes at all
+        assert result.machine.stats.total().remote_writes == 0
+
+    def test_trace_records_epochs(self, mini_mxm):
+        from repro.runtime import Interpreter, ExecutionConfig
+        interp = Interpreter(mini_mxm, t3d(2, cache_bytes=512),
+                             ExecutionConfig.for_version(Version.CCDP),
+                             trace_epochs=True)
+        result = interp.run()
+        assert len(result.epochs) == result.stats.epochs
+        assert all(e.duration >= 0 for e in result.epochs)
+
+
+class TestVersionPolicies:
+    def test_base_never_caches_shared(self, mini_mxm):
+        result = run(mini_mxm, n_pes=2, version=Version.BASE)
+        total = result.machine.stats.total()
+        assert total.cache_hits == 0 and total.cache_misses == 0
+        assert total.uncached_local_reads + total.uncached_remote_reads > 0
+
+    def test_ccdp_caches(self, mini_mxm):
+        result = run(mini_mxm, n_pes=2, version=Version.CCDP)
+        assert result.machine.stats.total().cache_hits > 0
+
+    def test_base_slower_than_naive(self, mini_mxm):
+        base = run(mini_mxm, n_pes=2, version=Version.BASE)
+        naive = run(mini_mxm, n_pes=2, version=Version.NAIVE)
+        assert base.elapsed > naive.elapsed
+
+    def test_versions_all_numerically_correct_when_coherent(self, mini_mxm):
+        # mini_mxm has no true staleness (data written once), so even the
+        # NAIVE-cached version computes correct values.
+        outs = {}
+        for version in (Version.SEQ, Version.BASE, Version.NAIVE):
+            result = run(mini_mxm, n_pes=2, version=version)
+            outs[version] = result.value_of("c").copy()
+        assert np.allclose(outs[Version.SEQ], outs[Version.BASE])
+        assert np.allclose(outs[Version.SEQ], outs[Version.NAIVE])
+
+    def test_exec_config_factory(self):
+        cfg = ExecutionConfig.for_version(Version.BASE)
+        assert not cfg.cache_shared and cfg.craft_overheads
+        with pytest.raises(ValueError):
+            ExecutionConfig.for_version("hyperspeed")
+
+
+class TestRegisterPromotion:
+    def test_repeated_reads_in_statement_counted_once(self):
+        def body(b):
+            with b.doall("q", 1, 2):
+                with b.do("i", 1, 8):
+                    # four textual reads of the same element
+                    b.assign(b.ref("a", "i", 2),
+                             b.ref("a", "i", 1) * b.ref("a", "i", 1)
+                             + b.ref("a", "i", 1) * b.ref("a", "i", 1))
+
+        result = run(simple_program(body), n_pes=1, version=Version.SEQ)
+        total = result.machine.stats.total()
+        # 2 tasks x 8 iterations x 1 real load (plus nothing else)
+        assert total.reads == 16
+
+    def test_write_invalidates_promoted_value(self):
+        def body(b):
+            with b.doall("q", 1, 1):
+                with b.do("i", 1, 1):
+                    b.assign(b.var("t"), b.ref("a", 1, 1))     # load (0.0)
+                    b.assign(b.ref("a", 1, 1), 5.0)            # write same elem
+                    b.assign(b.ref("a", 2, 1), b.ref("a", 1, 1))  # must reload
+
+        result = run(simple_program(body, scalars=("t",)), n_pes=1,
+                     version=Version.SEQ)
+        assert result.value_of("a")[1, 0] == 5.0
+
+    def test_distinct_offsets_keep_registers(self):
+        """A write to a(i,j) must not evict the promoted a(i-1,j)."""
+        def body(b):
+            b.assign(b.ref("a", 1, 1), 3.0)
+            with b.doall("q", 1, 1):
+                with b.do("i", 2, 8):
+                    b.assign(b.ref("a", "i", 1),
+                             b.ref("a", ir.E("i") - 1, 1) + 1.0)
+
+        result = run(simple_program(body), n_pes=1, version=Version.SEQ)
+        assert result.value_of("a")[7, 0] == 10.0
+
+    def test_scalar_subscripts_not_promoted(self):
+        """a(idx) where idx is a mutable scalar must reload when idx
+        changes mid-iteration."""
+        def body(b):
+            b.assign(b.ref("a", 1, 1), 1.0)
+            b.assign(b.ref("a", 2, 1), 2.0)
+            with b.doall("q", 1, 1):
+                with b.do("i", 1, 1):
+                    b.assign(b.var("idx"), 1)
+                    b.assign(b.var("t1"), b.ref("a", "idx", 1))
+                    b.assign(b.var("idx"), 2)
+                    b.assign(b.var("t2"), b.ref("a", "idx", 1))
+                    b.assign(b.ref("a", 3, 1), ir.E("t1") + ir.E("t2") * 10.0)
+
+        result = run(simple_program(body, scalars=("idx", "t1", "t2")),
+                     n_pes=1, version=Version.SEQ)
+        assert result.value_of("a")[2, 0] == 21.0

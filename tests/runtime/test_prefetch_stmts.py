@@ -1,0 +1,156 @@
+"""Runtime execution of the cache-management statements: clamping,
+preambles, drops, and version-policy interactions."""
+
+import numpy as np
+import pytest
+
+import repro.ir as ir
+from repro.ir.stmt import InvalidateLines, PrefetchLine, PrefetchVector
+from repro.machine.params import t3d
+from repro.runtime import ExecutionConfig, Interpreter, Version, run_program
+
+
+def program_with(stmts_builder, n=16):
+    b = ir.ProgramBuilder("p")
+    b.shared("x", (n, n))
+    b.shared("y", (n, n))
+    with b.proc("main"):
+        with b.doall("j", 1, n, align="x"):
+            with b.do("i", 1, n):
+                b.assign(b.ref("x", "i", "j"), ir.E("i") * 1.0)
+        stmts_builder(b, n)
+    return b.finish()
+
+
+def run(program, version=Version.CCDP, n_pes=2, **over):
+    over.setdefault("cache_bytes", 1024)
+    return run_program(program, t3d(n_pes, **over), version)
+
+
+class TestPrefetchLineRuntime:
+    def test_basic_prefetch_then_use(self):
+        def body(b, n):
+            b.emit(PrefetchLine(ir.aref("x", 3, 3)))
+            b.assign(b.ref("y", 1, 1), b.ref("x", 3, 3))
+
+        result = run(program_with(body))
+        total = result.machine.stats.total()
+        assert total.prefetch_issued == 1
+        assert total.prefetch_extracted == 1
+
+    def test_out_of_bounds_lookahead_is_dropped_harmlessly(self):
+        def body(b, n):
+            with b.doall("q", 1, 2):
+                with b.do("i", 1, n):
+                    # i+8 runs past the array edge: the prefetch must be
+                    # skipped there, never crash
+                    b.emit(PrefetchLine(ir.ArrayRef(
+                        "x", [ir.parse_expr("i + 8"), ir.IntConst(1)])))
+                    b.assign(b.ref("y", "i", 1),
+                             b.ref("y", "i", 1) + b.ref("x", "i", 1))
+
+        result = run(program_with(body))
+        assert result.stats.stale_reads == 0
+
+    def test_prefetch_noop_when_cache_disabled(self):
+        def body(b, n):
+            b.emit(PrefetchLine(ir.aref("x", 3, 3)))
+            b.assign(b.ref("y", 1, 1), b.ref("x", 3, 3))
+
+        result = run(program_with(body), version=Version.BASE)
+        assert result.machine.stats.total().prefetch_issued == 0
+
+
+class TestPrefetchVectorRuntime:
+    def test_vector_covers_reads(self):
+        def body(b, n):
+            b.emit(PrefetchVector("x", [ir.IntConst(1), ir.IntConst(2)],
+                                  axis=0, length=n))
+            with b.do("i", 1, n):
+                b.assign(b.ref("y", "i", 1), b.ref("x", "i", 2))
+
+        result = run(program_with(body))
+        total = result.machine.stats.total()
+        assert total.vector_prefetches == 1
+        assert total.vector_words == 16
+
+    def test_vector_length_clamped_at_runtime(self):
+        def body(b, n):
+            # length larger than the remaining array: runtime clamps
+            b.emit(PrefetchVector("x", [ir.IntConst(1), ir.IntConst(16)],
+                                  axis=0, length=999))
+            b.assign(b.ref("y", 1, 1), b.ref("x", 1, 16))
+
+        result = run(program_with(body))
+        assert result.machine.stats.total().vector_words <= 16
+
+    def test_nonpositive_length_is_noop(self):
+        def body(b, n):
+            b.emit(PrefetchVector("x", [ir.IntConst(1), ir.IntConst(1)],
+                                  axis=0, length=0))
+            b.assign(b.ref("y", 1, 1), b.ref("x", 1, 1))
+
+        result = run(program_with(body))
+        assert result.machine.stats.total().vector_prefetches == 0
+
+    def test_vector_noop_when_cache_disabled(self):
+        def body(b, n):
+            b.emit(PrefetchVector("x", [ir.IntConst(1), ir.IntConst(1)],
+                                  axis=0, length=8))
+            b.assign(b.ref("y", 1, 1), b.ref("x", 1, 1))
+
+        result = run(program_with(body), version=Version.BASE)
+        assert result.machine.stats.total().vector_prefetches == 0
+
+
+class TestInvalidateRuntime:
+    def test_invalidate_span_semantics(self):
+        """InvalidateLines covers length * stride(axis) words from the
+        start element."""
+        def body(b, n):
+            with b.do("i", 1, n):  # warm the cache with column 5
+                b.assign(b.ref("y", "i", 1),
+                         b.ref("y", "i", 1) + b.ref("x", "i", 5))
+            b.emit(InvalidateLines("x", [ir.IntConst(1), ir.IntConst(5)],
+                                   axis=0, length=n))
+            with b.do("i", 1, n):  # re-read: all misses again
+                b.assign(b.ref("y", "i", 2), b.ref("x", "i", 5))
+
+        result = run(program_with(body), n_pes=1, version=Version.SEQ)
+        assert result.machine.stats.total().invalidations >= 4
+
+    def test_whole_array_invalidate_via_last_axis(self):
+        def body(b, n):
+            b.emit(InvalidateLines("x", [ir.IntConst(1), ir.IntConst(1)],
+                                   axis=1, length=n))
+
+        result = run(program_with(body))
+        assert result.stats.stale_reads == 0
+
+
+class TestPreambleRuntime:
+    def test_chunk_vars_bound_per_pe(self):
+        n = 16
+        b = ir.ProgramBuilder("p")
+        b.shared("x", (n, n))
+        b.shared("y", (n, n))
+        with b.proc("main"):
+            with b.doall("j", 1, n, align="x") as loop:
+                with b.do("i", 1, n):
+                    b.assign(b.ref("x", "i", "j"), 1.0)
+            loop.preamble.append(PrefetchVector(
+                "x", [ir.IntConst(1), ir.VarRef("__lo_j")], axis=0, length=n))
+        program = b.finish()
+        result = run(program, n_pes=4)
+        # each of the 4 PEs issued its own preamble vector
+        assert result.machine.stats.total().vector_prefetches == 4
+
+    def test_empty_chunk_skips_iterations(self):
+        n = 4
+        b = ir.ProgramBuilder("p")
+        b.shared("x", (n, n))
+        with b.proc("main"):
+            with b.doall("j", 1, n, align="x"):
+                b.assign(b.ref("x", 1, "j"), 1.0)
+        result = run(b.finish(), n_pes=8)  # more PEs than columns
+        assert result.value_of("x")[0].sum() == n

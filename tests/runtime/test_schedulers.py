@@ -1,0 +1,94 @@
+"""Iteration partitioning policies."""
+
+import pytest
+
+from repro.ir.arrays import ArrayDecl
+from repro.runtime.schedulers import (Chunk, block_partition, cyclic_partition,
+                                      dynamic_chunks, iteration_values,
+                                      owner_partition)
+
+
+def flatten_chunks(chunks):
+    out = []
+    for chunk in chunks:
+        out.extend(chunk.iterations())
+    return out
+
+
+class TestBlockPartition:
+    def test_exact_division(self):
+        chunks = block_partition(1, 8, 1, 4)
+        assert [(c.lo, c.hi) for c in chunks] == [(1, 2), (3, 4), (5, 6), (7, 8)]
+
+    def test_covers_all_iterations_once(self):
+        values = flatten_chunks(block_partition(3, 20, 2, 3))
+        assert sorted(values) == list(range(3, 21, 2))
+
+    def test_uneven_trailing_pe_empty(self):
+        chunks = block_partition(1, 5, 1, 4)
+        assert sum(c.count for c in chunks) == 5
+        assert chunks[-1].count == 0
+
+    def test_single_pe_gets_everything(self):
+        chunks = block_partition(1, 7, 1, 1)
+        assert chunks[0].count == 7
+
+    def test_negative_step(self):
+        values = flatten_chunks(block_partition(10, 1, -1, 2))
+        assert sorted(values) == list(range(1, 11))
+
+
+class TestOwnerPartition:
+    def test_matches_array_ownership(self):
+        decl = ArrayDecl("a", (4, 16))
+        parts = owner_partition(2, 15, 1, 4,
+                                lambda v: decl.owner_of_axis_index(v, 4))
+        for pe, values in enumerate(parts):
+            for v in values:
+                assert decl.owner_of_axis_index(v, 4) == pe
+
+    def test_total_coverage(self):
+        decl = ArrayDecl("a", (4, 16))
+        parts = owner_partition(2, 15, 1, 4,
+                                lambda v: decl.owner_of_axis_index(v, 4))
+        assert sorted(v for vs in parts for v in vs) == list(range(2, 16))
+
+    def test_block_ownership_contiguous(self):
+        decl = ArrayDecl("a", (4, 16))
+        parts = owner_partition(1, 16, 1, 4,
+                                lambda v: decl.owner_of_axis_index(v, 4))
+        for values in parts:
+            if values:
+                assert values == list(range(values[0], values[-1] + 1))
+
+
+class TestCyclicPartition:
+    def test_round_robin(self):
+        parts = cyclic_partition(1, 7, 1, 3)
+        assert parts[0] == [1, 4, 7]
+        assert parts[1] == [2, 5]
+        assert parts[2] == [3, 6]
+
+    def test_coverage(self):
+        parts = cyclic_partition(2, 21, 3, 4)
+        assert sorted(v for vs in parts for v in vs) == list(range(2, 22, 3))
+
+
+class TestDynamicChunks:
+    def test_chunk_sizes(self):
+        chunks = dynamic_chunks(1, 10, 1, 4)
+        assert [c.count for c in chunks] == [4, 4, 2]
+
+    def test_coverage(self):
+        values = flatten_chunks(dynamic_chunks(1, 13, 2, 3))
+        assert sorted(values) == list(range(1, 14, 2))
+
+
+class TestChunk:
+    def test_empty_chunk(self):
+        assert Chunk(2, 1).count == 0
+        assert list(Chunk(2, 1).iterations()) == []
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            iteration_values(1, 5, 0)

@@ -1,0 +1,180 @@
+"""The four application case studies: oracle correctness in every
+version, CCDP coherence, and the structural properties the paper
+describes for each."""
+
+import numpy as np
+import pytest
+
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.harness.experiment import SCALED_CACHE_BYTES
+from repro.machine import t3d
+from repro.runtime import Version, run_program
+from repro.workloads import all_workloads, workload
+from repro.workloads.base import check_result
+
+SMALL = {"mxm": {"n": 16}, "vpenta": {"n": 17},
+         "tomcatv": {"n": 17, "steps": 2}, "swim": {"n": 17, "steps": 2}}
+
+
+def params(n_pes):
+    return t3d(n_pes, cache_bytes=SCALED_CACHE_BYTES)
+
+
+@pytest.fixture(params=[spec.name for spec in all_workloads()])
+def spec(request):
+    return workload(request.param)
+
+
+class TestOracles:
+    def test_sequential_matches_oracle(self, spec):
+        args = SMALL[spec.name]
+        program = spec.build(**args)
+        oracle = spec.oracle(**args)
+        result = run_program(program, params(1), Version.SEQ)
+        err = check_result({a: result.value_of(a) for a in spec.check_arrays},
+                           oracle, spec.check_arrays)
+        assert err is None, err
+
+    @pytest.mark.parametrize("n_pes", [2, 5, 8])
+    def test_base_matches_oracle(self, spec, n_pes):
+        args = SMALL[spec.name]
+        program = spec.build(**args)
+        oracle = spec.oracle(**args)
+        result = run_program(program, params(n_pes), Version.BASE)
+        err = check_result({a: result.value_of(a) for a in spec.check_arrays},
+                           oracle, spec.check_arrays)
+        assert err is None, err
+        assert result.stats.stale_reads == 0  # uncached: trivially coherent
+
+    @pytest.mark.parametrize("n_pes", [2, 5, 8])
+    def test_ccdp_matches_oracle_and_is_coherent(self, spec, n_pes):
+        args = SMALL[spec.name]
+        program = spec.build(**args)
+        oracle = spec.oracle(**args)
+        transformed, _ = ccdp_transform(program,
+                                        CCDPConfig(machine=params(n_pes)))
+        result = run_program(transformed, params(n_pes), Version.CCDP,
+                             on_stale="raise")
+        err = check_result({a: result.value_of(a) for a in spec.check_arrays},
+                           oracle, spec.check_arrays)
+        assert err is None, err
+        assert result.stats.stale_reads == 0
+
+
+class TestPaperStructure:
+    def test_mxm_prefetches_a_columns_as_vectors(self):
+        program = workload("mxm").build(n=16)
+        _, report = ccdp_transform(program, CCDPConfig(machine=params(8)))
+        # stale analysis flags exactly the A references
+        arrays = {i.decl.name for i in report.stale.stale_reads.values()}
+        assert arrays == {"a"}
+        # the four unrolled A columns become vector prefetches (VPG)
+        assert report.schedule.counts()["vpg"] == 4
+
+    def test_mxm_vectors_live_in_doall_preamble(self):
+        program = workload("mxm").build(n=16)
+        transformed, _ = ccdp_transform(program, CCDPConfig(machine=params(8)))
+        from repro.ir.stmt import Loop
+        doalls = [s for s in transformed.walk()
+                  if isinstance(s, Loop) and s.is_parallel and s.label == "compute"]
+        assert doalls and len(doalls[0].preamble) == 4
+
+    def test_vpenta_stale_refs_are_local(self):
+        """Paper: VPENTA's potentially-stale references access local
+        data — owner-ALIGNED reads made stale by the serial boundary
+        epoch (plus PE 0's own serial reads of aligned-written rows)."""
+        from repro.analysis.alignment import AccessClass
+        program = workload("vpenta").build(n=17)
+        _, report = ccdp_transform(program, CCDPConfig(machine=params(4)))
+        classes = {i.alignment.klass for i in report.stale.stale_reads.values()}
+        assert classes <= {AccessClass.ALIGNED, AccessClass.SERIAL}
+        assert AccessClass.ALIGNED in classes
+
+    def test_tomcatv_solver_reads_are_remote_class(self):
+        from repro.analysis.alignment import AccessClass
+        program = workload("tomcatv").build(n=17, steps=1)
+        _, report = ccdp_transform(program, CCDPConfig(machine=params(4)))
+        invariant = [i for i in report.stale.stale_reads.values()
+                     if i.alignment.klass == AccessClass.INVARIANT]
+        assert invariant  # the column j-1 / j+1 reads of loops 100/120
+
+    def test_tomcatv_naive_is_incoherent_and_wrong(self):
+        spec = workload("tomcatv")
+        args = SMALL["tomcatv"]
+        program = spec.build(**args)
+        oracle = spec.oracle(**args)
+        result = run_program(program, params(4), Version.NAIVE)
+        assert result.stats.stale_reads > 0
+        err = check_result({a: result.value_of(a) for a in spec.check_arrays},
+                           oracle, spec.check_arrays)
+        assert err is not None
+
+    def test_swim_uses_interprocedural_inlining(self):
+        program = workload("swim").build(n=17, steps=1)
+        _, report = ccdp_transform(program, CCDPConfig(machine=params(4)))
+        assert report.inlined_calls >= 3  # calc1..calc3
+
+    def test_swim_source_program_not_mutated(self):
+        program = workload("swim").build(n=17, steps=1)
+        n_calls_before = sum(1 for s in program.walk()
+                             if type(s).__name__ == "CallStmt")
+        ccdp_transform(program, CCDPConfig(machine=params(4)))
+        n_calls_after = sum(1 for s in program.walk()
+                            if type(s).__name__ == "CallStmt")
+        assert n_calls_before == n_calls_after == 3
+
+
+class TestPerformanceShape:
+    """The coarse performance claims, at miniature sizes (the full-shape
+    comparison lives in the benchmark harness)."""
+
+    def test_mxm_ccdp_beats_base_heavily(self):
+        spec = workload("mxm")
+        program = spec.build(n=16)
+        p = params(4)
+        base = run_program(program, p, Version.BASE)
+        transformed, _ = ccdp_transform(program, CCDPConfig(machine=p))
+        ccdp = run_program(transformed, p, Version.CCDP)
+        improvement = (base.elapsed - ccdp.elapsed) / base.elapsed
+        assert improvement > 0.4
+
+    def test_vpenta_ccdp_beats_base_modestly(self):
+        spec = workload("vpenta")
+        program = spec.build(n=17)
+        p = params(4)
+        base = run_program(program, p, Version.BASE)
+        transformed, _ = ccdp_transform(program, CCDPConfig(machine=p))
+        ccdp = run_program(transformed, p, Version.CCDP)
+        improvement = (base.elapsed - ccdp.elapsed) / base.elapsed
+        assert 0.0 < improvement < 0.5
+
+    def test_ordering_mxm_tomcatv_above_vpenta(self):
+        improvements = {}
+        for name in ("mxm", "tomcatv", "vpenta"):
+            spec = workload(name)
+            program = spec.build(**SMALL[name])
+            p = params(4)
+            base = run_program(program, p, Version.BASE)
+            transformed, _ = ccdp_transform(program, CCDPConfig(machine=p))
+            ccdp = run_program(transformed, p, Version.CCDP)
+            improvements[name] = (base.elapsed - ccdp.elapsed) / base.elapsed
+        assert improvements["mxm"] > improvements["vpenta"]
+        assert improvements["tomcatv"] > improvements["vpenta"]
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        assert sorted(s.name for s in all_workloads()) == \
+            ["mxm", "swim", "tomcatv", "vpenta"]
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            workload("linpack")
+
+    def test_paper_sizes_recorded(self):
+        assert workload("mxm").paper_args == {"n": 256}
+        assert workload("tomcatv").paper_args["n"] == 513
+
+    def test_mxm_requires_multiple_of_unroll(self):
+        with pytest.raises(ValueError):
+            workload("mxm").build(n=18)
