@@ -1,42 +1,114 @@
 """Simulator engine throughput: memory references simulated per second.
 
 Not a paper experiment — an engineering benchmark that tracks the
-reference interpreter's own performance so regressions are visible.
+simulator's own performance so regressions (and wins, like the batched
+execution backend) are visible.  Every run appends its numbers to
+``BENCH_throughput.json`` at the repo root, keyed by benchmark case, so
+the perf trajectory is machine-readable across PRs.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.machine.params import t3d
-from repro.runtime import Version, run_program
-from repro.workloads import workload
+from repro.runtime import Backend, Version, run_program
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
+def _record(key: str, payload: dict) -> None:
+    """Merge one benchmark result into the repo-root JSON ledger."""
+    results = {}
+    if RESULTS_PATH.exists():
+        try:
+            results = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            results = {}
+    results[key] = payload
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True)
+                            + "\n")
+
+
+@pytest.mark.parametrize("backend", [Backend.REFERENCE, Backend.BATCHED])
 @pytest.mark.parametrize("version", [Version.SEQ, Version.BASE, Version.CCDP])
-def test_interpreter_throughput(version, benchmark, capsys):
-    program = workload("mxm").build(n=24)
+def test_interpreter_throughput(version, backend, built_programs, benchmark,
+                                capsys):
+    program = built_programs("mxm", n=24)
     if version == Version.CCDP:
         from repro.coherence import CCDPConfig, ccdp_transform
         program, _ = ccdp_transform(
             program, CCDPConfig(machine=t3d(4, cache_bytes=2048)))
     params = t3d(1 if version == Version.SEQ else 4, cache_bytes=2048)
 
-    result = benchmark(lambda: run_program(program, params, version))
+    result = benchmark(
+        lambda: run_program(program, params, version, backend=backend))
 
     total = result.machine.stats.total()
     refs = total.reads + total.writes
+    seconds = benchmark.stats.stats.min
+    _record(f"mxm_n24_{version}_{backend}", {
+        "workload": "mxm", "n": 24, "version": version, "backend": backend,
+        "refs_per_run": refs,
+        "seconds_per_run": seconds,
+        "refs_per_sec": refs / seconds,
+    })
     with capsys.disabled():
-        seconds = benchmark.stats.stats.mean
-        print(f"\n[throughput] {version:5s} {refs / seconds:,.0f} refs/sec "
-              f"({refs} refs per run)")
+        print(f"\n[throughput] {version:5s} {backend:9s} "
+              f"{refs / seconds:,.0f} refs/sec ({refs} refs per run)")
     assert refs > 0
+
+
+def test_batched_backend_speedup(built_programs, capsys):
+    """The headline acceptance number: batched vs reference refs/sec on
+    MXM CCDP n=24.  Asserted ≥ 5x and recorded in the JSON ledger."""
+    import time
+
+    from repro.coherence import CCDPConfig, ccdp_transform
+
+    params = t3d(4, cache_bytes=2048)
+    program, _ = ccdp_transform(
+        built_programs("mxm", n=24), CCDPConfig(machine=params))
+
+    def best_of(backend, reps=3):
+        best, result = float("inf"), None
+        for _ in range(reps):
+            start = time.perf_counter()
+            result = run_program(program, params, Version.CCDP,
+                                 backend=backend)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    t_ref, res = best_of(Backend.REFERENCE)
+    t_bat, _ = best_of(Backend.BATCHED)
+    total = res.machine.stats.total()
+    refs = total.reads + total.writes
+    speedup = t_ref / t_bat
+    _record("mxm_n24_ccdp_speedup", {
+        "workload": "mxm", "n": 24, "version": Version.CCDP,
+        "reference_refs_per_sec": refs / t_ref,
+        "batched_refs_per_sec": refs / t_bat,
+        "speedup": speedup,
+    })
+    with capsys.disabled():
+        print(f"\n[speedup] mxm ccdp n=24: reference {refs / t_ref:,.0f} "
+              f"refs/sec, batched {refs / t_bat:,.0f} refs/sec "
+              f"({speedup:.2f}x)")
+    assert speedup >= 5.0, f"batched speedup {speedup:.2f}x below 5x target"
 
 
 def test_transform_throughput(benchmark):
     """Compile-time cost of the full CCDP pipeline on SWIM (the largest
     program, with interprocedural inlining)."""
     from repro.coherence import CCDPConfig, ccdp_transform
+    from repro.workloads import workload
 
     program = workload("swim").build(n=33, steps=3)
     config = CCDPConfig(machine=t3d(8, cache_bytes=2048))
     transformed, report = benchmark(lambda: ccdp_transform(program, config))
+    _record("swim_n33_ccdp_transform", {
+        "workload": "swim", "n": 33,
+        "seconds_per_transform": benchmark.stats.stats.min,
+    })
     assert report.targets.targets

@@ -39,6 +39,27 @@ def bench_size_args() -> Dict[str, int]:
     return out
 
 
+@pytest.fixture(scope="module")
+def built_programs():
+    """Memoised ``workload(name).build(**size_args)``.
+
+    Benchmark modules parametrize over versions/backends but run the same
+    few programs; building IR is pure, so each distinct (workload, sizes)
+    pair is built once per module instead of once per parametrized case.
+    """
+    from repro.workloads import workload
+
+    cache: Dict[tuple, object] = {}
+
+    def build(name: str, **size_args):
+        key = (name, tuple(sorted(size_args.items())))
+        if key not in cache:
+            cache[key] = workload(name).build(**size_args)
+        return cache[key]
+
+    return build
+
+
 @pytest.fixture(scope="session")
 def runners() -> Dict[str, ExperimentRunner]:
     return {spec.name: ExperimentRunner(spec, bench_size_args())

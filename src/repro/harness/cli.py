@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 from ..coherence import CCDPConfig, ccdp_transform
 from ..ir.printer import format_program
 from ..machine.params import t3d
-from ..runtime import Version, run_program
+from ..runtime import Backend, Version, run_program
 from ..workloads import all_workloads, workload
 from .experiment import PAPER_PE_COUNTS, ExperimentRunner
 from .report import generate_report
@@ -98,6 +98,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--n", type=int, default=None)
     p.add_argument("--steps", type=int, default=None)
     p.add_argument("--no-check", action="store_true")
+    p.add_argument("--backend", default=Backend.REFERENCE,
+                   choices=list(Backend.ALL),
+                   help="execution backend (batched = bulk NumPy traces, "
+                        "bit-exact vs reference)")
 
     p = sub.add_parser("compile-file",
                        help="compile a DSL source file with CCDP")
@@ -240,7 +244,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         spec = workload(args.workload)
         runner = ExperimentRunner(spec, _size_args(args), check=not args.no_check)
-        record = runner.run_version(args.version, int(args.pes))
+        record = runner.run_version(args.version, int(args.pes),
+                                    backend=args.backend)
         print(record.describe())
         for key in ("cache_hits", "cache_misses", "prefetch_issued",
                     "prefetch_dropped", "vector_prefetches", "bypass_reads",

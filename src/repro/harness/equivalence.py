@@ -1,0 +1,126 @@
+"""Differential equivalence harness: batched backend vs reference.
+
+The batched execution backend promises *bit-exactness*: for any program
+it accepts, running with ``backend="batched"`` must leave the machine in
+exactly the state the reference interpreter produces — same elapsed
+cycles, same aggregate and per-PE statistics, same shared and private
+array contents.  This module checks that promise mechanically so tests
+and ad-hoc investigations share one comparison.
+
+Use :func:`compare_backends` for a single program, or
+:func:`check_workload` to build + (optionally) CCDP-transform a named
+workload first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from dataclasses import fields as dc_fields
+from typing import List, Optional
+
+import numpy as np
+
+from ..machine.params import MachineParams
+from ..runtime.exec_config import ExecutionConfig, Version
+from ..runtime.interp import make_interpreter
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of one reference-vs-batched comparison."""
+
+    version: str
+    elapsed_ref: float
+    elapsed_batched: float
+    batch_chunks: int          #: loop chunks the batched backend bulk-serviced
+    batch_fallbacks: int       #: chunks that bound but fell back at run time
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def exact(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        verdict = "exact" if self.exact else "MISMATCH"
+        return (f"[{self.version}] {verdict}: elapsed={self.elapsed_batched} "
+                f"chunks={self.batch_chunks} fallbacks={self.batch_fallbacks}"
+                + ("".join("\n  " + m for m in self.mismatches)))
+
+
+def compare_backends(program, params: MachineParams, version: str,
+                     on_stale: str = "record") -> EquivalenceReport:
+    """Run ``program`` under both backends and diff every observable.
+
+    Comparisons are exact (``==`` / ``array_equal``), never approximate:
+    the batched backend is a drop-in replacement, not an approximation.
+    """
+    ref = make_interpreter(program, params,
+                           ExecutionConfig.for_version(version, on_stale,
+                                                       backend="reference"))
+    bat = make_interpreter(program, params,
+                           ExecutionConfig.for_version(version, on_stale,
+                                                       backend="batched"))
+    res_ref = ref.run()
+    res_bat = bat.run()
+    mism: List[str] = []
+    if res_ref.elapsed != res_bat.elapsed:
+        mism.append(f"elapsed: {res_ref.elapsed} != {res_bat.elapsed}")
+    _diff_stats(ref.machine, bat.machine, mism)
+    _diff_memory(ref.machine.memory, bat.machine.memory, mism)
+    return EquivalenceReport(
+        version=version, elapsed_ref=res_ref.elapsed,
+        elapsed_batched=res_bat.elapsed,
+        batch_chunks=getattr(bat, "batch_chunks", 0),
+        batch_fallbacks=getattr(bat, "batch_fallbacks", 0),
+        mismatches=mism)
+
+
+def check_workload(name: str, params: MachineParams, version: str,
+                   on_stale: str = "record", **size_args) -> EquivalenceReport:
+    """Build workload ``name``; CCDP-transform it when ``version`` is
+    ``ccdp``; then :func:`compare_backends`."""
+    from ..coherence import CCDPConfig, ccdp_transform
+    from ..workloads import workload
+
+    program = workload(name).build(**size_args)
+    if version == Version.CCDP:
+        program, _ = ccdp_transform(program, CCDPConfig(machine=params))
+    return compare_backends(program, params, version, on_stale)
+
+
+def _diff_stats(machine_a, machine_b, out: List[str]) -> None:
+    da = machine_a.stats.as_dict()
+    db = machine_b.stats.as_dict()
+    for key in da:
+        if da[key] != db[key]:
+            out.append(f"stats.{key}: {da[key]} != {db[key]}")
+    for pe, (sa, sb) in enumerate(zip(machine_a.stats.per_pe,
+                                      machine_b.stats.per_pe)):
+        for f in dc_fields(sa):
+            va, vb = getattr(sa, f.name), getattr(sb, f.name)
+            if va != vb:
+                out.append(f"pe{pe}.{f.name}: {va} != {vb}")
+    for pe, (pa, pb) in enumerate(zip(machine_a.pes, machine_b.pes)):
+        if pa.clock != pb.clock:
+            out.append(f"pe{pe}.clock: {pa.clock} != {pb.clock}")
+        if not np.array_equal(pa.cache.tags, pb.cache.tags):
+            out.append(f"pe{pe}.cache.tags differ")
+        elif not np.array_equal(pa.cache.data, pb.cache.data):
+            out.append(f"pe{pe}.cache.data differ")
+
+
+def _diff_memory(mem_a, mem_b, out: List[str]) -> None:
+    for array, values in mem_a.values.items():
+        if not np.array_equal(values, mem_b.values[array]):
+            bad = int(np.flatnonzero(values != mem_b.values[array])[0])
+            out.append(f"shared {array}[{bad}]: {values[bad]} != "
+                       f"{mem_b.values[array][bad]}")
+    for array, versions in mem_a.versions.items():
+        if not np.array_equal(versions, mem_b.versions[array]):
+            out.append(f"versions {array} differ")
+    for array, values in mem_a.private_values.items():
+        if not np.array_equal(values, mem_b.private_values[array]):
+            out.append(f"private {array} differs")
+
+
+__all__ = ["EquivalenceReport", "compare_backends", "check_workload"]

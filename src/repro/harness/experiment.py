@@ -112,14 +112,16 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
     def run_version(self, version: str, n_pes: int,
-                    on_stale: str = "record") -> RunRecord:
+                    on_stale: str = "record",
+                    backend: str = "reference") -> RunRecord:
         report: Optional[CCDPReport] = None
         if version == Version.CCDP:
             program, report = self.ccdp_program(n_pes)
         else:
             program = self.program
         params = self.params_for(1 if version == Version.SEQ else n_pes)
-        result = run_program(program, params, version, on_stale=on_stale)
+        result = run_program(program, params, version, on_stale=on_stale,
+                             backend=backend)
         error = None
         if self.check:
             error = check_result(

@@ -23,25 +23,36 @@ from ..ir.dtypes import WORD_BYTES
 from .params import MachineParams
 
 
+def layout_bases(arrays: Iterable[ArrayDecl], line_words: int) -> Tuple[Dict[str, int], int]:
+    """Line-aligned base word address per array, plus the total extent.
+
+    The single source of truth for the global layout: :class:`AddressMap`
+    and :class:`~repro.machine.memory.Memory` both derive their bases from
+    it, so flat global addresses index memory's backing store directly.
+    """
+    bases: Dict[str, int] = {}
+    cursor = line_words  # keep address 0 unused (debug aid)
+    for decl in arrays:
+        bases[decl.name] = cursor
+        cursor += _round_up(decl.size, line_words)
+    return bases, cursor
+
+
 class AddressMap:
     """Assigns line-aligned global word addresses to every array and
     answers ownership queries."""
 
     def __init__(self, arrays: Iterable[ArrayDecl], params: MachineParams) -> None:
         self.params = params
-        self.bases: Dict[str, int] = {}
         self.decls: Dict[str, ArrayDecl] = {}
-        cursor = params.line_words  # keep address 0 unused (debug aid)
-        for decl in arrays:
+        decls = list(arrays)
+        for decl in decls:
             if decl.is_shared and decl.dtype.size != WORD_BYTES:
                 raise ValueError(
                     f"shared array {decl.name}: element size must be one word "
                     f"({WORD_BYTES} bytes) on this machine")
             self.decls[decl.name] = decl
-            self.bases[decl.name] = cursor
-            words = decl.size  # one word per element for shared arrays
-            cursor += _round_up(words, params.line_words)
-        self.total_words = cursor
+        self.bases, self.total_words = layout_bases(decls, params.line_words)
         self._owner_cache: Dict[str, np.ndarray] = {}
 
     # -- address arithmetic ---------------------------------------------------

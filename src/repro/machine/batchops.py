@@ -1,0 +1,294 @@
+"""Bulk (vectorized) primitives for the batched execution backend.
+
+The heart of this module is :func:`classify_events`: an exact direct-mapped
+cache simulation over a whole event trace.  For traces without INVALIDATE
+events it runs as a handful of NumPy array operations using the *shifted
+comparison* trick pioneered in ``fastcache``: sort events by cache set
+(stable), then for every event the resident line beforehand is the line of
+the most recent earlier installing event in the same set — a prefix-maximum
+over positions, no Python loop.  Traces with INVALIDATE events fall back to
+an exact per-event Python scan (invalidations are rare in practice: the
+batched runtime issues them through its own scan engine).
+
+Unlike ``fastcache.classify_trace`` (which always starts from a cold cache),
+:func:`classify_events` accepts ``initial_tags`` so a trace can be classified
+against a *warm* cache — this is what lets the batched backend splice bulk
+chunks into the middle of a simulation without touching per-word state.
+
+Also here: latency lookup tables (per-owner cost vectors that turn the
+machine's scalar cost model into O(1) list indexing inside scan loops) and
+bulk cache refill helpers used when committing a batched chunk's effects
+back into a :class:`~repro.machine.cache.DirectMappedCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .params import MachineParams
+
+# Event kinds (canonical values; ``fastcache`` re-exports these).
+READ = 0
+WRITE = 1
+INSTALL = 2
+INVALIDATE = 3
+
+# Outcome codes per event.
+OUT_HIT = 0
+OUT_MISS = 1
+OUT_NA = 2  # not a READ (or invalidated/no outcome)
+
+
+@dataclass
+class EventClassification:
+    """Exact outcome of replaying an event trace against a direct-mapped cache.
+
+    ``present[i]`` is True when event *i*'s line was resident immediately
+    before the event (for READs this equals HIT; for WRITEs it says whether a
+    write-through update lands in the cache).  ``changed_sets`` lists the
+    cache sets whose resident line after the trace differs from the initial
+    state, with ``changed_lines`` the new resident line per such set (-1 for
+    invalidated-empty)."""
+
+    outcomes: np.ndarray       # int8 per event: OUT_HIT / OUT_MISS / OUT_NA
+    present: np.ndarray        # bool per event: line resident before event
+    changed_sets: np.ndarray   # int64, sets whose final resident line changed
+    changed_lines: np.ndarray  # int64, final resident line per changed set
+
+
+def classify_events(line_addrs: np.ndarray,
+                    kinds: Optional[np.ndarray],
+                    n_lines: int,
+                    initial_tags: Optional[np.ndarray] = None) -> EventClassification:
+    """Replay ``(line_addrs, kinds)`` against a direct-mapped cache.
+
+    ``kinds=None`` means all-READ.  ``initial_tags`` is the resident line per
+    set before the trace (-1 empty); ``None`` means a cold cache.  READ misses
+    and INSTALLs install their line; WRITEs never install (write-through,
+    no-allocate); INVALIDATEs empty the set iff the named line is resident.
+    """
+    line_addrs = np.asarray(line_addrs, dtype=np.int64)
+    n = line_addrs.shape[0]
+    if kinds is None:
+        kinds = np.zeros(n, dtype=np.int8)
+    else:
+        kinds = np.asarray(kinds, dtype=np.int8)
+    outcomes = np.full(n, OUT_NA, dtype=np.int8)
+    present = np.zeros(n, dtype=bool)
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return EventClassification(outcomes, present, empty, empty.copy())
+    sets = (line_addrs % n_lines).astype(np.int64)
+    if initial_tags is None:
+        init = np.full(n_lines, -1, dtype=np.int64)
+    else:
+        init = np.asarray(initial_tags, dtype=np.int64)
+    if bool((kinds == INVALIDATE).any()):
+        return _classify_scan(line_addrs, kinds, sets, init, outcomes, present)
+
+    order = np.argsort(sets, kind="stable")
+    ss = sets[order]
+    sl = line_addrs[order]
+    sk = kinds[order]
+    pos = np.arange(n, dtype=np.int64)
+
+    # Segment start per set-run (events of one set stay in trace order).
+    seg_start = np.empty(n, dtype=bool)
+    seg_start[0] = True
+    seg_start[1:] = ss[1:] != ss[:-1]
+    seg0 = np.maximum.accumulate(np.where(seg_start, pos, np.int64(-1)))
+
+    # Installing events: READs (miss or hit, the line ends up resident
+    # either way) and explicit INSTALLs.
+    installs = (sk == READ) | (sk == INSTALL)
+    last_inst = np.maximum.accumulate(np.where(installs, pos, np.int64(-1)))
+    prev_inst = np.empty(n, dtype=np.int64)
+    prev_inst[0] = -1
+    prev_inst[1:] = last_inst[:-1]
+    has_prev = prev_inst >= seg0
+    before = np.where(has_prev, sl[np.maximum(prev_inst, 0)], init[ss])
+    hit = before == sl
+
+    is_read = sk == READ
+    out_sorted = np.full(n, OUT_NA, dtype=np.int8)
+    out_sorted[is_read] = np.where(hit[is_read], OUT_HIT, OUT_MISS)
+    outcomes[order] = out_sorted
+    present[order] = hit
+
+    # Final resident line per touched set, from the last installing event.
+    seg_last = np.empty(n, dtype=bool)
+    seg_last[-1] = True
+    seg_last[:-1] = ss[1:] != ss[:-1]
+    li = last_inst[seg_last]
+    has_final = li >= seg0[seg_last]
+    csets = ss[seg_last]
+    fin = np.where(has_final, sl[np.maximum(li, 0)], init[csets])
+    changed = fin != init[csets]
+    return EventClassification(outcomes, present, csets[changed], fin[changed])
+
+
+def _classify_scan(line_addrs, kinds, sets, init, outcomes, present):
+    """Exact per-event scan; handles INVALIDATE (conditional set clear)."""
+    state = {}
+    la = line_addrs.tolist()
+    ks = kinds.tolist()
+    st = sets.tolist()
+    for i in range(len(la)):
+        s = st[i]
+        line = la[i]
+        resident = state.get(s)
+        if resident is None:
+            resident = int(init[s])
+        here = resident == line
+        present[i] = here
+        k = ks[i]
+        if k == READ:
+            outcomes[i] = OUT_HIT if here else OUT_MISS
+            state[s] = line
+        elif k == INSTALL:
+            state[s] = line
+        elif k == INVALIDATE:
+            if here:
+                state[s] = -1
+    csets: List[int] = []
+    clines: List[int] = []
+    for s in sorted(state):
+        if state[s] != int(init[s]):
+            csets.append(s)
+            clines.append(state[s])
+    return EventClassification(outcomes, present,
+                               np.asarray(csets, dtype=np.int64),
+                               np.asarray(clines, dtype=np.int64))
+
+
+# -- latency tables ----------------------------------------------------------
+
+def read_latency_table(params: MachineParams, torus, pe: int,
+                       extra: float = 0.0) -> List[float]:
+    """Cache-miss read cost per home PE, mirroring ``Machine.read_latency``."""
+    out = []
+    for owner in range(params.n_pes):
+        if owner == pe:
+            out.append(params.local_mem + extra)
+        else:
+            out.append(params.remote_base
+                       + params.remote_per_hop * torus.hops(pe, owner) + extra)
+    return out
+
+
+def write_latency_table(params: MachineParams, torus, pe: int,
+                        extra: float = 0.0) -> List[float]:
+    """Shared-write cost per home PE, mirroring ``Machine.write_latency``."""
+    out = []
+    for owner in range(params.n_pes):
+        if owner == pe:
+            out.append(params.write_local + extra)
+        else:
+            out.append(params.write_remote_base
+                       + params.write_remote_per_hop * torus.hops(pe, owner)
+                       + extra)
+    return out
+
+
+def uncached_read_latency_table(params: MachineParams, torus, pe: int,
+                                extra: float = 0.0) -> List[float]:
+    """Uncached/bypass read cost per home PE (local DRAM vs remote fetch)."""
+    out = []
+    for owner in range(params.n_pes):
+        if owner == pe:
+            out.append(params.uncached_local_read + extra)
+        else:
+            out.append(params.remote_base
+                       + params.remote_per_hop * torus.hops(pe, owner) + extra)
+    return out
+
+
+# -- bulk cache refill helpers ----------------------------------------------
+
+def bulk_fill_lines(cache, lines: Sequence[int],
+                    values_flat: np.ndarray, versions_flat: np.ndarray) -> None:
+    """Refill whole cache lines from the flat memory backing.
+
+    Only lines still resident (tag match) are filled — callers pass the set
+    of lines installed during a batched chunk, some of which may have been
+    evicted again before the chunk ended."""
+    lw = cache.line_words
+    nl = cache.n_lines
+    if len(lines) > 8:
+        ln = np.asarray(lines, dtype=np.int64)
+        ix = ln % nl
+        ok = cache.tags[ix] == ln
+        if not bool(ok.any()):
+            return
+        ln = ln[ok]
+        ix = ix[ok]
+        word_ix = ln[:, None] * lw + np.arange(lw, dtype=np.int64)
+        cache.data[ix] = values_flat[word_ix]
+        cache.vers[ix] = versions_flat[word_ix]
+        return
+    for line in lines:
+        ix = line % nl
+        if cache.tags[ix] == line:
+            base = line * lw
+            cache.data[ix, :] = values_flat[base:base + lw]
+            cache.vers[ix, :] = versions_flat[base:base + lw]
+
+
+def bulk_update_words(cache, addrs: Sequence[int],
+                      values_flat: np.ndarray, versions_flat: np.ndarray) -> None:
+    """Apply write-through word updates for resident lines, in bulk.
+
+    Duplicate addresses are fine: fancy assignment applies in order, and the
+    flat backing already holds each word's final value/version."""
+    if not len(addrs):
+        return
+    a = np.asarray(addrs, dtype=np.int64)
+    lw = cache.line_words
+    ln = a // lw
+    ix = ln % cache.n_lines
+    ok = cache.tags[ix] == ln
+    if not bool(ok.any()):
+        return
+    a = a[ok]
+    ln = ln[ok]
+    ix = ix[ok]
+    off = a - ln * lw
+    cache.data[ix, off] = values_flat[a]
+    cache.vers[ix, off] = versions_flat[a]
+
+
+def stale_words(cache, versions_flat: np.ndarray):
+    """Words resident in ``cache`` whose cached version lags memory.
+
+    Returns ``{addr: (cached_value, cached_version, memory_version)}`` — the
+    batched scan patches these into gathered read values so a chunk sees
+    exactly what the scalar interpreter would have read."""
+    valid = cache.tags >= 0
+    if not bool(valid.any()):
+        return {}
+    lw = cache.line_words
+    lines = cache.tags[valid]
+    addrs = (lines[:, None] * lw + np.arange(lw, dtype=np.int64)).ravel()
+    cvers = cache.vers[valid].ravel()
+    mvers = versions_flat[addrs]
+    mask = cvers < mvers
+    if not bool(mask.any()):
+        return {}
+    vals = cache.data[valid].ravel()
+    out = {}
+    for a, v, cv, mv in zip(addrs[mask].tolist(), vals[mask].tolist(),
+                            cvers[mask].tolist(), mvers[mask].tolist()):
+        out[a] = (v, cv, mv)
+    return out
+
+
+__all__ = [
+    "READ", "WRITE", "INSTALL", "INVALIDATE",
+    "OUT_HIT", "OUT_MISS", "OUT_NA",
+    "EventClassification", "classify_events",
+    "read_latency_table", "write_latency_table", "uncached_read_latency_table",
+    "bulk_fill_lines", "bulk_update_words", "stale_words",
+]

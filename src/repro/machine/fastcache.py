@@ -32,18 +32,20 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from . import batchops
 from .params import MachineParams
 
-# Event kind codes (kept small for compact arrays).
-READ = 0
-WRITE = 1
-INSTALL = 2
-INVALIDATE = 3
+# Event kind codes (canonical definitions live in batchops; re-exported
+# here for backwards compatibility and analysis-side convenience).
+READ = batchops.READ
+WRITE = batchops.WRITE
+INSTALL = batchops.INSTALL
+INVALIDATE = batchops.INVALIDATE
 
 #: Outcome codes per event.
-OUT_HIT = 0
-OUT_MISS = 1
-OUT_NA = 2  # writes/installs/invalidates have no hit/miss outcome
+OUT_HIT = batchops.OUT_HIT
+OUT_MISS = batchops.OUT_MISS
+OUT_NA = batchops.OUT_NA  # writes/installs/invalidates have no hit/miss outcome
 
 
 @dataclass
@@ -85,46 +87,15 @@ def classify_trace(addrs: np.ndarray, kinds: Optional[np.ndarray],
 
     line_addr = addrs // params.line_words
     set_index = (line_addr % params.n_lines).astype(np.int64)
-    outcomes = np.full(n, OUT_NA, dtype=np.int8)
-    if n == 0:
-        return TraceResult(outcomes, 0, 0, 0, set_index, line_addr)
 
-    # Per-set processing via a stable argsort on (set, position): events
-    # of one set become contiguous and stay in program order.
-    order = np.argsort(set_index, kind="stable")
-    s_sets = set_index[order]
-    s_lines = line_addr[order]
-    s_kinds = kinds[order]
-
-    # State after each event (the resident line in this set, -1 invalid),
-    # computed as a segmented "last install wins, invalidate clears" scan.
-    # Installers: READ (fills on miss -> always leaves its line resident)
-    # and INSTALL.  WRITE leaves state unchanged.  INVALIDATE clears only
-    # if it names the resident line — which requires the running state, a
-    # genuinely sequential dependency; handled with a compiled-ish pass
-    # over *state-changing* events only (reads/installs/invalidates),
-    # which is still one pass but with no per-event Python arithmetic
-    # beyond array reads.
-    resident = np.full(n, -2, dtype=np.int64)  # state BEFORE each event
-    state: Dict[int, int] = {}
-    get_state = state.get
-    for pos in range(n):
-        idx = order[pos]
-        set_i = s_sets[pos]
-        before = get_state(set_i, -1)
-        resident[idx] = before
-        kind = s_kinds[pos]
-        if kind == READ or kind == INSTALL:
-            state[set_i] = s_lines[pos]
-        elif kind == INVALIDATE and before == s_lines[pos]:
-            state[set_i] = -1
-
+    # Shared kernel with the batched execution backend: cold initial state,
+    # vectorized shifted-comparison path for traces without INVALIDATE,
+    # exact per-event scan otherwise.
+    cls = batchops.classify_events(line_addr, kinds, params.n_lines)
+    outcomes = cls.outcomes
     is_read = kinds == READ
-    hit = is_read & (resident == line_addr)
-    outcomes[is_read & hit] = OUT_HIT
-    outcomes[is_read & ~hit] = OUT_MISS
     reads = int(is_read.sum())
-    hits = int(hit.sum())
+    hits = int((outcomes == OUT_HIT).sum())
     return TraceResult(outcomes, reads, hits, reads - hits, set_index, line_addr)
 
 

@@ -16,11 +16,21 @@ from typing import Dict, Iterable, Optional
 import numpy as np
 
 from ..ir.arrays import ArrayDecl
+from .addressing import layout_bases
 from .params import MachineParams
 
 
 class Memory:
-    """Value + version store for all program arrays."""
+    """Value + version store for all program arrays.
+
+    Shared arrays live in one flat global backing store (``values_flat`` /
+    ``versions_flat``) laid out by :func:`~repro.machine.addressing.layout_bases`
+    — the same layout :class:`~repro.machine.addressing.AddressMap` uses, so a
+    global word address indexes the backing store directly.  The per-array
+    ``values`` / ``versions`` dicts hold *views* into the backing store, which
+    keeps every scalar-path accessor below unchanged while letting the batched
+    backend gather/scatter whole traces in single NumPy operations.
+    """
 
     def __init__(self, arrays: Iterable[ArrayDecl], params: MachineParams) -> None:
         self.params = params
@@ -28,11 +38,16 @@ class Memory:
         self.values: Dict[str, np.ndarray] = {}
         self.versions: Dict[str, np.ndarray] = {}
         self.private_values: Dict[str, np.ndarray] = {}
-        for decl in arrays:
+        decls = list(arrays)
+        self.bases, self.total_words = layout_bases(decls, params.line_words)
+        self.values_flat = np.zeros(self.total_words, dtype=np.float64)
+        self.versions_flat = np.zeros(self.total_words, dtype=np.int64)
+        for decl in decls:
             self.decls[decl.name] = decl
             if decl.is_shared:
-                self.values[decl.name] = np.zeros(decl.size, dtype=np.float64)
-                self.versions[decl.name] = np.zeros(decl.size, dtype=np.int64)
+                base = self.bases[decl.name]
+                self.values[decl.name] = self.values_flat[base:base + decl.size]
+                self.versions[decl.name] = self.versions_flat[base:base + decl.size]
             else:
                 self.private_values[decl.name] = np.zeros(
                     (params.n_pes, decl.size), dtype=np.float64)
@@ -59,6 +74,33 @@ class Memory:
 
     def write_private(self, name: str, pe: int, flat: int, value: float) -> None:
         self.private_values[name][pe, flat] = value
+
+    # -- batched access (batched execution backend) ---------------------------
+    def gather(self, name: str, flats: np.ndarray) -> np.ndarray:
+        """Current values of many words of one shared array (a fresh copy)."""
+        return self.values[name][flats]
+
+    def scatter(self, name: str, flats: np.ndarray, values: np.ndarray) -> None:
+        """Bulk write-through: store ``values`` and bump one version per
+        element write (duplicate indices bump once per occurrence, matching
+        a sequence of scalar :meth:`write` calls; the stored value is the
+        last occurrence's, as NumPy fancy assignment applies in order)."""
+        self.values[name][flats] = values
+        np.add.at(self.versions[name], flats, 1)
+
+    def gather_addr(self, addrs: np.ndarray) -> np.ndarray:
+        """Current values at global word addresses (any shared array)."""
+        return self.values_flat[addrs]
+
+    def versions_addr(self, addrs: np.ndarray) -> np.ndarray:
+        return self.versions_flat[addrs]
+
+    def gather_private(self, name: str, pe: int, flats: np.ndarray) -> np.ndarray:
+        return self.private_values[name][pe, flats]
+
+    def scatter_private(self, name: str, pe: int, flats: np.ndarray,
+                        values: np.ndarray) -> None:
+        self.private_values[name][pe, flats] = values
 
     # -- bulk access (initialisation, result extraction, fast engine) -------------
     def array_view(self, name: str) -> np.ndarray:

@@ -16,7 +16,9 @@ covered lines install into the cache on first touch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from .params import MachineParams
 
@@ -70,6 +72,32 @@ class PrefetchQueue:
     @property
     def outstanding(self) -> int:
         return len(self.entries)
+
+    # -- batched drain (batched execution backend) ----------------------------
+    def lines(self) -> np.ndarray:
+        """Outstanding line addresses in queue order."""
+        return np.asarray([e.line_addr for e in self.entries], dtype=np.int64)
+
+    def match_lines(self, line_addrs: np.ndarray) -> np.ndarray:
+        """Vectorized membership test: for each query line, is there an
+        outstanding entry covering it?  One ``np.isin`` instead of one
+        linear :meth:`match` scan per reference."""
+        queries = np.asarray(line_addrs, dtype=np.int64)
+        if not self.entries:
+            return np.zeros(queries.shape[0], dtype=bool)
+        return np.isin(queries, self.lines())
+
+    def snapshot(self) -> List[Tuple[int, float, float, int, str]]:
+        """Queue state as plain tuples (line, arrival, issued_at, home, array)
+        for consumption by the batched scan engine."""
+        return [(e.line_addr, e.arrival, e.issued_at, e.home_pe, e.array)
+                for e in self.entries]
+
+    def replace_entries(self, entries: Iterable[PrefetchEntry]) -> None:
+        """Install a rebuilt entry list (batched chunk commit).  Aggregate
+        ``issued``/``dropped`` counters are adjusted separately by the
+        caller, which tracked them during its scan."""
+        self.entries = list(entries)
 
 
 @dataclass

@@ -44,6 +44,14 @@ class PEStats:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def add_bulk(self, **deltas: float) -> None:
+        """Accumulate many counters at once (batched backend commit path).
+
+        Keyword names must be counter field names; raises AttributeError on
+        a typo rather than silently inventing a counter."""
+        for name, delta in deltas.items():
+            setattr(self, name, getattr(self, name) + delta)
+
     @property
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses

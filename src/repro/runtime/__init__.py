@@ -2,15 +2,16 @@
 iteration schedulers, and execution configurations (SEQ / BASE / CCDP /
 NAIVE program versions)."""
 
-from .exec_config import ExecutionConfig, Version
+from .exec_config import Backend, ExecutionConfig, Version
 from .interp import (EpochRecord, Interpreter, InterpreterError, RunResult,
-                     run_program)
+                     make_interpreter, run_program)
 from .schedulers import (Chunk, block_partition, cyclic_partition,
                          dynamic_chunks, iteration_values)
 
 __all__ = [
-    "ExecutionConfig", "Version",
-    "EpochRecord", "Interpreter", "InterpreterError", "RunResult", "run_program",
+    "Backend", "ExecutionConfig", "Version",
+    "EpochRecord", "Interpreter", "InterpreterError", "RunResult",
+    "make_interpreter", "run_program",
     "Chunk", "block_partition", "cyclic_partition", "dynamic_chunks",
     "iteration_values",
 ]

@@ -1,0 +1,1228 @@
+"""Batched execution backend: bulk chunk servicing for affine loop bodies.
+
+The reference interpreter services every memory reference with one
+:meth:`~repro.machine.machine.Machine.read` / ``write`` call — exact, but
+slow (dict lookups, NumPy scalar indexing, closure dispatch per event).
+This backend recognises *batchable chunks* — innermost loops (serial inner
+loops and innermost DOALL chunks) whose bodies are straight-line affine
+assignments — and services each whole chunk in two passes:
+
+1. a **value pass**: a lean sequential Python loop that computes every
+   right-hand side and applies every memory write with *exactly* the
+   reference semantics (same operator lambdas, same register-promotion
+   dynamics, same write-through version bumps) but no machine bookkeeping;
+2. a **timing pass**: vectorised NumPy over the chunk's affine address
+   vectors — one warm :func:`~repro.machine.batchops.classify_events` call
+   replays the chunk's read trace against the direct-mapped cache, latency
+   tables turn hit/miss outcomes and owner vectors into cycle sums, and the
+   cache's final state is committed with bulk line refills.
+
+Exactness contract: a committed chunk leaves the machine in *bit-identical*
+state (array values, versions, cache tags/data, per-PE stats, clocks) to
+the reference interpreter.  This rests on invariants that are checked at
+**bind time**, before anything is mutated; a chunk that fails any guard
+falls back to the reference per-iteration path, so the fallback is always
+exact too:
+
+* the loop body is all-``Assign``, every array reference affine, bounds
+  array-free, no short-circuit ``and``/``or`` (data-dependent event order);
+* every affine-form variable is bound to a Python int and every subscript
+  stays in bounds across the whole chunk (else the reference path raises
+  the exact ``IndexError`` mid-chunk);
+* the PE's prefetch queue is empty and no vector transfer is still in
+  flight (so no prefetch-extract or transfer-stall events can occur);
+* no resident cache word is stale (so reads return memory values and no
+  stale events can occur — one PE's chunk runs with no interleaved remote
+  writes, and its own write-through stores keep cache and memory in step);
+* all event costs are integral, which makes bulk cycle summation exact
+  (adding integers to a float clock is associative below 2**53);
+* race checking and read tracing are off (those need per-event order).
+
+Chunks containing prefetch/invalidate statements, ``If``s, calls or nested
+loops are never planned; they run on the reference path unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..analysis.affine import AffineForm, affine_ref
+from ..ir.expr import (ArrayRef, BinOp, Expr, FloatConst, IntConst,
+                       IntrinsicCall, RefMode, SymConst, UnaryOp, VarRef)
+from ..ir.stmt import Assign, Loop, LoopKind, Stmt
+from ..machine.batchops import (OUT_HIT, bulk_fill_lines, read_latency_table,
+                                stale_words, uncached_read_latency_table,
+                                write_latency_table)
+from .interp import Interpreter
+
+#: Minimum chunk size (iterations x memory events) worth the bind overhead.
+MIN_BATCH_EVENTS = 16
+
+
+class _Slot:
+    """One memory-touching operation of the loop body (one per iteration).
+
+    ``role`` is 'cr' (cacheable read), 'ur' (uncached/bypass read) or 'w'
+    (write).  ``address`` is the 0-based flat-element affine form; ``dims``
+    are the 1-based per-dimension forms used for bounds checking."""
+
+    __slots__ = ("role", "array", "base", "shared", "bypass", "craft",
+                 "cacheable", "var_coeff", "env_coeffs", "const0",
+                 "dim_checks", "owner_table", "extra")
+
+    def __init__(self, role: str, array: str, base: int, shared: bool,
+                 bypass: bool, craft: bool, cacheable: bool,
+                 address: AffineForm, dims, shape, var: str,
+                 sym_value, owner_table, extra: float) -> None:
+        self.role = role
+        self.array = array
+        self.base = base
+        self.shared = shared
+        self.bypass = bypass
+        self.craft = craft
+        self.cacheable = cacheable
+        self.var_coeff = address.coeff(var)
+        self.env_coeffs = tuple((n, c) for n, c in address.coeffs if n != var)
+        self.const0 = address.const + sum(
+            c * sym_value(s) for s, c in address.sym_coeffs)
+        # Per-dimension (const0, env_coeffs, var_coeff, extent) for bounds.
+        checks = []
+        for form, extent in zip(dims, shape):
+            dconst = form.const + sum(c * sym_value(s)
+                                      for s, c in form.sym_coeffs)
+            denv = tuple((n, c) for n, c in form.coeffs if n != var)
+            checks.append((dconst, denv, form.coeff(var), extent))
+        self.dim_checks = tuple(checks)
+        self.owner_table = owner_table  # int16 per flat element, shared only
+        self.extra = extra              # CRAFT overhead folded into latency
+
+    def variables(self) -> Set[str]:
+        out = {n for n, _ in self.env_coeffs}
+        for _, denv, _, _ in self.dim_checks:
+            out |= {n for n, _ in denv}
+        return out
+
+    def bind(self, env: dict, values: np.ndarray,
+             vmin: int, vmax: int) -> Optional[np.ndarray]:
+        """Flat element vector for the chunk, or ``None`` when any subscript
+        leaves the array bounds (the reference path will raise exactly)."""
+        for dconst, denv, dcoeff, extent in self.dim_checks:
+            d0 = dconst
+            for name, c in denv:
+                d0 += c * env[name]
+            at_min = d0 + dcoeff * vmin
+            at_max = d0 + dcoeff * vmax
+            if not (1 <= at_min <= extent and 1 <= at_max <= extent):
+                return None
+        const = self.const0
+        for name, c in self.env_coeffs:
+            const += c * env[name]
+        return const + self.var_coeff * values
+
+
+class _Plan:
+    """Compiled batched form of one innermost loop."""
+
+    __slots__ = ("var", "registers", "final_clear", "value_fns", "slots",
+                 "cached_idx", "uncached_idx", "write_idx", "const_per_iter",
+                 "n_events", "env_vars", "touches_shared_cache",
+                 "const_before", "tail_const", "assigned", "vec_stmts",
+                 "reg_ops", "alias_pairs")
+
+    def __init__(self, var: str, registers: dict, final_clear: bool,
+                 value_fns: list, slots: List[_Slot],
+                 const_per_iter: float, const_before: Sequence[float],
+                 tail_const: float, assigned: Tuple[str, ...],
+                 vec_stmts, reg_ops) -> None:
+        self.var = var
+        self.registers = registers
+        self.final_clear = final_clear
+        self.value_fns = value_fns
+        self.slots = slots
+        self.const_before = np.asarray(const_before, dtype=np.float64)
+        self.tail_const = tail_const
+        self.assigned = assigned
+        self.vec_stmts = vec_stmts  # vectorised statement ops, or None
+        self.reg_ops = reg_ops      # register-state replay for the epilogue
+        # Same-array (write, other) slot pairs that the bind-time alias
+        # check must prove elementwise-identical or fully disjoint before
+        # the vectorised value pass may run.
+        self.alias_pairs = [
+            (w, j) for w, sw in enumerate(slots) if sw.role == "w"
+            for j, sj in enumerate(slots) if j != w and sj.array == sw.array]
+        self.cached_idx = [i for i, s in enumerate(slots) if s.role == "cr"]
+        self.uncached_idx = [i for i, s in enumerate(slots) if s.role == "ur"]
+        self.write_idx = [i for i, s in enumerate(slots) if s.role == "w"]
+        self.const_per_iter = const_per_iter
+        self.n_events = len(slots)
+        env_vars: Set[str] = set()
+        for slot in slots:
+            env_vars |= slot.variables()
+        self.env_vars = tuple(env_vars)
+        self.touches_shared_cache = any(
+            s.shared and s.cacheable and s.role in ("cr", "w") for s in slots)
+
+
+class _Ineligible(Exception):
+    """Raised during plan compilation when the loop cannot be batched."""
+
+
+class _VecIneligible(Exception):
+    """Raised when a body cannot use the vectorised value pass (the
+    sequential value pass still applies)."""
+
+
+def _to_float(x):
+    if isinstance(x, np.ndarray):
+        return x.astype(np.float64)
+    return float(x)
+
+
+def _integral(*costs: float) -> bool:
+    return all(float(c).is_integer() for c in costs)
+
+
+class BatchedInterpreter(Interpreter):
+    """Interpreter whose innermost loops execute as bulk batched chunks.
+
+    Only the chunk-servicing strategy changes; program compilation, epoch
+    control, scheduling and all non-batchable statements run through the
+    inherited reference machinery."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._serial_plans: Dict[int, tuple] = {}
+        self._doall_plans: Dict[int, Optional[_Plan]] = {}
+        self._fused_plans: Dict[int, Optional[tuple]] = {}
+        self._lat: Dict[tuple, np.ndarray] = {}
+        #: chunks serviced in bulk / chunks that fell back at bind time
+        self.batch_chunks = 0
+        self.batch_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # integration points
+    # ------------------------------------------------------------------
+    def _build_stmt(self, stmt: Stmt):
+        if not (isinstance(stmt, Loop) and stmt.kind == LoopKind.SERIAL):
+            return super()._build_stmt(stmt)
+        # Compile-time context the reference body closures see (captured
+        # before super() pushes the loop's own register context).
+        outer_ctxs = list(self._reg_stack)
+        loop_vars = (set(self._loopvar_stack) | set(self._region_vars)
+                     | {stmt.var})
+        ref_fn = super()._build_stmt(stmt)
+        plan = self._compile_plan(stmt, self._loop_ctx[stmt.uid], outer_ctxs,
+                                  loop_vars, final_clear=True)
+        if plan is None:
+            return ref_fn
+        lo_fn = self._compile_expr(stmt.lower)
+        hi_fn = self._compile_expr(stmt.upper)
+        step_fn = self._compile_expr(stmt.step)
+        bound_vars = frozenset(
+            n.name for b in (stmt.lower, stmt.upper, stmt.step)
+            for n in b.walk() if isinstance(n, VarRef))
+        self._serial_plans[stmt.uid] = (plan, lo_fn, hi_fn, step_fn,
+                                        bound_vars)
+
+        def run_batched_loop(env: dict, pe: int) -> None:
+            # Bounds are array-free (plan eligibility), so evaluating them
+            # here charges nothing; the reference fallback re-evaluates the
+            # same pure closures.
+            lo = int(lo_fn(env, pe))
+            hi = int(hi_fn(env, pe))
+            step = int(step_fn(env, pe))
+            values = range(lo, hi + (1 if step > 0 else -1), step)
+            if not self._exec_chunk(plan, env, pe, values):
+                ref_fn(env, pe)
+
+        return run_batched_loop
+
+    def _iterate_doall(self, loop: Loop, env_p: dict, pe: int,
+                       values: Sequence[int], run_iteration) -> None:
+        # Fused path: a doall whose body is exactly one planned serial loop
+        # runs all of this PE's (outer, inner) iterations as ONE bulk trace.
+        entry = self._fused_entry(loop)
+        if entry is not None and self._exec_fused(loop, entry, env_p, pe,
+                                                 values):
+            return
+        plan = self._doall_plans.get(loop.uid, False)
+        if plan is False:
+            loop_vars = {loop.var} | set(self._region_vars)
+            plan = self._compile_plan(loop, self._loop_ctx[loop.uid], [],
+                                      loop_vars, final_clear=False)
+            self._doall_plans[loop.uid] = plan
+        if plan is not None and self._exec_chunk(plan, env_p, pe, values):
+            return
+        for value in values:
+            run_iteration(env_p, pe, value)
+
+    def _fused_entry(self, loop: Loop):
+        """Serial-plan tuple for a fusable doall body, else None (cached)."""
+        entry = self._fused_plans.get(loop.uid, False)
+        if entry is not False:
+            return entry
+        entry = None
+        if len(loop.body) == 1 and isinstance(loop.body[0], Loop):
+            inner = self._serial_plans.get(loop.body[0].uid)
+            if inner is not None:
+                plan, _, _, _, bound_vars = inner
+                # Vector value pass only (the sequential pass would need
+                # per-group register churn), and the inner bounds must not
+                # depend on scalars the body itself assigns.
+                if (plan.vec_stmts is not None
+                        and bound_vars.isdisjoint(plan.assigned)):
+                    entry = inner
+        self._fused_plans[loop.uid] = entry
+        return entry
+
+    def _exec_fused(self, loop: Loop, entry, env: dict, pe: int,
+                    values: Sequence[int]) -> bool:
+        """Run every (outer j, inner i) iteration of this PE's chunk as one
+        bulk trace.  False means nothing was mutated and the caller must
+        take the per-iteration path (whose inner chunks may still batch)."""
+        plan, lo_fn, hi_fn, step_fn, _ = entry
+        machine = self.machine
+        pe_obj = machine.pes[pe]
+        n_outer = len(values)
+        if n_outer == 0:
+            return False
+        outer_var = loop.var
+        if not self._chunk_guards(plan, env, pe_obj, skip=outer_var):
+            return False
+        overhead = float(self.params.loop_overhead)
+        flat_groups: List[List[np.ndarray]] = [[] for _ in plan.slots]
+        v_rows: List[np.ndarray] = []
+        o_rows: List[np.ndarray] = []
+        row_marks: List[Tuple[int, float]] = []
+        pending = 0.0  # outer overheads awaiting the next non-empty group
+        total_iters = 0
+        for j in values:
+            env[outer_var] = j
+            lo = int(lo_fn(env, pe))
+            hi = int(hi_fn(env, pe))
+            step = int(step_fn(env, pe))
+            vals_j = range(lo, hi + (1 if step > 0 else -1), step)
+            pending += overhead
+            tj = len(vals_j)
+            if tj == 0:
+                continue
+            vj = np.arange(vals_j.start, vals_j.stop, vals_j.step,
+                           dtype=np.int64)
+            bound = self._bind_slots(plan, env, vj)
+            if bound is None:
+                return False  # out of bounds: reference raises exactly
+            for s_i, f in enumerate(bound):
+                flat_groups[s_i].append(f)
+            v_rows.append(vj)
+            o_rows.append(np.full(tj, j, dtype=np.int64))
+            row_marks.append((total_iters, pending))
+            pending = 0.0
+            total_iters += tj
+        if total_iters == 0 or total_iters * plan.n_events < MIN_BATCH_EVENTS:
+            return False
+        flats = [np.concatenate(g) for g in flat_groups]
+        if plan.touches_shared_cache and stale_words(
+                pe_obj.cache, machine.memory.versions_flat):
+            return self._fall()
+        if not self._vector_safe(plan, flats):
+            return False  # per-group chunks may still vectorise alone
+        self.batch_chunks += 1
+        V = np.concatenate(v_rows)
+        vecs = {plan.var: V, outer_var: np.concatenate(o_rows)}
+        self._vector_value_pass(plan, env, pe, flats, vecs)
+        env[plan.var] = int(V[-1])
+        # env[outer_var] already holds values[-1] from the binding sweep.
+        extra_rows = np.zeros(total_iters, dtype=np.float64)
+        for row, val in row_marks:
+            extra_rows[row] += val
+        const_total = (overhead * n_outer
+                       + plan.const_per_iter * total_iters)
+        self._timing_pass(plan, pe_obj, pe, total_iters, flats, const_total,
+                          (extra_rows, pending), self._inflight(pe_obj))
+        return True
+
+    # ------------------------------------------------------------------
+    # plan compilation
+    # ------------------------------------------------------------------
+    def _compile_plan(self, loop: Loop, ctx, outer_ctxs, loop_vars,
+                      final_clear: bool) -> Optional[_Plan]:
+        try:
+            return self._compile_plan_inner(loop, ctx, outer_ctxs, loop_vars,
+                                            final_clear)
+        except _Ineligible:
+            return None
+
+    def _compile_plan_inner(self, loop, ctx, outer_ctxs, loop_vars,
+                            final_clear) -> _Plan:
+        params = self.params
+        cfg = self.config
+        for bound in (loop.lower, loop.upper, loop.step):
+            if any(isinstance(n, ArrayRef) for n in bound.walk()):
+                raise _Ineligible  # wrapper would double-charge bound reads
+        if not _integral(params.cache_hit, params.local_mem,
+                         params.remote_base, params.remote_per_hop,
+                         params.uncached_local_read, params.write_local,
+                         params.write_remote_base, params.write_remote_per_hop,
+                         params.craft_shared_ref_overhead,
+                         params.loop_overhead):
+            raise _Ineligible  # fractional costs: bulk summation inexact
+        slots: List[_Slot] = []
+        value_fns: list = []
+        const_before: List[float] = []  # const cycles preceding each event
+        accbox = [float(params.loop_overhead)]  # running const accumulator
+        live: Set[tuple] = set()  # register keys live within one iteration
+        key_slot: Dict[tuple, int] = {}  # promoted key -> event slot index
+        node_slot: Dict[int, int] = {}   # id(ArrayRef) -> address slot index
+        reg_ops: list = []  # ("set", key, slot) / ("drop", keys) in order
+        vec_meta: list = []  # per-stmt ("arr", slot, rhs, pops) / ("sca", ...)
+        assigned: List[str] = []
+        for stmt in loop.body:
+            if not isinstance(stmt, Assign):
+                raise _Ineligible
+            for node in stmt.rhs.walk():
+                if isinstance(node, BinOp) and node.op in ("and", "or"):
+                    raise _Ineligible  # short-circuit: event order is
+                    # data-dependent
+            # Reads, in evaluation order (pre-order over the rhs; affine
+            # subscripts contain no nested ArrayRefs).
+            for node in stmt.rhs.walk():
+                if isinstance(node, ArrayRef):
+                    self._plan_read(node, ctx, loop_vars, loop.var, live,
+                                    slots, const_before, accbox, key_slot,
+                                    node_slot, reg_ops)
+            arith = self._arith_cost(stmt.rhs)
+            if not _integral(arith):
+                raise _Ineligible
+            accbox[0] += arith
+            rhs_fn = self._compile_value_expr(stmt.rhs, ctx, loop_vars)
+            if isinstance(stmt.lhs, VarRef):
+                if stmt.lhs.name not in assigned:
+                    assigned.append(stmt.lhs.name)
+                value_fns.append(self._value_scalar_assign(stmt.lhs.name,
+                                                          rhs_fn))
+                vec_meta.append(("sca", stmt.lhs.name, stmt.rhs))
+                continue
+            write_fn, pops_outer = self._plan_write(
+                stmt.lhs, rhs_fn, ctx, outer_ctxs, loop.var, live, slots,
+                const_before, accbox, reg_ops)
+            value_fns.append(write_fn)
+            vec_meta.append(("arr", len(slots) - 1, stmt.rhs, pops_outer))
+        if not slots:
+            raise _Ineligible  # pure scalar loop: nothing worth batching
+        # A scalar assigned inside the body must not feed any subscript or
+        # shadow the loop variable: slot addresses bind once per chunk from
+        # the pre-chunk environment.
+        if assigned:
+            addr_vars = set()
+            for slot in slots:
+                addr_vars |= slot.variables()
+            if (loop.var in assigned
+                    or not addr_vars.isdisjoint(assigned)):
+                raise _Ineligible
+        const_per_iter = float(sum(const_before) + accbox[0])
+        vec_stmts = self._compile_vec_stmts(vec_meta, node_slot, loop.var,
+                                            assigned)
+        return _Plan(loop.var, ctx.values, final_clear, value_fns, slots,
+                     const_per_iter, const_before, accbox[0], tuple(assigned),
+                     vec_stmts, reg_ops)
+
+    def _slot_for(self, ref: ArrayRef, role: str, var: str, bypass: bool,
+                  craft: bool, cacheable: bool) -> _Slot:
+        decl = self.program.array(ref.array)
+        aref = affine_ref(ref, decl)
+        if aref is None:
+            raise _Ineligible
+        owners = (self.machine.addr_map.owner_table(ref.array)
+                  if decl.is_shared else None)
+        extra = float(self.params.craft_shared_ref_overhead) if craft else 0.0
+        return _Slot(role, ref.array, self.machine.addr_map.base(ref.array),
+                     decl.is_shared, bypass, craft, cacheable, aref.address,
+                     aref.dims, decl.shape, var, self.program.sym_value,
+                     owners, extra)
+
+    def _plan_read(self, ref: ArrayRef, ctx, loop_vars, var, live, slots,
+                   const_before, accbox, key_slot, node_slot, reg_ops):
+        decl = self.program.array(ref.array)
+        shared = decl.is_shared
+        bypass = shared and ref.mode == RefMode.BYPASS
+        cacheable = (self.config.cache_shared if shared else True) and not bypass
+        craft = self.config.craft_overheads and shared
+        key = ref.key()
+        promoted = (key in ctx.reads
+                    and all(s.free_vars() <= loop_vars for s in ref.subscripts))
+        if promoted and key in live:
+            # Register hit: no machine event in any iteration, but the
+            # vectorised value plane still needs this node's address vector
+            # — identical key means identical subscripts, so reuse the slot
+            # that created the register.
+            node_slot[id(ref)] = key_slot[key]
+            return
+        slots.append(self._slot_for(ref, "cr" if cacheable else "ur", var,
+                                    bypass, craft, cacheable))
+        node_slot[id(ref)] = len(slots) - 1
+        const_before.append(accbox[0])
+        accbox[0] = 0.0
+        if promoted:
+            live.add(key)
+            key_slot[key] = len(slots) - 1
+            reg_ops.append(("set", key, len(slots) - 1))
+
+    def _plan_write(self, lhs: ArrayRef, rhs_fn, ctx, outer_ctxs, var, live,
+                    slots, const_before, accbox, reg_ops):
+        decl = self.program.array(lhs.array)
+        shared = decl.is_shared
+        cacheable = self.config.cache_shared if shared else True
+        craft = self.config.craft_overheads and shared
+        slots.append(self._slot_for(lhs, "w", var, False, craft, cacheable))
+        const_before.append(accbox[0])
+        accbox[0] = 0.0
+        write_aref = affine_ref(lhs, decl)
+        # Register evictions, exactly as the reference assign closure does:
+        # pop may-alias keys in every active context.
+        pops = []
+        pops_outer = []
+        for c in list(outer_ctxs) + [ctx]:
+            keys = c.drop_keys_for_write(lhs, write_aref)
+            if keys:
+                pops.append((c.values, keys))
+                if c is not ctx:
+                    pops_outer.append((c.values, keys))
+        own_drops = ctx.drop_keys_for_write(lhs, write_aref)
+        live.difference_update(own_drops)
+        if own_drops:
+            reg_ops.append(("drop", tuple(own_drops)))
+        flat_fn = self._compile_flat_index(lhs)
+        memory = self.machine.memory
+        if shared:
+            vals = memory.values[lhs.array]
+            vers = memory.versions[lhs.array]
+
+            def write_shared(env: dict, pe: int) -> None:
+                value = rhs_fn(env, pe)
+                flat = flat_fn(env, pe)
+                vals[flat] = value
+                vers[flat] += 1
+                for registers, keys in pops:
+                    for key in keys:
+                        registers.pop(key, None)
+
+            return write_shared, pops_outer
+        pvals = memory.private_values[lhs.array]
+
+        def write_private(env: dict, pe: int) -> None:
+            value = rhs_fn(env, pe)
+            flat = flat_fn(env, pe)
+            pvals[pe, flat] = value
+            for registers, keys in pops:
+                for key in keys:
+                    registers.pop(key, None)
+
+        return write_private, pops_outer
+
+    @staticmethod
+    def _value_scalar_assign(name: str, rhs_fn):
+        def assign_scalar(env: dict, pe: int) -> None:
+            env[name] = rhs_fn(env, pe)
+
+        return assign_scalar
+
+    # ------------------------------------------------------------------
+    # value-plane expression compilation
+    # ------------------------------------------------------------------
+    # These mirror Interpreter._build_expr exactly, minus machine calls:
+    # the same Python operator expressions over the same Python floats, so
+    # a committed chunk computes bit-identical values to the reference.
+    _BIN_FNS = {
+        "+": lambda l, r: lambda env, pe: l(env, pe) + r(env, pe),
+        "-": lambda l, r: lambda env, pe: l(env, pe) - r(env, pe),
+        "*": lambda l, r: lambda env, pe: l(env, pe) * r(env, pe),
+        "**": lambda l, r: lambda env, pe: l(env, pe) ** r(env, pe),
+        "mod": lambda l, r: lambda env, pe: math.fmod(l(env, pe), r(env, pe)),
+        "min": lambda l, r: lambda env, pe: min(l(env, pe), r(env, pe)),
+        "max": lambda l, r: lambda env, pe: max(l(env, pe), r(env, pe)),
+        "<": lambda l, r: lambda env, pe: l(env, pe) < r(env, pe),
+        "<=": lambda l, r: lambda env, pe: l(env, pe) <= r(env, pe),
+        ">": lambda l, r: lambda env, pe: l(env, pe) > r(env, pe),
+        ">=": lambda l, r: lambda env, pe: l(env, pe) >= r(env, pe),
+        "==": lambda l, r: lambda env, pe: l(env, pe) == r(env, pe),
+        "!=": lambda l, r: lambda env, pe: l(env, pe) != r(env, pe),
+    }
+    _INTR_FNS = {
+        "sqrt": lambda fns: lambda env, pe: math.sqrt(fns[0](env, pe)),
+        "abs": lambda fns: lambda env, pe: abs(fns[0](env, pe)),
+        "exp": lambda fns: lambda env, pe: math.exp(fns[0](env, pe)),
+        "log": lambda fns: lambda env, pe: math.log(fns[0](env, pe)),
+        "sin": lambda fns: lambda env, pe: math.sin(fns[0](env, pe)),
+        "cos": lambda fns: lambda env, pe: math.cos(fns[0](env, pe)),
+        "int": lambda fns: lambda env, pe: int(fns[0](env, pe)),
+        "real": lambda fns: lambda env, pe: float(fns[0](env, pe)),
+        "min": lambda fns: lambda env, pe: min(fns[0](env, pe), fns[1](env, pe)),
+        "max": lambda fns: lambda env, pe: max(fns[0](env, pe), fns[1](env, pe)),
+        "mod": lambda fns: lambda env, pe: math.fmod(fns[0](env, pe),
+                                                     fns[1](env, pe)),
+        "sign": lambda fns: lambda env, pe: math.copysign(
+            abs(fns[0](env, pe)), fns[1](env, pe)),
+    }
+
+    def _compile_value_expr(self, expr: Expr, ctx, loop_vars) -> Callable:
+        if isinstance(expr, IntConst):
+            ivalue = expr.value
+            return lambda env, pe: ivalue
+        if isinstance(expr, FloatConst):
+            fvalue = expr.value
+            return lambda env, pe: fvalue
+        if isinstance(expr, SymConst):
+            bound = self.program.sym_value(expr.name)
+            return lambda env, pe: bound
+        if isinstance(expr, VarRef):
+            name = expr.name
+            return lambda env, pe: env[name]
+        if isinstance(expr, ArrayRef):
+            return self._value_array_read(expr, ctx, loop_vars)
+        if isinstance(expr, UnaryOp):
+            inner = self._compile_value_expr(expr.operand, ctx, loop_vars)
+            if expr.op == "-":
+                return lambda env, pe: -inner(env, pe)
+            if expr.op == "not":
+                return lambda env, pe: not inner(env, pe)
+            return inner
+        if isinstance(expr, IntrinsicCall):
+            fns = [self._compile_value_expr(a, ctx, loop_vars)
+                   for a in expr.args]
+            return self._INTR_FNS[expr.name](fns)
+        if isinstance(expr, BinOp):
+            left = self._compile_value_expr(expr.left, ctx, loop_vars)
+            right = self._compile_value_expr(expr.right, ctx, loop_vars)
+            if expr.op == "/":
+                def divide(env, pe):
+                    a = left(env, pe)
+                    b = right(env, pe)
+                    if isinstance(a, int) and isinstance(b, int):
+                        return int(a / b)  # Fortran integer division truncates
+                    return a / b
+
+                return divide
+            builder = self._BIN_FNS.get(expr.op)
+            if builder is None:
+                raise _Ineligible  # and/or reach here only via nesting
+            return builder(left, right)
+        raise _Ineligible
+
+    def _value_array_read(self, ref: ArrayRef, ctx, loop_vars) -> Callable:
+        decl = self.program.array(ref.array)
+        flat_fn = self._compile_flat_index(ref)
+        memory = self.machine.memory
+        if decl.is_shared:
+            vals = memory.values[ref.array]
+
+            def raw(env: dict, pe: int) -> float:
+                return float(vals[flat_fn(env, pe)])
+        else:
+            pvals = memory.private_values[ref.array]
+
+            def raw(env: dict, pe: int) -> float:
+                return float(pvals[pe, flat_fn(env, pe)])
+
+        key = ref.key()
+        if (key in ctx.reads
+                and all(s.free_vars() <= loop_vars for s in ref.subscripts)):
+            registers = ctx.values
+
+            def read_promoted(env: dict, pe: int) -> float:
+                value = registers.get(key)
+                if value is None:
+                    value = raw(env, pe)
+                    registers[key] = value
+                return value
+
+            return read_promoted
+        return raw
+
+    # ------------------------------------------------------------------
+    # vectorised value-plane compilation
+    # ------------------------------------------------------------------
+    # A second compilation of the loop body, into whole-chunk NumPy
+    # statements: gather every rhs operand as a vector, evaluate the rhs
+    # elementwise, scatter to the lhs.  Only operations whose NumPy
+    # float64 result is bit-identical to the reference's per-element
+    # Python arithmetic are allowed (+ - * /, fmod, sqrt, abs, copysign,
+    # and where()-based min/max); anything with a rounding or dynamic-type
+    # hazard (exp/log/sin/cos SIMD paths, int**int, comparisons, scalars
+    # of unknown runtime type in a division) rejects the vector pass and
+    # the chunk runs the sequential value pass instead.
+    def _compile_vec_stmts(self, vec_meta, node_slot, loop_var, assigned):
+        try:
+            defined: Set[str] = set()
+            out = []
+            for op in vec_meta:
+                if op[0] == "arr":
+                    _, slot_idx, rhs, pops_outer = op
+                    fn, _, _ = self._vec_value(rhs, node_slot, loop_var,
+                                               set(assigned), defined)
+                    out.append(("arr", slot_idx, fn, tuple(pops_outer)))
+                else:
+                    _, name, rhs = op
+                    fn, numclass, _ = self._vec_value(rhs, node_slot,
+                                                      loop_var,
+                                                      set(assigned), defined)
+                    if numclass != "f":
+                        raise _VecIneligible  # scalar must stay float-typed
+                    defined.add(name)
+                    out.append(("sca", name, fn))
+            return out
+        except _VecIneligible:
+            return None
+
+    def _vec_value(self, expr: Expr, node_slot, loop_var, assigned_set,
+                   defined):
+        """Compile ``expr`` to ``fn(env, pe, flats, vecs) -> vector|scalar``.
+
+        Returns ``(fn, numclass, is_vector)`` with numclass 'i' (integer),
+        'f' (float) or 'u' (unknown scalar type at runtime)."""
+        if isinstance(expr, IntConst):
+            iv = expr.value
+            return (lambda env, pe, flats, vecs: iv), "i", False
+        if isinstance(expr, FloatConst):
+            fv = expr.value
+            return (lambda env, pe, flats, vecs: fv), "f", False
+        if isinstance(expr, SymConst):
+            bound = self.program.sym_value(expr.name)
+            cls = "i" if isinstance(bound, int) else "f"
+            return (lambda env, pe, flats, vecs: bound), cls, False
+        if isinstance(expr, VarRef):
+            name = expr.name
+            if name in assigned_set and name not in defined and \
+                    name != loop_var:
+                raise _VecIneligible  # loop-carried scalar dependence
+
+            def var_read(env, pe, flats, vecs):
+                v = vecs.get(name)
+                return v if v is not None else env[name]
+
+            if name == loop_var:
+                return var_read, "i", True
+            if name in defined:
+                return var_read, "f", True
+            return var_read, "u", False
+        if isinstance(expr, ArrayRef):
+            k = node_slot[id(expr)]
+            decl = self.program.array(expr.array)
+            memory = self.machine.memory
+            if decl.is_shared:
+                vals = memory.values[expr.array]
+
+                def gather(env, pe, flats, vecs):
+                    return vals[flats[k]]
+            else:
+                pvals = memory.private_values[expr.array]
+
+                def gather(env, pe, flats, vecs):
+                    return pvals[pe, flats[k]]
+
+            return gather, "f", True
+        if isinstance(expr, UnaryOp):
+            fn, cls, vec = self._vec_value(expr.operand, node_slot, loop_var,
+                                           assigned_set, defined)
+            if expr.op == "-":
+                return (lambda env, pe, flats, vecs:
+                        -fn(env, pe, flats, vecs)), cls, vec
+            if expr.op == "not":
+                raise _VecIneligible
+            return fn, cls, vec
+        if isinstance(expr, IntrinsicCall):
+            fns = []
+            clss = []
+            vecs_ = []
+            for a in expr.args:
+                f, c, v = self._vec_value(a, node_slot, loop_var,
+                                          assigned_set, defined)
+                fns.append(f)
+                clss.append(c)
+                vecs_.append(v)
+            anyvec = any(vecs_)
+            name = expr.name
+            if name == "sqrt":  # np.sqrt is correctly rounded, like math's
+                f0 = fns[0]
+                return (lambda env, pe, flats, vecs:
+                        np.sqrt(f0(env, pe, flats, vecs))), "f", anyvec
+            if name == "abs":
+                f0 = fns[0]
+                return (lambda env, pe, flats, vecs:
+                        np.abs(f0(env, pe, flats, vecs))), clss[0], anyvec
+            if name == "real":
+                f0 = fns[0]
+                return (lambda env, pe, flats, vecs:
+                        _to_float(f0(env, pe, flats, vecs))), "f", anyvec
+            if name == "int":
+                f0 = fns[0]
+                return (lambda env, pe, flats, vecs:
+                        np.trunc(f0(env, pe, flats, vecs))), "i", anyvec
+            if name == "sign":
+                f0, f1 = fns
+                return (lambda env, pe, flats, vecs:
+                        np.copysign(np.abs(f0(env, pe, flats, vecs)),
+                                    f1(env, pe, flats, vecs))), "f", anyvec
+            if name == "mod":
+                f0, f1 = fns
+                return (lambda env, pe, flats, vecs:
+                        np.fmod(f0(env, pe, flats, vecs),
+                                f1(env, pe, flats, vecs))), "f", anyvec
+            if name in ("min", "max"):
+                return self._vec_minmax(name, fns[0], fns[1], clss, anyvec)
+            raise _VecIneligible  # exp/log/sin/cos: SIMD ulp risk
+        if isinstance(expr, BinOp):
+            lf, lc, lv = self._vec_value(expr.left, node_slot, loop_var,
+                                         assigned_set, defined)
+            rf, rc, rv = self._vec_value(expr.right, node_slot, loop_var,
+                                         assigned_set, defined)
+            anyvec = lv or rv
+            op = expr.op
+            if op in ("+", "-", "*"):
+                if "f" in (lc, rc):
+                    cls = "f"
+                elif lc == rc == "i":
+                    cls = "i"
+                else:
+                    cls = "u"
+                if op == "+":
+                    return (lambda env, pe, flats, vecs:
+                            lf(env, pe, flats, vecs)
+                            + rf(env, pe, flats, vecs)), cls, anyvec
+                if op == "-":
+                    return (lambda env, pe, flats, vecs:
+                            lf(env, pe, flats, vecs)
+                            - rf(env, pe, flats, vecs)), cls, anyvec
+                return (lambda env, pe, flats, vecs:
+                        lf(env, pe, flats, vecs)
+                        * rf(env, pe, flats, vecs)), cls, anyvec
+            if op == "/":
+                if "f" in (lc, rc):
+                    return (lambda env, pe, flats, vecs:
+                            lf(env, pe, flats, vecs)
+                            / rf(env, pe, flats, vecs)), "f", anyvec
+                if lc == rc == "i":
+                    if not anyvec:
+                        return (lambda env, pe, flats, vecs:
+                                int(lf(env, pe, flats, vecs)
+                                    / rf(env, pe, flats, vecs))), "i", False
+                    # Fortran integer division: float-divide then truncate,
+                    # exactly what int(a / b) does per element.
+                    return (lambda env, pe, flats, vecs:
+                            np.trunc(lf(env, pe, flats, vecs)
+                                     / rf(env, pe, flats, vecs))), "i", True
+                raise _VecIneligible  # unknown-typed operand: semantics
+                # depend on the runtime type
+            if op == "mod":
+                return (lambda env, pe, flats, vecs:
+                        np.fmod(lf(env, pe, flats, vecs),
+                                rf(env, pe, flats, vecs))), "f", anyvec
+            if op in ("min", "max"):
+                return self._vec_minmax(op, lf, rf, (lc, rc), anyvec)
+            raise _VecIneligible  # ** (int overflow semantics), comparisons
+        raise _VecIneligible
+
+    @staticmethod
+    def _vec_minmax(op, lf, rf, clss, anyvec):
+        # Python min(a, b) returns b only when b < a; np.where replicates
+        # that tie/NaN behaviour exactly (np.minimum would not).
+        cls = "f" if clss[0] == clss[1] == "f" else "u"
+        if op == "min":
+            def vmin(env, pe, flats, vecs):
+                a = lf(env, pe, flats, vecs)
+                b = rf(env, pe, flats, vecs)
+                return np.where(b < a, b, a)
+
+            return vmin, cls, anyvec
+
+        def vmax(env, pe, flats, vecs):
+            a = lf(env, pe, flats, vecs)
+            b = rf(env, pe, flats, vecs)
+            return np.where(b > a, b, a)
+
+        return vmax, cls, anyvec
+
+    # ------------------------------------------------------------------
+    # chunk execution
+    # ------------------------------------------------------------------
+    def _fall(self) -> bool:
+        self.batch_fallbacks += 1
+        return False
+
+    def _chunk_guards(self, plan: _Plan, env: dict, pe_obj,
+                      skip: Optional[str] = None) -> bool:
+        machine = self.machine
+        if machine.race_check or machine.trace_enabled:
+            return False
+        if pe_obj.queue.entries:
+            return False  # a miss could extract a queued prefetch
+        for name in plan.env_vars:
+            if name != skip and type(env.get(name)) is not int:
+                return False
+        return True
+
+    def _bind_slots(self, plan: _Plan, env: dict,
+                    V: np.ndarray) -> Optional[List[np.ndarray]]:
+        vmin = int(V.min())
+        vmax = int(V.max())
+        flats: List[np.ndarray] = []
+        for slot in plan.slots:
+            bound = slot.bind(env, V, vmin, vmax)
+            if bound is None:
+                return None  # out of bounds: reference raises exactly
+            flats.append(bound)
+        return flats
+
+    def _inflight(self, pe_obj) -> list:
+        clock = pe_obj.clock
+        return [t for t in pe_obj.vectors.transfers if t.completion > clock]
+
+    def _exec_chunk(self, plan: _Plan, env: dict, pe: int, values) -> bool:
+        """Service one PE's chunk in bulk; False means the caller must run
+        the reference per-iteration path (nothing was mutated)."""
+        machine = self.machine
+        pe_obj = machine.pes[pe]
+        T = len(values)
+        if T == 0 or T * plan.n_events < MIN_BATCH_EVENTS:
+            return False
+        if not self._chunk_guards(plan, env, pe_obj):
+            return self._fall()
+        if isinstance(values, range):
+            V = np.arange(values.start, values.stop, values.step,
+                          dtype=np.int64)
+        else:
+            V = np.asarray(values, dtype=np.int64)
+        flats = self._bind_slots(plan, env, V)
+        if flats is None:
+            return self._fall()
+        if plan.touches_shared_cache and stale_words(
+                pe_obj.cache, machine.memory.versions_flat):
+            return self._fall()  # stale hits possible: needs per-event order
+        self.batch_chunks += 1
+
+        # -- value pass ----------------------------------------------------
+        if plan.vec_stmts is not None and self._vector_safe(plan, flats):
+            vecs = {plan.var: V}
+            self._vector_value_pass(plan, env, pe, flats, vecs)
+            env[plan.var] = int(V[-1])
+        else:
+            registers = plan.registers
+            var = plan.var
+            fns = plan.value_fns
+            for v in values:
+                env[var] = v
+                registers.clear()
+                for fn in fns:
+                    fn(env, pe)
+            if plan.final_clear:
+                registers.clear()
+
+        self._timing_pass(plan, pe_obj, pe, T, flats,
+                          plan.const_per_iter * T, None,
+                          self._inflight(pe_obj))
+        return True
+
+    def _vector_safe(self, plan: _Plan, flats: List[np.ndarray]) -> bool:
+        """True when statement-at-a-time gather/scatter reproduces the
+        reference's per-iteration execution: every same-array (write, other)
+        slot pair is elementwise-identical or fully disjoint, and each write
+        slot's addresses are distinct across iterations."""
+        for w, j in plan.alias_pairs:
+            wf = flats[w]
+            rf = flats[j]
+            if wf.shape == rf.shape and np.array_equal(wf, rf):
+                continue
+            mask = np.zeros(int(max(wf.max(), rf.max())) + 1, dtype=bool)
+            mask[wf] = True
+            if mask[rf].any():
+                return False
+        for w in plan.write_idx:
+            wf = flats[w]
+            if wf.size > 1 and int(np.bincount(wf).max()) > 1:
+                return False
+        return True
+
+    def _vector_value_pass(self, plan: _Plan, env: dict, pe: int,
+                           flats: List[np.ndarray], vecs: dict) -> None:
+        """Statement-at-a-time vectorised value pass, plus an epilogue that
+        reconstructs the environment/register state the sequential pass
+        would have left behind."""
+        memory = self.machine.memory
+        for op in plan.vec_stmts:
+            if op[0] == "arr":
+                _, k, fn, pops = op
+                value = fn(env, pe, flats, vecs)
+                slot = plan.slots[k]
+                wf = flats[k]
+                if slot.shared:
+                    memory.values[slot.array][wf] = value
+                    memory.versions[slot.array][wf] += 1
+                else:
+                    memory.private_values[slot.array][pe, wf] = value
+                for registers, keys in pops:  # outer-ctx evictions: the
+                    for key in keys:          # same keys every iteration,
+                        registers.pop(key, None)  # so dropping once is exact
+            else:
+                _, name, fn = op
+                vecs[name] = fn(env, pe, flats, vecs)
+        for name in plan.assigned:
+            v = vecs[name]
+            env[name] = (float(v[-1])
+                         if isinstance(v, np.ndarray) and v.ndim else float(v))
+        registers = plan.registers
+        registers.clear()
+        if not plan.final_clear:
+            # Rebuild the last iteration's register residue.  A surviving
+            # key was never aliased by a chunk write (drop_keys_for_write is
+            # conservative), so re-gathering from final memory reproduces
+            # the value the reference cached at read time.
+            for rop in plan.reg_ops:
+                if rop[0] == "set":
+                    _, key, k = rop
+                    slot = plan.slots[k]
+                    last = flats[k][-1]
+                    if slot.shared:
+                        registers[key] = float(
+                            memory.values[slot.array][last])
+                    else:
+                        registers[key] = float(
+                            memory.private_values[slot.array][pe, last])
+                else:
+                    for key in rop[1]:
+                        registers.pop(key, None)
+
+    def _timing_pass(self, plan: _Plan, pe_obj, pe: int, Tt: int,
+                     flats: List[np.ndarray], const_total: float,
+                     row_extra, transfers: list) -> None:
+        """Charge the chunk's cycles/counters and commit cache state.
+
+        ``const_total`` is every constant advance in the chunk (loop
+        overheads + arithmetic); ``row_extra`` optionally adds per-iteration
+        constants at iteration granularity (fused chunks); ``transfers`` are
+        the PE's vector transfers still in flight at chunk start."""
+        params = self.params
+        memory = self.machine.memory
+        ch = float(params.cache_hit)
+        n_slots = plan.n_events
+        cost_cols: List[Optional[np.ndarray]] = [None] * n_slots
+        hit_cols: List[Optional[np.ndarray]] = [None] * n_slots
+        total = const_total
+        n_reads = len(plan.cached_idx) + len(plan.uncached_idx)
+        n_writes = len(plan.write_idx)
+        hits = misses = lf = rf = byp = ulr = urr = rw = 0
+        cls = None
+        cidx = plan.cached_idx
+        if cidx:
+            addr_mat = np.empty((Tt, len(cidx)), dtype=np.int64)
+            for k, i in enumerate(cidx):
+                addr_mat[:, k] = plan.slots[i].base + flats[i]
+            cls = pe_obj.cache.classify_trace(addr_mat.reshape(-1))
+            hit_mat = (cls.outcomes == OUT_HIT).reshape(Tt, len(cidx))
+            for k, i in enumerate(cidx):
+                slot = plan.slots[i]
+                hcol = hit_mat[:, k]
+                hit_cols[i] = hcol
+                nh = int(hcol.sum())
+                nm = Tt - nh
+                hits += nh
+                misses += nm
+                if slot.shared:
+                    table = self._lat_table(pe, "r", slot.extra)
+                    own = slot.owner_table[flats[i]]
+                    col = np.where(hcol, ch, table[own])
+                    nlocal = int((~hcol & (own == pe)).sum())
+                    lf += nlocal
+                    rf += nm - nlocal
+                else:
+                    col = np.where(hcol, ch, float(params.local_mem))
+                    lf += nm  # private data is always home-local
+                cost_cols[i] = col
+                total += float(col.sum())
+        for i in plan.uncached_idx:
+            slot = plan.slots[i]
+            table = self._lat_table(pe, "u", slot.extra)
+            own = slot.owner_table[flats[i]]
+            col = table[own]
+            cost_cols[i] = col
+            total += float(col.sum())
+            if slot.bypass:
+                byp += Tt
+            else:
+                nlocal = int((own == pe).sum())
+                ulr += nlocal
+                urr += Tt - nlocal
+        for i in plan.write_idx:
+            slot = plan.slots[i]
+            if slot.shared:
+                table = self._lat_table(pe, "w", slot.extra)
+                own = slot.owner_table[flats[i]]
+                col = table[own]
+                rw += int((own != pe).sum())
+            else:
+                col = np.full(Tt, float(params.write_local))
+            cost_cols[i] = col
+            total += float(col.sum())
+        pe_obj.stats.add_bulk(
+            reads=Tt * n_reads, writes=Tt * n_writes, cache_hits=hits,
+            cache_misses=misses, local_fills=lf, remote_fills=rf,
+            bypass_reads=byp, uncached_local_reads=ulr,
+            uncached_remote_reads=urr, remote_writes=rw, busy_cycles=total)
+        if transfers:
+            clock_final, stalls = self._stall_clock(
+                plan, pe_obj, Tt, flats, cost_cols, hit_cols, row_extra)
+            for s in stalls:  # ordered scalar adds, exactly as wait_until
+                pe_obj.stats.idle_cycles += s
+                pe_obj.stats.vector_stall_cycles += s
+            pe_obj.clock = clock_final
+        else:
+            pe_obj.clock += total
+
+        # -- cache commit -------------------------------------------------
+        cache = pe_obj.cache
+        if cls is not None and len(cls.changed_sets):
+            cache.tags[cls.changed_sets] = cls.changed_lines
+        lw = params.line_words
+        shared_lines: List[np.ndarray] = []
+        for i in cidx + plan.write_idx:
+            slot = plan.slots[i]
+            if not slot.cacheable:
+                continue
+            lines = (slot.base + flats[i]) // lw
+            if slot.shared:
+                shared_lines.append(lines)
+            else:
+                self._fill_private_lines(cache, lines, slot.base, slot.array,
+                                         pe)
+        if shared_lines:
+            cat = np.concatenate(shared_lines)
+            lines = np.flatnonzero(np.bincount(cat))  # sorted unique
+            bulk_fill_lines(cache, lines, memory.values_flat,
+                            memory.versions_flat)
+
+    def _stall_clock(self, plan: _Plan, pe_obj, Tt: int,
+                     flats: List[np.ndarray], cost_cols, hit_cols,
+                     row_extra):
+        """Final PE clock with vector-transfer stalls resolved.
+
+        Replays the reference rule on the flat event stream: a cached-read
+        HIT whose line is covered by the earliest-completion matching
+        transfer stalls to that completion (``wait_until``) when the
+        pre-event clock is still short of it.  Integer event costs make
+        every partial sum exact, so composing segments between stalls
+        reproduces the reference's sequential float adds bit-for-bit."""
+        params = self.params
+        lw = params.line_words
+        n_slots = plan.n_events
+        clock0 = pe_obj.clock
+        pre = np.tile(plan.const_before, (Tt, 1))
+        tail = plan.tail_const
+        if Tt > 1:
+            pre[1:, 0] += tail
+        if row_extra is not None:
+            extra_rows, tail_extra = row_extra
+            pre[:, 0] += extra_rows
+            tail = tail + tail_extra
+        ev = np.stack(cost_cols, axis=1)
+        hit = np.zeros((Tt, n_slots), dtype=bool)
+        line = np.full((Tt, n_slots), -1, dtype=np.int64)
+        for i in plan.cached_idx:
+            hit[:, i] = hit_cols[i]
+            line[:, i] = (plan.slots[i].base + flats[i]) // lw
+        ev_f = ev.ravel()
+        C = np.cumsum(pre.ravel() + ev_f)
+        D = C - ev_f  # clock offset just before each event's own cost
+        hit_f = hit.ravel()
+        line_f = line.ravel()
+        # match() returns the earliest-completion covering transfer (list
+        # order breaks ties), completed ones included — those shadow any
+        # still-in-flight transfer on the lines they cover.
+        all_transfers = list(pe_obj.vectors.transfers)
+        masks = []
+        for ti, t in enumerate(all_transfers):
+            if t.completion <= clock0:
+                continue
+            cover = hit_f & (line_f >= t.line_lo) & (line_f <= t.line_hi)
+            for oi, o in enumerate(all_transfers):
+                if o is t:
+                    continue
+                if (o.completion < t.completion
+                        or (o.completion == t.completion and oi < ti)):
+                    cover &= ~((line_f >= o.line_lo) & (line_f <= o.line_hi))
+            if cover.any():
+                masks.append((t, cover))
+        base = clock0
+        base_D = 0.0
+        base_idx = -1
+        stalls: List[float] = []
+        remaining = list(masks)
+        while remaining:
+            best_e = None
+            best = None
+            for item in remaining:
+                t, cover = item
+                cand = cover & (base + (D - base_D) < t.completion)
+                if base_idx >= 0:
+                    cand = cand & (np.arange(cand.size) > base_idx)
+                idx = np.nonzero(cand)[0]
+                if idx.size and (best_e is None or idx[0] < best_e):
+                    best_e = int(idx[0])
+                    best = item
+            if best_e is None:
+                break
+            t = best[0]
+            prec = base + (D[best_e] - base_D)
+            stalls.append(t.completion - prec)
+            base = t.completion
+            base_D = float(D[best_e])
+            base_idx = best_e
+            remaining.remove(best)
+        if base_idx < 0:
+            clock_final = clock0 + float(C[-1]) + tail
+        else:
+            clock_final = base + float(C[-1] - base_D) + tail
+        return clock_final, stalls
+
+    def _fill_private_lines(self, cache, lines: np.ndarray, base: int,
+                            array: str, pe: int) -> None:
+        """Refill still-resident private lines from the PE's private row,
+        zero-padding words outside the array (mirrors ``_line_contents``)."""
+        memory = self.machine.memory
+        size = memory.decls[array].size
+        row = memory.private_values[array][pe]
+        lw = cache.line_words
+        nl = cache.n_lines
+        for line in np.unique(lines).tolist():
+            ix = line % nl
+            if cache.tags[ix] != line:
+                continue
+            start = line * lw - base
+            lo = max(start, 0)
+            hi = min(start + lw, size)
+            words = np.zeros(lw, dtype=np.float64)
+            if lo < hi:
+                words[lo - start:lo - start + hi - lo] = row[lo:hi]
+            cache.data[ix, :] = words
+            cache.vers[ix, :] = 0
+
+    def _lat_table(self, pe: int, kind: str, extra: float) -> np.ndarray:
+        key = (pe, kind, extra)
+        table = self._lat.get(key)
+        if table is None:
+            if kind == "r":
+                raw = read_latency_table(self.params, self.machine.torus, pe,
+                                         extra)
+            elif kind == "w":
+                raw = write_latency_table(self.params, self.machine.torus, pe,
+                                          extra)
+            else:
+                raw = uncached_read_latency_table(self.params,
+                                                  self.machine.torus, pe,
+                                                  extra)
+            table = np.asarray(raw, dtype=np.float64)
+            self._lat[key] = table
+        return table
+
+
+__all__ = ["BatchedInterpreter", "MIN_BATCH_EVENTS"]

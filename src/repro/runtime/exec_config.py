@@ -29,6 +29,13 @@ class Version:
     ALL = (SEQ, BASE, CCDP, NAIVE)
 
 
+class Backend:
+    REFERENCE = "reference"  #: one Python closure call per memory reference
+    BATCHED = "batched"      #: bulk NumPy traces for affine loop bodies
+
+    ALL = (REFERENCE, BATCHED)
+
+
 @dataclass(frozen=True)
 class ExecutionConfig:
     """Runtime policy knobs derived from the program version."""
@@ -37,26 +44,34 @@ class ExecutionConfig:
     cache_shared: bool = True
     craft_overheads: bool = False
     on_stale: str = "record"   #: "record" or "raise"
+    backend: str = Backend.REFERENCE  #: "reference" or "batched"
 
     def __post_init__(self) -> None:
         if self.version not in Version.ALL:
             raise ValueError(f"unknown version {self.version!r}")
+        if self.backend not in Backend.ALL:
+            raise ValueError(f"unknown backend {self.backend!r}")
 
     @staticmethod
-    def for_version(version: str, on_stale: str = "record") -> "ExecutionConfig":
+    def for_version(version: str, on_stale: str = "record",
+                    backend: str = Backend.REFERENCE) -> "ExecutionConfig":
         if version == Version.SEQ:
             return ExecutionConfig(version, cache_shared=True,
-                                   craft_overheads=False, on_stale=on_stale)
+                                   craft_overheads=False, on_stale=on_stale,
+                                   backend=backend)
         if version == Version.BASE:
             return ExecutionConfig(version, cache_shared=False,
-                                   craft_overheads=True, on_stale=on_stale)
+                                   craft_overheads=True, on_stale=on_stale,
+                                   backend=backend)
         if version == Version.CCDP:
             return ExecutionConfig(version, cache_shared=True,
-                                   craft_overheads=False, on_stale=on_stale)
+                                   craft_overheads=False, on_stale=on_stale,
+                                   backend=backend)
         if version == Version.NAIVE:
             return ExecutionConfig(version, cache_shared=True,
-                                   craft_overheads=False, on_stale=on_stale)
+                                   craft_overheads=False, on_stale=on_stale,
+                                   backend=backend)
         raise ValueError(f"unknown version {version!r}")
 
 
-__all__ = ["Version", "ExecutionConfig"]
+__all__ = ["Version", "Backend", "ExecutionConfig"]

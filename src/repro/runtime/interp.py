@@ -22,6 +22,7 @@ The interpreter realises the paper's epoch execution model:
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -246,23 +247,21 @@ class Interpreter:
                 env_p = dict(env)
                 if values:
                     run_preamble(env_p, pe, min(values), max(values), len(values))
-                for value in values:
-                    run_iteration(env_p, pe, value)
+                self._iterate_doall(loop, env_p, pe, values, run_iteration)
         elif loop.schedule == ScheduleKind.STATIC_BLOCK or n_pes == 1:
             chunks = block_partition(lo, hi, step, n_pes)
             for pe, chunk in enumerate(chunks):
                 env_p = dict(env)
                 run_preamble(env_p, pe, chunk.lo, chunk.hi, chunk.count)
-                for value in chunk.iterations():
-                    run_iteration(env_p, pe, value)
+                self._iterate_doall(loop, env_p, pe, list(chunk.iterations()),
+                                    run_iteration)
         elif loop.schedule == ScheduleKind.STATIC_CYCLIC:
             assignments = cyclic_partition(lo, hi, step, n_pes)
             for pe, values in enumerate(assignments):
                 env_p = dict(env)
                 if values:
                     run_preamble(env_p, pe, values[0], values[-1], len(values))
-                for value in values:
-                    run_iteration(env_p, pe, value)
+                self._iterate_doall(loop, env_p, pe, values, run_iteration)
         else:  # DYNAMIC: greedy earliest-clock self scheduling
             chunks = dynamic_chunks(lo, hi, step, params.dynamic_chunk)
             envs = []
@@ -270,11 +269,22 @@ class Interpreter:
                 env_p = dict(env)
                 run_preamble(env_p, pe, lo, hi, max(0, len(range(lo, hi + 1, step))))
                 envs.append(env_p)
+            # Ready queue keyed on (clock, pe): pops the idlest PE, lowest
+            # index first on ties — the same PE the old O(P) min() scan
+            # picked, in O(log P).  Entries go stale when a PE's clock moves
+            # (it executed a chunk); stale pops are refreshed and reinserted.
+            ready = [(machine.pes[p].clock, p) for p in range(n_pes)]
+            heapq.heapify(ready)
             for chunk in chunks:
-                pe = min(range(n_pes), key=lambda p: machine.pes[p].clock)
+                while True:
+                    clock, pe = heapq.heappop(ready)
+                    if clock == machine.pes[pe].clock:
+                        break
+                    heapq.heappush(ready, (machine.pes[pe].clock, pe))
                 machine.pes[pe].advance(params.dynamic_sched_overhead)
-                for value in chunk.iterations():
-                    run_iteration(envs[pe], pe, value)
+                self._iterate_doall(loop, envs[pe], pe,
+                                    list(chunk.iterations()), run_iteration)
+                heapq.heappush(ready, (machine.pes[pe].clock, pe))
 
         registers.clear()
         if self._multi:
@@ -285,6 +295,13 @@ class Interpreter:
             self.epochs.append(EpochRecord(
                 label=loop.label or f"doall {loop.var}", kind="parallel",
                 start=start_time, end=machine.elapsed()))
+
+    def _iterate_doall(self, loop: Loop, env_p: dict, pe: int,
+                       values: Sequence[int], run_iteration) -> None:
+        """Execute one PE's iteration chunk of a DOALL.  The batched
+        backend overrides this to service whole chunks as bulk traces."""
+        for value in values:
+            run_iteration(env_p, pe, value)
 
     # ------------------------------------------------------------------
     # register-promotion contexts
@@ -865,12 +882,30 @@ def _callee_contains_doall(program: Program, call: CallStmt,
 
 def run_program(program: Program, params: MachineParams,
                 version: str = Version.CCDP, on_stale: str = "record",
-                trace_epochs: bool = False) -> RunResult:
+                trace_epochs: bool = False,
+                backend: str = "reference") -> RunResult:
     """One-call convenience: interpret ``program`` as the given version."""
-    config = ExecutionConfig.for_version(version, on_stale=on_stale)
-    interp = Interpreter(program, params, config, trace_epochs=trace_epochs)
+    config = ExecutionConfig.for_version(version, on_stale=on_stale,
+                                         backend=backend)
+    interp = make_interpreter(program, params, config,
+                              trace_epochs=trace_epochs)
     return interp.run()
 
 
+def make_interpreter(program: Program, params: MachineParams,
+                     config: Optional[ExecutionConfig] = None,
+                     trace_epochs: bool = False,
+                     trace_reads: bool = False) -> Interpreter:
+    """Build the interpreter the config's backend asks for."""
+    cfg = config or ExecutionConfig()
+    if cfg.backend == "batched":
+        from .batched import BatchedInterpreter
+        return BatchedInterpreter(program, params, cfg,
+                                  trace_epochs=trace_epochs,
+                                  trace_reads=trace_reads)
+    return Interpreter(program, params, cfg, trace_epochs=trace_epochs,
+                       trace_reads=trace_reads)
+
+
 __all__ = ["Interpreter", "InterpreterError", "RunResult", "EpochRecord",
-           "run_program"]
+           "run_program", "make_interpreter"]

@@ -1,0 +1,90 @@
+"""Differential equivalence: the batched backend must be bit-exact.
+
+These tests are the enforcement arm of the batched backend's contract
+(see ``repro/runtime/batched.py``): for every workload and program
+version, running with ``backend="batched"`` must reproduce the
+reference interpreter's elapsed cycles, per-PE statistics, cache state
+and array contents *exactly* — no tolerances anywhere.
+"""
+
+import numpy as np
+import pytest
+
+import repro.ir as ir
+from repro.harness.equivalence import check_workload, compare_backends
+from repro.machine.params import t3d
+from repro.runtime import ExecutionConfig, Version, run_program
+from repro.runtime.batched import BatchedInterpreter
+from repro.runtime.interp import make_interpreter
+
+SIZES = {"mxm": 12, "vpenta": 8, "tomcatv": 10, "swim": 10}
+
+
+@pytest.mark.parametrize("name", sorted(SIZES))
+@pytest.mark.parametrize("version", [Version.SEQ, Version.BASE, Version.CCDP,
+                                     Version.NAIVE])
+def test_workload_bit_exact(name, version):
+    params = t3d(4, cache_bytes=2048)
+    report = check_workload(name, params, version, n=SIZES[name])
+    assert report.exact, report.summary()
+
+
+def test_mxm_ccdp_actually_batches():
+    """Guard against silent fallback: the flagship workload must be
+    serviced through bulk chunks, not the per-reference path."""
+    from repro.coherence import CCDPConfig, ccdp_transform
+    from repro.workloads import workload
+
+    params = t3d(4, cache_bytes=2048)
+    program, _ = ccdp_transform(workload("mxm").build(n=16),
+                                CCDPConfig(machine=params))
+    interp = make_interpreter(
+        program, params,
+        ExecutionConfig.for_version(Version.CCDP, backend="batched"))
+    assert isinstance(interp, BatchedInterpreter)
+    interp.run()
+    assert interp.batch_chunks > 0
+    assert interp.batch_fallbacks == 0
+
+
+def test_run_program_backend_keyword():
+    """``run_program(..., backend="batched")`` is the public entry."""
+    from repro.workloads import workload
+
+    params = t3d(1, cache_bytes=2048)
+    program = workload("mxm").build(n=8)
+    ref = run_program(program, params, Version.SEQ)
+    bat = run_program(program, params, Version.SEQ, backend="batched")
+    assert ref.elapsed == bat.elapsed
+    assert np.array_equal(ref.value_of("c"), bat.value_of("c"))
+
+
+def test_non_affine_body_falls_back():
+    """A data-dependent subscript defeats slot binding; the batched
+    backend must detect this at plan time and defer to the reference
+    closures — still producing exact results."""
+    b = ir.ProgramBuilder("gather")
+    b.shared("idx", (16,))
+    b.shared("x", (16,))
+    b.shared("y", (16,))
+    with b.proc("main"):
+        with b.doall("j", 1, 16, label="init", align="x"):
+            with b.do("i", 1, 1):
+                b.assign(b.ref("idx", "j"), ir.E("j") * 1.0)
+                b.assign(b.ref("x", "j"), ir.E("j") * 2.0)
+        with b.doall("j", 1, 16, label="gather", align="x"):
+            with b.do("i", 1, 1):
+                b.assign(b.ref("y", "j"), b.ref("x", b.ref("idx", "j")))
+    program = b.finish()
+    params = t3d(2, cache_bytes=1024)
+    report = compare_backends(program, params, Version.SEQ)
+    assert report.exact, report.summary()
+
+
+def test_stale_reads_preserved_under_naive():
+    """NAIVE deliberately produces stale reads; the batched backend must
+    not launder them away (its stale-word guard forces the reference
+    path whenever a cached line is out of date)."""
+    params = t3d(4, cache_bytes=2048)
+    report = check_workload("tomcatv", params, Version.NAIVE, n=10)
+    assert report.exact, report.summary()

@@ -281,6 +281,74 @@ class TestCacheAgainstReference:
 
 
 # ---------------------------------------------------------------------------
+# vectorised trace classification vs. the reference cache
+# ---------------------------------------------------------------------------
+
+from repro.machine import fastcache
+
+event_kinds = st.sampled_from([fastcache.READ, fastcache.WRITE,
+                               fastcache.INSTALL, fastcache.INVALIDATE])
+
+#: 8 lines x 4 words of cache, addresses over 64 lines -> every set sees
+#: up to 8 aliasing lines, so conflict evictions are routine.
+fast_traces = st.lists(st.tuples(event_kinds, st.integers(0, 255)),
+                       min_size=1, max_size=100)
+
+
+class TestClassifyTraceAgainstReference:
+    """``fastcache.classify_trace`` (the batched backend's kernel) must
+    reproduce the reference ``DirectMappedCache`` outcome for *any*
+    interleaving of READ/WRITE/INSTALL/INVALIDATE events."""
+
+    def _check(self, events, params):
+        from repro.machine.cache import DirectMappedCache
+
+        addrs = np.array([addr for _, addr in events], dtype=np.int64)
+        kinds = np.array([kind for kind, _ in events], dtype=np.int8)
+        result = fastcache.classify_trace(addrs, kinds, params)
+
+        dut = DirectMappedCache(params)
+        zeros = np.zeros(params.line_words)
+        zvers = np.zeros(params.line_words, dtype=np.int64)
+        for i, (kind, addr) in enumerate(events):
+            line = addr // params.line_words
+            if kind == fastcache.READ:
+                hit = dut.read(addr) is not None
+                expected = fastcache.OUT_HIT if hit else fastcache.OUT_MISS
+                assert result.outcomes[i] == expected, \
+                    f"event {i}: {'hit' if hit else 'miss'} expected"
+                if not hit:
+                    dut.install(line, zeros, zvers)  # read allocates
+            else:
+                assert result.outcomes[i] == fastcache.OUT_NA
+                if kind == fastcache.WRITE:
+                    dut.write_through_update(addr, 0.0, 0)  # no-allocate
+                elif kind == fastcache.INSTALL:
+                    dut.install(line, zeros, zvers)
+                else:
+                    dut.invalidate_line(line)
+
+    @given(fast_traces)
+    @settings(max_examples=80)
+    def test_mixed_trace_equivalence(self, events):
+        self._check(events, t3d(1, cache_bytes=256))
+
+    @given(st.integers(0, 7),
+           st.lists(st.tuples(event_kinds, st.integers(0, 7),
+                              st.integers(0, 3)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_single_set_aliasing(self, set_index, picks):
+        """Adversarial conflict traffic: every event lands in one cache
+        set, cycling through its 8 aliasing lines."""
+        params = t3d(1, cache_bytes=256)
+        events = [(kind, (set_index + params.n_lines * alias)
+                   * params.line_words + off)
+                  for kind, alias, off in picks]
+        self._check(events, params)
+
+
+# ---------------------------------------------------------------------------
 # machine-level coherence invariant under random operations
 # ---------------------------------------------------------------------------
 
