@@ -37,7 +37,7 @@ class TestQueueDepth:
         with capsys.disabled():
             total = result.machine.stats.total()
             print(f"\n[queue={slots:2d}] tomcatv ccdp={result.elapsed:,.0f} cyc "
-                  f"dropped={total.prefetch_dropped}")
+                  f"dropped={total.pf_dropped}")
 
     def test_deeper_queue_never_hurts_much(self):
         shallow = ccdp_time("tomcatv", prefetch_queue_slots=1).elapsed

@@ -1,0 +1,28 @@
+"""Deterministic fault injection: seeded degradation of the machine
+model (dropped prefetches, queue squeezes, network jitter, transient
+remote failures, cache eviction storms) so the coherence guarantees can
+be tested under adversarial schedules instead of only the happy path.
+
+A :class:`FaultPlan` is an immutable spec (composable dataclasses + one
+seed); :class:`FaultState` is its per-run realisation with one RNG
+stream per (model, PE).  Wire a plan through
+:class:`~repro.runtime.exec_config.ExecutionConfig` (``fault_plan=``),
+``run_program(..., fault_plan=...)`` or the CLI ``--faults`` /
+``--fault-seed`` flags; pair with the coherence oracle
+(:mod:`repro.machine.oracle`) to prove runs degrade only in cycles,
+never in values.
+"""
+
+from .models import (EvictionStormFault, FaultModel, FaultPlan,
+                     FaultPlanError, LatencyJitterFault, MODEL_TYPES,
+                     PrefetchDropFault, QueueSqueezeFault, RemoteFailFault)
+from .parse import PRESETS, parse_fault_plan
+from .state import FaultState, FaultStats, make_state
+
+__all__ = [
+    "FaultModel", "FaultPlan", "FaultPlanError",
+    "PrefetchDropFault", "QueueSqueezeFault", "LatencyJitterFault",
+    "RemoteFailFault", "EvictionStormFault", "MODEL_TYPES",
+    "parse_fault_plan", "PRESETS",
+    "FaultState", "FaultStats", "make_state",
+]

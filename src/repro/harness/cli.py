@@ -22,6 +22,7 @@ import sys
 from typing import Dict, List, Optional
 
 from ..coherence import CCDPConfig, ccdp_transform
+from ..faults import FaultPlanError, parse_fault_plan, PRESETS
 from ..ir.printer import format_program
 from ..machine.params import t3d
 from ..runtime import Backend, Version, run_program
@@ -102,6 +103,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                    choices=list(Backend.ALL),
                    help="execution backend (batched = bulk NumPy traces, "
                         "bit-exact vs reference)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="fault-injection plan: a preset "
+                        f"({', '.join(sorted(PRESETS))}) or "
+                        "'name[=rate][:key=value ...],...' e.g. "
+                        "'drop=0.3,jitter=0.5:max_extra=40' (see repro.faults)")
+    p.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                   help="seed for the fault plan's RNG streams (>= 0)")
+    p.add_argument("--oracle", action="store_true",
+                   help="arm the shadow coherence oracle (raises "
+                        "StaleReadViolation on any unflagged stale value)")
 
     p = sub.add_parser("compile-file",
                        help="compile a DSL source file with CCDP")
@@ -242,15 +253,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
+        if args.fault_seed < 0:
+            parser.error(f"--fault-seed must be >= 0, got {args.fault_seed}")
+        try:
+            fault_plan = parse_fault_plan(args.faults, seed=args.fault_seed)
+        except FaultPlanError as exc:
+            parser.error(f"--faults: {exc}")
         spec = workload(args.workload)
         runner = ExperimentRunner(spec, _size_args(args), check=not args.no_check)
         record = runner.run_version(args.version, int(args.pes),
-                                    backend=args.backend)
+                                    backend=args.backend,
+                                    fault_plan=fault_plan,
+                                    oracle=args.oracle)
         print(record.describe())
         for key in ("cache_hits", "cache_misses", "prefetch_issued",
-                    "prefetch_dropped", "vector_prefetches", "bypass_reads",
-                    "stale_reads"):
+                    "pf_dropped", "pf_drop_bypass", "vector_prefetches",
+                    "bypass_reads", "stale_reads"):
             print(f"  {key:18s} {record.stats.get(key, 0):.0f}")
+        if record.fault_stats is not None:
+            print("  faults:")
+            for key, value in record.fault_stats.items():
+                print(f"    {key:18s} {value:.0f}")
+        if record.oracle_summary is not None:
+            print(f"  {record.oracle_summary}")
         return 0 if record.correct else 1
 
     parser.error(f"unknown command {args.command}")

@@ -48,18 +48,25 @@ class EquivalenceReport:
 
 
 def compare_backends(program, params: MachineParams, version: str,
-                     on_stale: str = "record") -> EquivalenceReport:
+                     on_stale: str = "record", fault_plan=None,
+                     oracle: bool = False) -> EquivalenceReport:
     """Run ``program`` under both backends and diff every observable.
 
     Comparisons are exact (``==`` / ``array_equal``), never approximate:
     the batched backend is a drop-in replacement, not an approximation.
+    With a ``fault_plan``, both backends realise the *same* seeded fault
+    schedule (the batched backend routes faulted chunks to the reference
+    path), so the diff must still be empty — that invariant is what the
+    fault-matrix tests lean on.
     """
     ref = make_interpreter(program, params,
-                           ExecutionConfig.for_version(version, on_stale,
-                                                       backend="reference"))
+                           ExecutionConfig.for_version(
+                               version, on_stale, backend="reference",
+                               fault_plan=fault_plan, oracle=oracle))
     bat = make_interpreter(program, params,
-                           ExecutionConfig.for_version(version, on_stale,
-                                                       backend="batched"))
+                           ExecutionConfig.for_version(
+                               version, on_stale, backend="batched",
+                               fault_plan=fault_plan, oracle=oracle))
     res_ref = ref.run()
     res_bat = bat.run()
     mism: List[str] = []
@@ -67,6 +74,12 @@ def compare_backends(program, params: MachineParams, version: str,
         mism.append(f"elapsed: {res_ref.elapsed} != {res_bat.elapsed}")
     _diff_stats(ref.machine, bat.machine, mism)
     _diff_memory(ref.machine.memory, bat.machine.memory, mism)
+    if ref.machine.faults is not None:
+        fa = ref.machine.faults.stats.as_dict()
+        fb = bat.machine.faults.stats.as_dict()
+        for key in fa:
+            if key != "batch_fallbacks" and fa[key] != fb[key]:
+                mism.append(f"faults.{key}: {fa[key]} != {fb[key]}")
     return EquivalenceReport(
         version=version, elapsed_ref=res_ref.elapsed,
         elapsed_batched=res_bat.elapsed,
@@ -76,7 +89,8 @@ def compare_backends(program, params: MachineParams, version: str,
 
 
 def check_workload(name: str, params: MachineParams, version: str,
-                   on_stale: str = "record", **size_args) -> EquivalenceReport:
+                   on_stale: str = "record", fault_plan=None,
+                   oracle: bool = False, **size_args) -> EquivalenceReport:
     """Build workload ``name``; CCDP-transform it when ``version`` is
     ``ccdp``; then :func:`compare_backends`."""
     from ..coherence import CCDPConfig, ccdp_transform
@@ -85,7 +99,8 @@ def check_workload(name: str, params: MachineParams, version: str,
     program = workload(name).build(**size_args)
     if version == Version.CCDP:
         program, _ = ccdp_transform(program, CCDPConfig(machine=params))
-    return compare_backends(program, params, version, on_stale)
+    return compare_backends(program, params, version, on_stale,
+                            fault_plan=fault_plan, oracle=oracle)
 
 
 def _diff_stats(machine_a, machine_b, out: List[str]) -> None:

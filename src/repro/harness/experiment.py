@@ -42,6 +42,8 @@ class RunRecord:
     error: Optional[str]
     stats: Dict[str, float]
     ccdp_report: Optional[CCDPReport] = None
+    fault_stats: Optional[Dict[str, float]] = None  #: when a plan was active
+    oracle_summary: Optional[str] = None            #: when the oracle ran
 
     def describe(self) -> str:
         status = "ok" if self.correct else f"WRONG ({self.error})"
@@ -113,7 +115,8 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def run_version(self, version: str, n_pes: int,
                     on_stale: str = "record",
-                    backend: str = "reference") -> RunRecord:
+                    backend: str = "reference",
+                    fault_plan=None, oracle: bool = False) -> RunRecord:
         report: Optional[CCDPReport] = None
         if version == Version.CCDP:
             program, report = self.ccdp_program(n_pes)
@@ -121,7 +124,8 @@ class ExperimentRunner:
             program = self.program
         params = self.params_for(1 if version == Version.SEQ else n_pes)
         result = run_program(program, params, version, on_stale=on_stale,
-                             backend=backend)
+                             backend=backend, fault_plan=fault_plan,
+                             oracle=oracle)
         error = None
         if self.check:
             error = check_result(
@@ -131,7 +135,11 @@ class ExperimentRunner:
             workload=self.spec.name, version=version, n_pes=params.n_pes,
             elapsed=result.elapsed, stale_reads=result.stats.stale_reads,
             correct=error is None, error=error,
-            stats=result.stats.as_dict(), ccdp_report=report)
+            stats=result.stats.as_dict(), ccdp_report=report,
+            fault_stats=(None if result.fault_stats is None
+                         else result.fault_stats.as_dict()),
+            oracle_summary=(None if result.oracle is None
+                            else result.oracle.summary()))
 
     def sweep(self, pe_counts: Sequence[int] = PAPER_PE_COUNTS,
               versions: Sequence[str] = (Version.BASE, Version.CCDP)) -> Sweep:

@@ -103,6 +103,28 @@ def generate_report(sweeps: Sequence[Sweep],
       f"(paper: {' > '.join(PAPER_ORDERING)}).")
     w("")
 
+    # Prefetch accounting: issued vs dropped vs degraded-to-bypass.
+    w("## Prefetch accounting (CCDP runs, max PE count)")
+    w("")
+    w("Dropped prefetches are the paper's rule-2 hazard: each one must be "
+      "replaced by a bypass-cache fetch at the use point, never by a stale "
+      "cached value.  `pf_drop_bypass` counts those replacement fetches "
+      "(they also appear in `bypass_reads`).")
+    w("")
+    w("| app | issued | extracted | pf_dropped | pf_drop_bypass "
+      "| vector prefetches |")
+    w("|---|---|---|---|---|---|")
+    for sweep in sweeps:
+        top = max(sweep.pe_counts())
+        stats = sweep.record(Version.CCDP, top).stats
+        w(f"| {sweep.workload} "
+          f"| {stats.get('prefetch_issued', 0):.0f} "
+          f"| {stats.get('prefetch_extracted', 0):.0f} "
+          f"| {stats.get('pf_dropped', 0):.0f} "
+          f"| {stats.get('pf_drop_bypass', 0):.0f} "
+          f"| {stats.get('vector_prefetches', 0):.0f} |")
+    w("")
+
     # Figures 1 & 2 (algorithms): observable pass outputs.
     if runners:
         w("## Fig. 1 / Fig. 2 — the compiler algorithms")

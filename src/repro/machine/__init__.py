@@ -9,6 +9,7 @@ from .fastcache import (TraceResult, classify_read_trace, classify_trace,
                         conflict_profile, miss_rate_vs_cache_size)
 from .machine import Machine, StaleReadError
 from .memory import Memory
+from .oracle import CoherenceOracle, StaleReadViolation
 from .params import MachineParams, sequential_params, t3d
 from .pe import PE
 from .prefetchq import PrefetchEntry, PrefetchQueue, VectorTransfer, VectorUnit
@@ -19,6 +20,7 @@ __all__ = [
     "AddressMap", "DirectMappedCache",
     "TraceResult", "classify_trace", "classify_read_trace",
     "conflict_profile", "miss_rate_vs_cache_size", "Machine", "StaleReadError", "Memory",
+    "CoherenceOracle", "StaleReadViolation",
     "MachineParams", "t3d", "sequential_params", "PE",
     "PrefetchEntry", "PrefetchQueue", "VectorTransfer", "VectorUnit",
     "MachineStats", "PEStats", "Torus", "torus_for", "torus_shape",

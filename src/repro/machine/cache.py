@@ -100,6 +100,15 @@ class DirectMappedCache:
                 count += 1
         return count
 
+    def invalidate_sets(self, sets: np.ndarray) -> int:
+        """Invalidate whatever lines are resident in the given cache sets
+        (fault-injection eviction storms); returns the number dropped.
+        Always coherence-safe: write-through means a dropped line only
+        costs a fresh refill."""
+        dropped = int(np.count_nonzero(self.tags[sets] >= 0))
+        self.tags[sets] = -1
+        return dropped
+
     def flush(self) -> None:
         self.tags[:] = -1
 

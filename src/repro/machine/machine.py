@@ -19,9 +19,11 @@ from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..faults.state import make_state
 from ..ir.arrays import ArrayDecl
 from .addressing import AddressMap
 from .memory import Memory
+from .oracle import CoherenceOracle
 from .params import MachineParams
 from .pe import PE
 from .prefetchq import PrefetchEntry, VectorTransfer
@@ -37,7 +39,8 @@ class Machine:
     """A simulated T3D-class multiprocessor."""
 
     def __init__(self, arrays: Iterable[ArrayDecl], params: MachineParams,
-                 on_stale: str = "record", trace: bool = False) -> None:
+                 on_stale: str = "record", trace: bool = False,
+                 fault_plan=None, oracle: bool = False) -> None:
         if on_stale not in ("record", "raise"):
             raise ValueError("on_stale must be 'record' or 'raise'")
         decls = list(arrays)
@@ -49,6 +52,22 @@ class Machine:
         self.stats = MachineStats(per_pe=[pe.stats for pe in self.pes])
         self.on_stale = on_stale
         self._lw = params.line_words
+        # Fault injection: realise the (immutable) plan into per-run state
+        # with one RNG stream per (model, PE), then hand hooks to the
+        # components that need them.  None when no plan is active — the
+        # hot paths below guard on that and stay fault-free-identical.
+        self.faults = make_state(fault_plan, params.n_pes)
+        self.memory.faults = self.faults
+        if self.faults is not None:
+            for pe in self.pes:
+                pe.queue.squeeze = (
+                    lambda cap, _pe=pe.pe_id:
+                    self.faults.squeeze_capacity(_pe, cap))
+        # Shadow coherence oracle: replays every committed shared read
+        # against a sequentially consistent shadow memory.
+        self.oracle: Optional[CoherenceOracle] = (
+            CoherenceOracle(self.memory) if oracle else None)
+        self.memory.oracle = self.oracle
         # Optional per-PE access trace: lists of global word addresses of
         # cacheable reads, consumable by repro.machine.fastcache.
         self.trace_enabled = trace
@@ -120,6 +139,8 @@ class Machine:
         pe.stats.reads += 1
         decl = self.memory.decls[name]
         shared = decl.is_shared
+        if self.faults is not None:
+            self.faults.maybe_evict(pe_id, pe.cache)
         if self.race_check and shared:
             writer = self._epoch_writers.get((name, flat))
             if writer is not None and writer != pe_id:
@@ -133,7 +154,8 @@ class Machine:
             if owner == pe_id:
                 latency: float = self.params.uncached_local_read
             else:
-                latency = self.read_latency(pe_id, owner)
+                latency = self.memory.remote_latency(
+                    pe_id, self.read_latency(pe_id, owner))
             if craft:
                 latency += self.params.craft_shared_ref_overhead
             pe.advance(latency)
@@ -144,13 +166,37 @@ class Machine:
             else:
                 pe.stats.uncached_remote_reads += 1
             if shared:
-                return self.memory.read(name, flat)
+                value = self.memory.read(name, flat)
+                if self.oracle is not None:
+                    self.oracle.observe_read(pe_id, name, flat, value, False)
+                return value
             return self.memory.read_private(name, pe_id, flat)
 
         addr = self.addr_map.addr(name, flat)
+        line_addr = addr // self._lw
+        if shared and pe.dropped_lines and line_addr in pe.dropped_lines:
+            # Paper rule 2: this line's prefetch was dropped, so its use
+            # degrades to a bypass-cache fetch — always fresh, never
+            # installed (the line stays invalid from the pre-issue
+            # invalidation).  Observable as pf_drop_bypass.
+            pe.dropped_lines.discard(line_addr)
+            owner = self._owner(name, flat, pe_id)
+            if owner == pe_id:
+                latency = self.params.uncached_local_read
+            else:
+                latency = self.memory.remote_latency(
+                    pe_id, self.read_latency(pe_id, owner))
+            if craft:
+                latency += self.params.craft_shared_ref_overhead
+            pe.advance(latency)
+            pe.stats.bypass_reads += 1
+            pe.stats.pf_drop_bypass += 1
+            value = self.memory.read(name, flat)
+            if self.oracle is not None:
+                self.oracle.observe_read(pe_id, name, flat, value, False)
+            return value
         if self.trace_enabled:
             self.read_trace[pe_id].append(addr)
-        line_addr = addr // self._lw
         cached = pe.cache.read(addr)
         if cached is not None:
             value, version = cached
@@ -162,8 +208,11 @@ class Machine:
                 value, version = pe.cache.read(addr)  # type: ignore[misc]
             pe.advance(self.params.cache_hit)
             pe.stats.cache_hits += 1
-            if shared and version < self.memory.version(name, flat):
+            stale = shared and version < self.memory.version(name, flat)
+            if stale:
                 self._stale_event(pe_id, name, flat, version)
+            if shared and self.oracle is not None:
+                self.oracle.observe_read(pe_id, name, flat, value, stale)
             return value
 
         # Miss: does an outstanding prefetch cover this line?
@@ -177,11 +226,15 @@ class Machine:
             self._install_line(pe, name, line_addr)
             fresh = pe.cache.read(addr)
             assert fresh is not None
+            if shared and self.oracle is not None:
+                self.oracle.observe_read(pe_id, name, flat, fresh[0], False)
             return fresh[0]
 
         # Plain miss: fetch the line from its home memory.
         owner = self._owner(name, flat, pe_id)
         latency = self.read_latency(pe_id, owner)
+        if owner != pe_id:
+            latency = self.memory.remote_latency(pe_id, latency)
         if craft:
             latency += self.params.craft_shared_ref_overhead
         pe.advance(latency)
@@ -193,6 +246,8 @@ class Machine:
         self._install_line(pe, name, line_addr)
         fresh = pe.cache.read(addr)
         assert fresh is not None
+        if shared and self.oracle is not None:
+            self.oracle.observe_read(pe_id, name, flat, fresh[0], False)
         return fresh[0]
 
     def _stale_event(self, pe_id: int, name: str, flat: int, version: int) -> None:
@@ -213,6 +268,8 @@ class Machine:
         pe = self.pes[pe_id]
         pe.stats.writes += 1
         decl = self.memory.decls[name]
+        if self.faults is not None:
+            self.faults.maybe_evict(pe_id, pe.cache)
         if not decl.is_shared:
             self.memory.write_private(name, pe_id, flat, value)
             pe.advance(self.params.write_local)
@@ -227,7 +284,11 @@ class Machine:
             self._epoch_writers[(name, flat)] = pe_id
         owner = self.addr_map.owner(name, flat)
         version = self.memory.write(name, flat, value)
+        if self.oracle is not None:
+            self.oracle.observe_write(name, flat, value)
         latency = self.write_latency(pe_id, owner)
+        if owner != pe_id:
+            latency = self.memory.remote_latency(pe_id, latency)
         if craft:
             latency += self.params.craft_shared_ref_overhead
         pe.advance(latency)
@@ -260,14 +321,24 @@ class Machine:
             pe.last_prefetch_pe = owner
         pe.advance(cost)
         pe.queue.reclaim_arrived(pe.clock - 4 * self.params.remote_base)
-        arrival = pe.clock + self.read_latency(pe_id, owner)
-        accepted = pe.queue.issue(PrefetchEntry(
-            line_addr=line_addr, array=name, arrival=arrival,
-            issued_at=pe.clock, home_pe=owner))
+        if self.faults is not None and self.faults.force_drop(pe_id):
+            # Injected drop: the issue is lost before it reaches the queue.
+            accepted = False
+        else:
+            fill = self.read_latency(pe_id, owner)
+            if owner != pe_id:
+                fill = self.memory.remote_latency(pe_id, fill)
+            accepted = pe.queue.issue(PrefetchEntry(
+                line_addr=line_addr, array=name, arrival=pe.clock + fill,
+                issued_at=pe.clock, home_pe=owner))
         if accepted:
             pe.stats.prefetch_issued += 1
+            pe.dropped_lines.discard(line_addr)
         else:
-            pe.stats.prefetch_dropped += 1
+            pe.stats.pf_dropped += 1
+            # Paper rule 2: mark the line so its use point degrades to a
+            # bypass-cache fetch (the line itself is already invalid).
+            pe.dropped_lines.add(line_addr)
         return accepted
 
     def prefetch_vector(self, pe_id: int, name: str, flat_start: int,
@@ -314,8 +385,10 @@ class Machine:
         hops = self.torus.hops(pe_id, owner) if owner != pe_id else 0
         pe.advance(self.params.vector_startup)
         words = length  # one word per element
-        completion = (pe.clock + self.params.vector_per_word * words
-                      + self.params.remote_per_hop * hops)
+        network = self.params.remote_per_hop * hops
+        if owner != pe_id:
+            network = self.memory.remote_latency(pe_id, network)
+        completion = pe.clock + self.params.vector_per_word * words + network
         for line_addr in install_lines:
             self._install_line(pe, name, line_addr)
         pe.vectors.issue(VectorTransfer(array=name, line_lo=line_lo,

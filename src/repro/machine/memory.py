@@ -38,6 +38,13 @@ class Memory:
         self.values: Dict[str, np.ndarray] = {}
         self.versions: Dict[str, np.ndarray] = {}
         self.private_values: Dict[str, np.ndarray] = {}
+        # Fault-injection state (set by Machine when a FaultPlan is active):
+        # remote accesses route their latency through remote_latency() so
+        # network jitter and transient remote failures (retry/backoff) apply.
+        self.faults = None
+        # Coherence oracle (set by Machine when enabled): notified of bulk
+        # re-initialisations so its shadow tracks set_array.
+        self.oracle = None
         decls = list(arrays)
         self.bases, self.total_words = layout_bases(decls, params.line_words)
         self.values_flat = np.zeros(self.total_words, dtype=np.float64)
@@ -67,6 +74,20 @@ class Memory:
 
     def version(self, name: str, flat: int) -> int:
         return int(self.versions[name][flat])
+
+    # -- fault-aware timing ----------------------------------------------------
+    def remote_latency(self, pe_id: int, base: float) -> float:
+        """Latency of a remote access with base cost ``base`` cycles.
+
+        Without faults this is the identity.  With an active
+        :class:`~repro.faults.state.FaultState` it adds network jitter
+        and transient-failure retry/backoff penalties — purely timing,
+        never values: a failed remote access is retried until it
+        succeeds, so the data returned is always the current memory
+        word."""
+        if self.faults is None:
+            return base
+        return base + self.faults.remote_penalty(pe_id, base)
 
     # -- private arrays ---------------------------------------------------------
     def read_private(self, name: str, pe: int, flat: int) -> float:
@@ -114,6 +135,8 @@ class Memory:
         flat = np.asarray(data, dtype=np.float64).reshape(decl.size, order="F")
         self.values[name][:] = flat
         self.versions[name] += 1
+        if self.oracle is not None:
+            self.oracle.observe_fill(name, flat)
 
     def private_view(self, name: str, pe: int) -> np.ndarray:
         decl = self.decls[name]

@@ -1,0 +1,111 @@
+"""The shadow coherence oracle: an independent, value-level referee.
+
+The machine already detects staleness *by version*: every word carries a
+monotone version, caches remember the version they loaded, and a hit
+whose cached version trails memory is a stale read.  That detector is
+exact — but it is part of the machinery under test.  A bug in the
+version bookkeeping (a missed bump in a bulk scatter, a line refill that
+copies values but not versions) would silently disable it.
+
+The oracle closes that loop with a second, independent model: a
+**sequentially consistent shadow memory**, maintained purely from the
+stream of committed writes (one plain array store per write, no
+versions, no caches, no timing).  Because the simulated machine is
+write-through with a single global interleaving of accesses, a coherent
+machine must return exactly the shadow value for every read.  Every
+committed read is therefore replayed against the shadow:
+
+* observed == shadow — coherent, whatever the version checker said (a
+  version-stale hit whose value happens to match is *silent* staleness:
+  conservative detection, not a violation);
+* observed != shadow **and** the version checker flagged the read stale
+  — confirmed staleness, the intentional incoherence a NAIVE run
+  demonstrates (CCDP/BASE/SEQ runs pair the oracle with
+  ``on_stale="raise"``, so they can never reach this case silently);
+* observed != shadow and **not** flagged — the machine returned a value
+  a coherent machine could not return *and its own detector missed it*:
+  :class:`StaleReadViolation`, raised on the spot.
+
+This maps onto the paper's two correctness rules: rule 1
+(invalidate-before-prefetch) and rule 2 (dropped prefetch ⇒ bypass
+fetch) exist precisely so that no read can observe an unflagged
+non-shadow value; the oracle is the machine-checkable form of that
+claim, and the fault-injection layer (:mod:`repro.faults`) supplies the
+adversarial schedules under which it must keep holding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+
+class StaleReadViolation(RuntimeError):
+    """A committed read observed a value no coherent machine could
+    return — and the version-based stale detector did not flag it."""
+
+
+class CoherenceOracle:
+    """Replays committed shared-memory reads against a shadow memory."""
+
+    def __init__(self, memory) -> None:
+        # Shadow = copies of the shared arrays at attach time (runs
+        # attach at machine construction, when everything is zero).
+        self.shadow: Dict[str, np.ndarray] = {
+            name: values.copy() for name, values in memory.values.items()}
+        self.checked_reads = 0
+        self.checked_writes = 0
+        self.confirmed_stale = 0   #: value-stale reads the checker flagged
+        self.silent_stale = 0      #: version-stale reads with unchanged value
+        self.violations = 0
+
+    # -- event hooks --------------------------------------------------------
+    def observe_write(self, name: str, flat: int, value: float) -> None:
+        self.shadow[name][flat] = value
+        self.checked_writes += 1
+
+    def observe_fill(self, name: str, data: np.ndarray) -> None:
+        """Bulk (re-)initialisation of a shared array (``set_array``)."""
+        self.shadow[name][:] = data
+
+    def observe_read(self, pe_id: int, name: str, flat: int,
+                     observed: float, flagged_stale: bool) -> None:
+        self.checked_reads += 1
+        expected = float(self.shadow[name][flat])
+        if observed == expected:
+            if flagged_stale:
+                self.silent_stale += 1
+            return
+        if flagged_stale:
+            self.confirmed_stale += 1
+            return
+        self.violations += 1
+        raise StaleReadViolation(
+            f"PE{pe_id} observed {name}[flat={flat}] = {observed!r} but a "
+            f"coherent machine must return {expected!r} — and the version "
+            f"checker did not flag the read as stale")
+
+    # -- reporting ----------------------------------------------------------
+    def verify_final(self, memory, arrays: Iterable[str] = ()) -> None:
+        """End-of-run check: main memory must equal the shadow exactly
+        (write-through means memory is the committed state)."""
+        names = list(arrays) or list(self.shadow)
+        for name in names:
+            if not np.array_equal(memory.values[name], self.shadow[name]):
+                bad = int(np.flatnonzero(
+                    memory.values[name] != self.shadow[name])[0])
+                raise StaleReadViolation(
+                    f"final memory diverges from the shadow: {name}[{bad}] "
+                    f"= {memory.values[name][bad]!r}, shadow has "
+                    f"{self.shadow[name][bad]!r}")
+
+    def summary(self) -> str:
+        return (f"oracle: {self.checked_reads} reads / "
+                f"{self.checked_writes} writes checked, "
+                f"{self.confirmed_stale} confirmed stale, "
+                f"{self.silent_stale} silent stale, "
+                f"{self.violations} violations")
+
+
+__all__ = ["CoherenceOracle", "StaleReadViolation"]

@@ -14,7 +14,7 @@ class PE:
     """All per-processor simulator state."""
 
     __slots__ = ("pe_id", "params", "clock", "cache", "queue", "vectors",
-                 "last_prefetch_pe", "stats")
+                 "last_prefetch_pe", "dropped_lines", "stats")
 
     def __init__(self, pe_id: int, params: MachineParams) -> None:
         self.pe_id = pe_id
@@ -24,6 +24,10 @@ class PE:
         self.queue = PrefetchQueue(params)
         self.vectors = VectorUnit(params)
         self.last_prefetch_pe: Optional[int] = None
+        # Line addresses whose prefetch was dropped and not yet re-fetched:
+        # the next read to such a line degrades to a bypass-cache fetch
+        # (the paper's rule 2 for dropped prefetches).
+        self.dropped_lines: set = set()
         self.stats = PEStats()
 
     def advance(self, cycles: float) -> None:

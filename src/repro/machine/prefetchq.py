@@ -42,13 +42,18 @@ class PrefetchQueue:
         self.entries: List[PrefetchEntry] = []
         self.dropped = 0
         self.issued = 0
+        # Fault-injection hook: callable(capacity) -> effective capacity for
+        # this issue attempt (queue squeeze).  None means no squeezing.
+        self.squeeze = None
 
     def issue(self, entry: PrefetchEntry) -> bool:
         """Enqueue; returns False (dropped) when the queue is full or the
         line already has an outstanding entry."""
         if any(e.line_addr == entry.line_addr for e in self.entries):
             return True  # coalesce: an outstanding prefetch already covers it
-        if len(self.entries) >= self.capacity:
+        capacity = self.capacity if self.squeeze is None \
+            else min(self.capacity, self.squeeze(self.capacity))
+        if len(self.entries) >= capacity:
             self.dropped += 1
             return False
         self.entries.append(entry)

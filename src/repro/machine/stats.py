@@ -26,7 +26,8 @@ class PEStats:
     remote_writes: int = 0
     stale_hits: int = 0
     prefetch_issued: int = 0
-    prefetch_dropped: int = 0
+    pf_dropped: int = 0        #: prefetches dropped (capacity or injected)
+    pf_drop_bypass: int = 0    #: dropped prefetches replaced by bypass fetches
     prefetch_extracted: int = 0
     prefetch_late_cycles: float = 0.0
     prefetch_unused: int = 0
@@ -86,7 +87,8 @@ class MachineStats:
         return (f"reads={total.reads} writes={total.writes} "
                 f"hit_rate={total.hit_rate:.3f} "
                 f"prefetches={total.prefetch_issued} "
-                f"(dropped {total.prefetch_dropped}) "
+                f"(dropped {total.pf_dropped}, "
+                f"{total.pf_drop_bypass} replaced by bypass) "
                 f"vectors={total.vector_prefetches} "
                 f"stale_reads={self.stale_reads} epochs={self.epochs}")
 

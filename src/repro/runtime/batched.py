@@ -201,6 +201,9 @@ class BatchedInterpreter(Interpreter):
         #: chunks serviced in bulk / chunks that fell back at bind time
         self.batch_chunks = 0
         self.batch_fallbacks = 0
+        #: chunks routed to the reference path because fault injection or
+        #: the coherence oracle was active (subset of batch_fallbacks)
+        self.fault_fallbacks = 0
 
     # ------------------------------------------------------------------
     # integration points
@@ -855,6 +858,14 @@ class BatchedInterpreter(Interpreter):
                       skip: Optional[str] = None) -> bool:
         machine = self.machine
         if machine.race_check or machine.trace_enabled:
+            return False
+        if (machine.faults is not None or machine.oracle is not None
+                or pe_obj.dropped_lines):
+            # Fault injection and the oracle are defined over the reference
+            # event order; faulted chunks always take the exact fallback.
+            self.fault_fallbacks += 1
+            if machine.faults is not None:
+                machine.faults.stats.batch_fallbacks += 1
             return False
         if pe_obj.queue.entries:
             return False  # a miss could extract a queued prefetch

@@ -18,6 +18,9 @@ methodology.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from ..faults.models import FaultPlan
 
 
 class Version:
@@ -45,33 +48,45 @@ class ExecutionConfig:
     craft_overheads: bool = False
     on_stale: str = "record"   #: "record" or "raise"
     backend: str = Backend.REFERENCE  #: "reference" or "batched"
+    fault_plan: Optional[FaultPlan] = None  #: seeded fault injection, or None
+    oracle: bool = False       #: arm the shadow coherence oracle
 
     def __post_init__(self) -> None:
         if self.version not in Version.ALL:
-            raise ValueError(f"unknown version {self.version!r}")
+            raise ValueError(
+                f"unknown version {self.version!r}; "
+                f"expected one of {', '.join(Version.ALL)}")
         if self.backend not in Backend.ALL:
-            raise ValueError(f"unknown backend {self.backend!r}")
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {', '.join(Backend.ALL)}")
+        if self.on_stale not in ("record", "raise"):
+            raise ValueError(
+                f"unknown on_stale policy {self.on_stale!r}; "
+                f"expected 'record' or 'raise'")
+        if self.fault_plan is not None and not isinstance(self.fault_plan,
+                                                          FaultPlan):
+            raise ValueError(
+                f"fault_plan must be a FaultPlan or None, got "
+                f"{type(self.fault_plan).__name__} (build one with "
+                f"repro.faults.parse_fault_plan or FaultPlan(models=...))")
 
     @staticmethod
     def for_version(version: str, on_stale: str = "record",
-                    backend: str = Backend.REFERENCE) -> "ExecutionConfig":
-        if version == Version.SEQ:
-            return ExecutionConfig(version, cache_shared=True,
-                                   craft_overheads=False, on_stale=on_stale,
-                                   backend=backend)
-        if version == Version.BASE:
-            return ExecutionConfig(version, cache_shared=False,
-                                   craft_overheads=True, on_stale=on_stale,
-                                   backend=backend)
-        if version == Version.CCDP:
-            return ExecutionConfig(version, cache_shared=True,
-                                   craft_overheads=False, on_stale=on_stale,
-                                   backend=backend)
-        if version == Version.NAIVE:
-            return ExecutionConfig(version, cache_shared=True,
-                                   craft_overheads=False, on_stale=on_stale,
-                                   backend=backend)
-        raise ValueError(f"unknown version {version!r}")
+                    backend: str = Backend.REFERENCE,
+                    fault_plan: Optional[FaultPlan] = None,
+                    oracle: bool = False) -> "ExecutionConfig":
+        if version not in Version.ALL:
+            raise ValueError(
+                f"unknown version {version!r}; "
+                f"expected one of {', '.join(Version.ALL)}")
+        # BASE (CRAFT software shared memory) is the only version that
+        # neither caches shared data nor skips translation overheads.
+        base = version == Version.BASE
+        return ExecutionConfig(version, cache_shared=not base,
+                               craft_overheads=base, on_stale=on_stale,
+                               backend=backend, fault_plan=fault_plan,
+                               oracle=oracle)
 
 
 __all__ = ["Version", "Backend", "ExecutionConfig"]

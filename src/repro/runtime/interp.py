@@ -66,17 +66,33 @@ class RunResult:
     machine: Machine
     config: ExecutionConfig
     epochs: List[EpochRecord] = field(default_factory=list)
+    batch_chunks: int = 0      #: chunks the batched backend bulk-executed
+    fault_fallbacks: int = 0   #: chunks routed to the reference path by faults
 
     @property
     def stats(self):
         return self.machine.stats
 
+    @property
+    def fault_stats(self):
+        """FaultStats of the run, or None when no plan was active."""
+        return None if self.machine.faults is None else self.machine.faults.stats
+
+    @property
+    def oracle(self):
+        return self.machine.oracle
+
     def value_of(self, array: str):
         return self.machine.memory.array_view(array)
 
     def summary(self) -> str:
-        return (f"[{self.config.version}] {self.elapsed:.0f} cycles, "
+        text = (f"[{self.config.version}] {self.elapsed:.0f} cycles, "
                 f"{self.machine.stats.summary()}")
+        if self.machine.faults is not None:
+            text += f"\n  faults: {self.machine.faults.stats.summary()}"
+        if self.machine.oracle is not None:
+            text += f"\n  {self.machine.oracle.summary()}"
+        return text
 
 
 class InterpreterError(RuntimeError):
@@ -132,7 +148,9 @@ class Interpreter:
         self.config = config or ExecutionConfig()
         self.machine = Machine(program.arrays.values(), params,
                                on_stale=self.config.on_stale,
-                               trace=trace_reads)
+                               trace=trace_reads,
+                               fault_plan=self.config.fault_plan,
+                               oracle=self.config.oracle)
         self.trace_epochs = trace_epochs
         self.epochs: List[EpochRecord] = []
         self._expr_cache: Dict[int, EvalFn] = {}
@@ -155,8 +173,12 @@ class Interpreter:
         self._exec_region(self.program.entry_proc.body, env)
         if self._multi and not self._synced:
             self.machine.barrier()
+        if self.machine.oracle is not None:
+            self.machine.oracle.verify_final(self.machine.memory)
         return RunResult(elapsed=self.machine.elapsed(), machine=self.machine,
-                         config=self.config, epochs=self.epochs)
+                         config=self.config, epochs=self.epochs,
+                         batch_chunks=getattr(self, "batch_chunks", 0),
+                         fault_fallbacks=getattr(self, "fault_fallbacks", 0))
 
     # ------------------------------------------------------------------
     # epoch-level control
@@ -883,10 +905,12 @@ def _callee_contains_doall(program: Program, call: CallStmt,
 def run_program(program: Program, params: MachineParams,
                 version: str = Version.CCDP, on_stale: str = "record",
                 trace_epochs: bool = False,
-                backend: str = "reference") -> RunResult:
+                backend: str = "reference",
+                fault_plan=None, oracle: bool = False) -> RunResult:
     """One-call convenience: interpret ``program`` as the given version."""
     config = ExecutionConfig.for_version(version, on_stale=on_stale,
-                                         backend=backend)
+                                         backend=backend,
+                                         fault_plan=fault_plan, oracle=oracle)
     interp = make_interpreter(program, params, config,
                               trace_epochs=trace_epochs)
     return interp.run()

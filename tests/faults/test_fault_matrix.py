@@ -1,0 +1,166 @@
+"""Fault-injection matrix: every workload x scheme x seeded plan.
+
+Three invariants, per cell:
+
+1. **Backends agree.** With a fault plan active the batched backend must
+   realise the *identical* fault schedule as the reference interpreter
+   (it routes faulted chunks back to the reference path), so
+   :func:`compare_backends` must report an exact match — same cycles,
+   same stats, same memory, same fault-event counts.
+2. **Faults never corrupt coherent schemes.** SEQ/BASE/CCDP final array
+   values under any plan are bit-identical to the fault-free run: every
+   degradation path (drop -> bypass fetch, squeeze, retry, eviction)
+   returns fresh memory values, so faults can only move time.
+3. **The oracle stays silent.** With the shadow coherence oracle armed,
+   a completed run *is* the proof of zero violations (it raises
+   :class:`StaleReadViolation` at the offending read); the counters are
+   asserted anyway so the zero is visible in the test, not implied.
+
+NAIVE is the control: deliberately incoherent, it runs with
+``on_stale="record"`` and still must produce zero oracle *violations* —
+its stale reads are flagged by the version checker, so the oracle counts
+them as confirmed, never as silent/unexplained.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.faults import (LatencyJitterFault, RemoteFailFault,
+                          parse_fault_plan)
+from repro.harness.equivalence import compare_backends
+from repro.harness.experiment import ExperimentRunner
+from repro.machine import t3d
+from repro.runtime import Version, run_program
+from repro.workloads import workload
+
+N_PES = 4
+CACHE_BYTES = 512
+SIZES = {
+    "mxm": {"n": 16},
+    "vpenta": {"n": 17},
+    "tomcatv": {"n": 17, "steps": 2},
+    "swim": {"n": 17, "steps": 2},
+}
+PLAN_SPECS = [("light", 3), ("storm", 7), ("chaos", 11)]
+PLAN_IDS = [f"{spec}-s{seed}" for spec, seed in PLAN_SPECS]
+COHERENT = (Version.SEQ, Version.BASE, Version.CCDP)
+
+
+def _params(version):
+    n = 1 if version == Version.SEQ else N_PES
+    return t3d(n, cache_bytes=CACHE_BYTES)
+
+
+@pytest.fixture(scope="module")
+def programs():
+    """{workload: {version: program}} — CCDP sees the transformed code."""
+    out = {}
+    ccdp_cfg = CCDPConfig(machine=_params(Version.CCDP))
+    for name, sizes in SIZES.items():
+        plain = workload(name).build(**sizes)
+        transformed, _ = ccdp_transform(plain, ccdp_cfg)
+        out[name] = {v: (transformed if v == Version.CCDP else plain)
+                     for v in Version.ALL}
+    return out
+
+
+@pytest.fixture(scope="module")
+def baselines(programs):
+    """Fault-free final values of every check array, per coherent cell."""
+    out = {}
+    for name in SIZES:
+        arrays = workload(name).check_arrays
+        for version in COHERENT:
+            res = run_program(programs[name][version], _params(version),
+                              version, on_stale="raise")
+            out[(name, version)] = {a: res.value_of(a).copy() for a in arrays}
+    return out
+
+
+@pytest.mark.parametrize("plan_spec,plan_seed", PLAN_SPECS, ids=PLAN_IDS)
+@pytest.mark.parametrize("name", sorted(SIZES))
+@pytest.mark.parametrize("version", Version.ALL)
+def test_fault_matrix_cell(name, version, plan_spec, plan_seed,
+                           programs, baselines):
+    plan = parse_fault_plan(plan_spec, seed=plan_seed)
+    program = programs[name][version]
+    params = _params(version)
+    on_stale = "record" if version == Version.NAIVE else "raise"
+
+    # Invariant 1: both backends realise the same faulted execution.
+    report = compare_backends(program, params, version, on_stale,
+                              fault_plan=plan, oracle=True)
+    assert report.exact, report.summary()
+
+    # Invariants 2 + 3 on a reference run of the same cell.
+    res = run_program(program, params, version, on_stale=on_stale,
+                      fault_plan=plan, oracle=True)
+    oracle = res.oracle
+    assert oracle.violations == 0, oracle.summary()
+    assert oracle.checked_reads > 0
+    stats = res.fault_stats
+    assert stats is not None
+    injected = (stats.forced_drops + stats.squeezed_issues
+                + stats.jitter_events + stats.remote_failures + stats.storms)
+    # BASE keeps shared data uncached and never prefetches, so a plan of
+    # cache/queue faults alone has nothing to bite there; network faults
+    # need actual remote traffic (>1 PE).
+    has_network = any(isinstance(m, (LatencyJitterFault, RemoteFailFault))
+                      for m in plan.models)
+    if version != Version.BASE or (has_network and params.n_pes > 1):
+        assert injected > 0, f"plan {plan.describe()} never fired on {name}"
+    if version in COHERENT:
+        assert oracle.confirmed_stale == 0 and oracle.silent_stale == 0
+        for array, want in baselines[(name, version)].items():
+            got = res.value_of(array)
+            assert np.array_equal(got, want), \
+                f"{name}/{version}: faults changed {array}"
+    else:
+        # NAIVE's wrong values are all *explained* staleness: flagged by
+        # the version checker, so confirmed by the oracle, never silent.
+        assert oracle.silent_stale == 0
+
+
+def test_dropped_prefetches_become_bypass_fetches():
+    """Rule 2 observably: forced drops surface in ``pf_dropped`` and are
+    replaced by bypass-cache fetches counted in ``pf_drop_bypass`` —
+    while the answer stays correct under ``on_stale='raise'``.
+
+    The four workloads' default CCDP schedules use only vector
+    prefetches here, so VPG is disabled to force per-line prefetching
+    through the queue, where the drop fault can bite.
+    """
+    runner = ExperimentRunner(workload("mxm"), {"n": 16},
+                              param_overrides={"cache_bytes": CACHE_BYTES},
+                              ccdp_overrides={"enable_vpg": False})
+    clean = runner.run_version(Version.CCDP, N_PES, on_stale="raise")
+    assert clean.correct and clean.stats["prefetch_issued"] > 0
+    assert clean.stats["pf_dropped"] == 0
+
+    plan = parse_fault_plan("drop=0.5", seed=11)
+    faulted = runner.run_version(Version.CCDP, N_PES, on_stale="raise",
+                                 fault_plan=plan, oracle=True)
+    assert faulted.correct
+    assert faulted.stats["pf_dropped"] > 0
+    assert faulted.stats["pf_drop_bypass"] > 0
+    assert faulted.stats["pf_drop_bypass"] <= faulted.stats["pf_dropped"]
+    # The replacement fetches are bypass reads; the run issued fewer
+    # prefetches than it attempted (the drops).
+    assert faulted.stats["bypass_reads"] >= faulted.stats["pf_drop_bypass"]
+    assert faulted.fault_stats["forced_drops"] > 0
+    assert "0 violations" in faulted.oracle_summary
+
+
+def test_queue_squeeze_counts_capacity_drops():
+    """A squeezed queue overflows early: capacity drops land in
+    ``pf_dropped`` and the squeeze events are themselves counted."""
+    runner = ExperimentRunner(workload("mxm"), {"n": 16},
+                              param_overrides={"cache_bytes": CACHE_BYTES},
+                              ccdp_overrides={"enable_vpg": False})
+    plan = parse_fault_plan("squeeze=0.8:min_slots=0", seed=5)
+    rec = runner.run_version(Version.CCDP, N_PES, on_stale="raise",
+                             fault_plan=plan, oracle=True)
+    assert rec.correct
+    assert rec.fault_stats["squeezed_issues"] > 0
+    assert rec.stats["pf_dropped"] > 0

@@ -1,0 +1,187 @@
+"""Fault-plan specs, the ``--faults`` grammar, config validation and the
+determinism contract of the runtime fault state."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (EvictionStormFault, FaultPlan, FaultPlanError,
+                          FaultState, LatencyJitterFault, PRESETS,
+                          PrefetchDropFault, QueueSqueezeFault,
+                          RemoteFailFault, make_state, parse_fault_plan)
+from repro.harness.cli import main as cli_main
+from repro.runtime import ExecutionConfig
+
+
+class TestModelValidation:
+    def test_rate_out_of_range(self):
+        with pytest.raises(FaultPlanError, match=r"probability in \[0, 1\]"):
+            PrefetchDropFault(rate=1.5)
+        with pytest.raises(FaultPlanError):
+            LatencyJitterFault(rate=-0.1)
+
+    def test_integer_fields_validated(self):
+        with pytest.raises(FaultPlanError, match="min_slots"):
+            QueueSqueezeFault(rate=0.1, min_slots=-1)
+        with pytest.raises(FaultPlanError, match="max_extra"):
+            LatencyJitterFault(rate=0.1, max_extra=0)
+        with pytest.raises(FaultPlanError, match="max_retries"):
+            RemoteFailFault(rate=0.1, max_retries=-1)
+        with pytest.raises(FaultPlanError, match="lines"):
+            EvictionStormFault(rate=0.1, lines=0)
+
+    def test_plan_rejects_bad_seed(self):
+        model = PrefetchDropFault(rate=0.1)
+        with pytest.raises(FaultPlanError, match="seed"):
+            FaultPlan(models=(model,), seed=-1)
+        with pytest.raises(FaultPlanError, match="seed"):
+            FaultPlan(models=(model,), seed=True)
+
+    def test_plan_rejects_non_models(self):
+        with pytest.raises(FaultPlanError, match="FaultModel"):
+            FaultPlan(models=("drop",), seed=0)
+
+    def test_plan_is_hashable_and_describable(self):
+        plan = FaultPlan(models=(PrefetchDropFault(rate=0.3),
+                                 EvictionStormFault(rate=0.1, lines=2)),
+                         seed=7)
+        assert hash(plan) == hash(FaultPlan(plan.models, seed=7))
+        assert "drop" in plan.describe() and "seed=7" in plan.describe()
+        assert plan.active
+
+    def test_empty_plan_is_inactive(self):
+        assert not FaultPlan(models=(), seed=0).active
+        assert make_state(FaultPlan(models=(), seed=0), 4) is None
+        assert make_state(None, 4) is None
+
+
+class TestParse:
+    def test_none_and_empty(self):
+        assert parse_fault_plan(None) is None
+        assert parse_fault_plan("") is None
+        assert parse_fault_plan("none") is None
+
+    def test_full_grammar(self):
+        plan = parse_fault_plan(
+            "drop=0.3,squeeze=0.2:min_slots=1,jitter:max_extra=40", seed=5)
+        assert plan.seed == 5
+        kinds = {type(m): m for m in plan.models}
+        assert kinds[PrefetchDropFault].rate == 0.3
+        assert kinds[QueueSqueezeFault].min_slots == 1
+        assert kinds[LatencyJitterFault].max_extra == 40
+        # jitter's rate was omitted: the model default applies
+        assert kinds[LatencyJitterFault].rate == LatencyJitterFault().rate
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_presets_parse(self, preset):
+        plan = parse_fault_plan(preset, seed=1)
+        assert plan is not None and plan.active
+
+    def test_unknown_model_is_actionable(self):
+        with pytest.raises(FaultPlanError, match="known models"):
+            parse_fault_plan("bogus=0.5")
+
+    def test_unknown_option_is_actionable(self):
+        with pytest.raises(FaultPlanError, match="valid options"):
+            parse_fault_plan("drop=0.5:slots=3")
+
+    def test_bad_number(self):
+        with pytest.raises(FaultPlanError, match="rate"):
+            parse_fault_plan("drop=fast")
+        with pytest.raises(FaultPlanError, match="integer"):
+            parse_fault_plan("evict=0.1:lines=2.5")
+
+    def test_out_of_range_rate_caught_at_parse_time(self):
+        with pytest.raises(FaultPlanError, match=r"\[0, 1\]"):
+            parse_fault_plan("drop=2.0")
+
+
+class TestExecutionConfigValidation:
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="reference"):
+            ExecutionConfig(backend="vectorised")
+
+    def test_unknown_version(self):
+        with pytest.raises(ValueError, match="seq"):
+            ExecutionConfig(version="fast")
+        with pytest.raises(ValueError, match="seq"):
+            ExecutionConfig.for_version("fast")
+
+    def test_unknown_on_stale(self):
+        with pytest.raises(ValueError, match="record"):
+            ExecutionConfig(on_stale="ignore")
+
+    def test_fault_plan_type_checked(self):
+        with pytest.raises(ValueError, match="FaultPlan"):
+            ExecutionConfig(fault_plan="drop=0.5")
+
+    def test_valid_plan_accepted(self):
+        plan = parse_fault_plan("light", seed=3)
+        cfg = ExecutionConfig.for_version("ccdp", fault_plan=plan, oracle=True)
+        assert cfg.fault_plan is plan and cfg.oracle
+
+
+class TestCLIValidation:
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "mxm", "--backend", "warp"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_negative_fault_seed_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "mxm", "--n", "8", "--fault-seed", "-3",
+                      "--faults", "light"])
+        assert "--fault-seed" in capsys.readouterr().err
+
+    def test_malformed_fault_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "mxm", "--n", "8", "--faults", "drop=oops"])
+        err = capsys.readouterr().err
+        assert "--faults" in err and "drop" in err
+
+
+class TestDeterminism:
+    def _drive(self, state, n=200):
+        """A fixed per-PE event script; returns every decision made."""
+        out = []
+        for pe in range(state.n_pes):
+            for _ in range(n):
+                out.append(state.force_drop(pe))
+                out.append(state.squeeze_capacity(pe, 16))
+                out.append(state.remote_penalty(pe, 100.0))
+        return out
+
+    def test_same_plan_same_decisions(self):
+        plan = parse_fault_plan("chaos", seed=42)
+        a = self._drive(FaultState(plan, 4))
+        b = self._drive(FaultState(plan, 4))
+        assert a == b
+
+    def test_decisions_independent_of_pe_interleaving(self):
+        """PE 2's stream is the same whether or not other PEs ran first."""
+        plan = parse_fault_plan("chaos", seed=9)
+        alone = FaultState(plan, 4)
+        lane = [alone.remote_penalty(2, 50.0) for _ in range(100)]
+        mixed = FaultState(plan, 4)
+        for pe in (0, 1, 3):
+            for _ in range(37):
+                mixed.remote_penalty(pe, 50.0)
+        assert [mixed.remote_penalty(2, 50.0) for _ in range(100)] == lane
+
+    def test_seed_changes_decisions(self):
+        spec = "jitter=0.9:max_extra=100"
+        a = self._drive(FaultState(parse_fault_plan(spec, seed=1), 2))
+        b = self._drive(FaultState(parse_fault_plan(spec, seed=2), 2))
+        assert a != b
+
+    def test_eviction_storm_only_invalidates(self):
+        from repro.machine import DirectMappedCache, t3d
+        params = t3d(2, cache_bytes=512)
+        cache = DirectMappedCache(params)
+        for line in range(cache.n_lines):
+            cache.install(line, np.ones(cache.line_words),
+                          np.zeros(cache.line_words, dtype=np.int64))
+        state = FaultState(parse_fault_plan("evict=1.0:lines=4", seed=0), 2)
+        before = cache.occupancy()
+        state.maybe_evict(0, cache)
+        assert cache.occupancy() == before - 4
+        assert state.stats.storms == 1 and state.stats.evicted_lines == 4

@@ -1,0 +1,83 @@
+"""Property tests: arbitrary fault plans are value-invisible and
+deterministic.
+
+The whole fault layer is built on one invariant: every degradation path
+returns *fresh memory values* (a dropped prefetch becomes a bypass
+fetch, an eviction becomes a refill, a retry re-pays latency), so for a
+coherent scheme a fault plan may move time but can never move data.
+Hypothesis hammers that with random plans — random model subsets, rates
+across [0, 1], random seeds — against the fault-free run's final arrays.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.faults import (EvictionStormFault, FaultPlan, LatencyJitterFault,
+                          PrefetchDropFault, QueueSqueezeFault,
+                          RemoteFailFault)
+from repro.machine import t3d
+from repro.runtime import Version, run_program
+from repro.workloads import workload
+
+PARAMS = t3d(4, cache_bytes=512)
+PROGRAM = workload("mxm").build(n=8)
+CCDP_PROGRAM, _ = ccdp_transform(PROGRAM, CCDPConfig(machine=PARAMS))
+ARRAYS = workload("mxm").check_arrays
+
+_rate = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+_model = st.one_of(
+    st.builds(PrefetchDropFault, rate=_rate),
+    st.builds(QueueSqueezeFault, rate=_rate,
+              min_slots=st.integers(min_value=0, max_value=16)),
+    st.builds(LatencyJitterFault, rate=_rate,
+              max_extra=st.integers(min_value=1, max_value=200)),
+    st.builds(RemoteFailFault, rate=_rate,
+              max_retries=st.integers(min_value=0, max_value=4),
+              backoff=st.integers(min_value=0, max_value=100)),
+    st.builds(EvictionStormFault, rate=_rate,
+              lines=st.integers(min_value=1, max_value=16)),
+)
+_plan = st.builds(
+    FaultPlan,
+    models=st.lists(_model, min_size=1, max_size=5).map(tuple),
+    seed=st.integers(min_value=0, max_value=2**32 - 1))
+
+
+def _baseline(version, program):
+    res = run_program(program, PARAMS, version, on_stale="raise")
+    return {a: res.value_of(a).copy() for a in ARRAYS}
+
+
+CCDP_CLEAN = _baseline(Version.CCDP, CCDP_PROGRAM)
+BASE_CLEAN = _baseline(Version.BASE, PROGRAM)
+
+
+@settings(max_examples=20, deadline=None)
+@given(plan=_plan)
+def test_random_plans_never_change_ccdp_values(plan):
+    res = run_program(CCDP_PROGRAM, PARAMS, Version.CCDP, on_stale="raise",
+                      fault_plan=plan, oracle=True)
+    assert res.oracle.violations == 0
+    for array in ARRAYS:
+        assert np.array_equal(res.value_of(array), CCDP_CLEAN[array]), \
+            f"plan {plan.describe()} changed {array}"
+
+
+@settings(max_examples=8, deadline=None)
+@given(plan=_plan)
+def test_random_plans_never_change_base_values(plan):
+    res = run_program(PROGRAM, PARAMS, Version.BASE, on_stale="raise",
+                      fault_plan=plan, oracle=True)
+    assert res.oracle.violations == 0
+    for array in ARRAYS:
+        assert np.array_equal(res.value_of(array), BASE_CLEAN[array])
+
+
+@settings(max_examples=10, deadline=None)
+@given(plan=_plan)
+def test_same_plan_replays_identically(plan):
+    a = run_program(CCDP_PROGRAM, PARAMS, Version.CCDP, fault_plan=plan)
+    b = run_program(CCDP_PROGRAM, PARAMS, Version.CCDP, fault_plan=plan)
+    assert a.elapsed == b.elapsed
+    assert a.fault_stats.as_dict() == b.fault_stats.as_dict()

@@ -35,7 +35,7 @@ class TestHostileHardware:
         result = run_hostile(self.program, self.oracle, ("x", "y"),
                              cache_bytes=512, prefetch_queue_slots=1)
         # heavy dropping is fine; wrong answers are not
-        assert result.machine.stats.total().prefetch_dropped >= 0
+        assert result.machine.stats.total().pf_dropped >= 0
 
     def test_two_line_cache(self):
         run_hostile(self.program, self.oracle, ("x", "y"), cache_bytes=64)

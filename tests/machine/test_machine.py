@@ -149,7 +149,7 @@ class TestPrefetchLine:
         m = make_machine(prefetch_queue_slots=2)
         results = [m.prefetch_line(0, "a", k * 4) for k in (1, 3, 5)]
         assert results == [True, True, False]
-        assert m.pes[0].stats.prefetch_dropped == 1
+        assert m.pes[0].stats.pf_dropped == 1
 
     def test_dropped_prefetch_still_coherent(self):
         m = make_machine(prefetch_queue_slots=1)
