@@ -8,6 +8,7 @@ the perf trajectory is machine-readable across PRs.
 """
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -16,6 +17,34 @@ from repro.machine.params import t3d
 from repro.runtime import Backend, Version, run_program
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+#: Per-workload benchmark sizes: MXM at the headline acceptance size,
+#: the rest scaled to keep a full matrix run affordable.
+WORKLOAD_SIZES = {
+    "mxm": {"n": 24},
+    "vpenta": {"n": 16},
+    "tomcatv": {"n": 16, "steps": 2},
+    "swim": {"n": 16, "steps": 2},
+}
+
+#: Regression floor for the batched backend's bulk-service coverage on
+#: the flagship case (MXM CCDP).  Measured 1.000 — every reference is
+#: served through a batched plan; a drop below the floor means chunks
+#: started falling back to the per-reference path.
+MXM_CCDP_COVERAGE_FLOOR = 0.95
+
+
+def _quick() -> bool:
+    """CI perf-smoke mode: only the flagship MXM CCDP cases run."""
+    return bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+
+def _transformed(built_programs, name: str, sizes: dict, n_pes: int = 4):
+    from repro.coherence import CCDPConfig, ccdp_transform
+    program, _ = ccdp_transform(
+        built_programs(name, **sizes),
+        CCDPConfig(machine=t3d(n_pes, cache_bytes=2048)))
+    return program
 
 
 def _record(key: str, payload: dict) -> None:
@@ -33,13 +62,15 @@ def _record(key: str, payload: dict) -> None:
 
 @pytest.mark.parametrize("backend", [Backend.REFERENCE, Backend.BATCHED])
 @pytest.mark.parametrize("version", [Version.SEQ, Version.BASE, Version.CCDP])
-def test_interpreter_throughput(version, backend, built_programs, benchmark,
-                                capsys):
-    program = built_programs("mxm", n=24)
+@pytest.mark.parametrize("name", sorted(WORKLOAD_SIZES))
+def test_interpreter_throughput(name, version, backend, built_programs,
+                                benchmark, capsys):
+    if _quick() and (name != "mxm" or version != Version.CCDP):
+        pytest.skip("REPRO_BENCH_QUICK: mxm ccdp only")
+    sizes = WORKLOAD_SIZES[name]
+    program = built_programs(name, **sizes)
     if version == Version.CCDP:
-        from repro.coherence import CCDPConfig, ccdp_transform
-        program, _ = ccdp_transform(
-            program, CCDPConfig(machine=t3d(4, cache_bytes=2048)))
+        program = _transformed(built_programs, name, sizes)
     params = t3d(1 if version == Version.SEQ else 4, cache_bytes=2048)
 
     result = benchmark(
@@ -48,16 +79,23 @@ def test_interpreter_throughput(version, backend, built_programs, benchmark,
     total = result.machine.stats.total()
     refs = total.reads + total.writes
     seconds = benchmark.stats.stats.min
-    _record(f"mxm_n24_{version}_{backend}", {
-        "workload": "mxm", "n": 24, "version": version, "backend": backend,
+    _record(f"{name}_n{sizes['n']}_{version}_{backend}", {
+        "workload": name, **sizes, "version": version, "backend": backend,
         "refs_per_run": refs,
         "seconds_per_run": seconds,
         "refs_per_sec": refs / seconds,
+        "batched_coverage": result.batched_coverage,
+        "batch_fallbacks": result.batch_fallbacks,
     })
     with capsys.disabled():
-        print(f"\n[throughput] {version:5s} {backend:9s} "
-              f"{refs / seconds:,.0f} refs/sec ({refs} refs per run)")
+        print(f"\n[throughput] {name:8s} {version:5s} {backend:9s} "
+              f"{refs / seconds:,.0f} refs/sec ({refs} refs per run, "
+              f"coverage {result.batched_coverage:.3f})")
     assert refs > 0
+    if name == "mxm" and version == Version.CCDP and backend == Backend.BATCHED:
+        assert result.batched_coverage >= MXM_CCDP_COVERAGE_FLOOR, (
+            f"MXM CCDP batched coverage {result.batched_coverage:.3f} fell "
+            f"below the recorded floor {MXM_CCDP_COVERAGE_FLOOR}")
 
 
 def test_batched_backend_speedup(built_programs, capsys):
@@ -65,11 +103,8 @@ def test_batched_backend_speedup(built_programs, capsys):
     MXM CCDP n=24.  Asserted ≥ 5x and recorded in the JSON ledger."""
     import time
 
-    from repro.coherence import CCDPConfig, ccdp_transform
-
     params = t3d(4, cache_bytes=2048)
-    program, _ = ccdp_transform(
-        built_programs("mxm", n=24), CCDPConfig(machine=params))
+    program = _transformed(built_programs, "mxm", {"n": 24})
 
     def best_of(backend, reps=3):
         best, result = float("inf"), None
@@ -81,7 +116,7 @@ def test_batched_backend_speedup(built_programs, capsys):
         return best, result
 
     t_ref, res = best_of(Backend.REFERENCE)
-    t_bat, _ = best_of(Backend.BATCHED)
+    t_bat, res_bat = best_of(Backend.BATCHED)
     total = res.machine.stats.total()
     refs = total.reads + total.writes
     speedup = t_ref / t_bat
@@ -90,6 +125,7 @@ def test_batched_backend_speedup(built_programs, capsys):
         "reference_refs_per_sec": refs / t_ref,
         "batched_refs_per_sec": refs / t_bat,
         "speedup": speedup,
+        "batched_coverage": res_bat.batched_coverage,
     })
     with capsys.disabled():
         print(f"\n[speedup] mxm ccdp n=24: reference {refs / t_ref:,.0f} "

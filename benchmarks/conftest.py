@@ -39,23 +39,25 @@ def bench_size_args() -> Dict[str, int]:
     return out
 
 
-@pytest.fixture(scope="module")
+@pytest.fixture(scope="session")
 def built_programs():
-    """Memoised ``workload(name).build(**size_args)``.
+    """Memoised ``workload(name).build(**size_args)`` via the harness's
+    content-addressed program cache (``repro.harness.progcache``).
 
     Benchmark modules parametrize over versions/backends but run the same
     few programs; building IR is pure, so each distinct (workload, sizes)
-    pair is built once per module instead of once per parametrized case.
+    pair is built once per process.  The content key canonicalises the
+    size arguments (sorted, JSON-encoded, hashed), so spelling the same
+    sizes differently — or requesting them from different modules, or
+    from parallel pytest-xdist/sweep worker processes, each of which
+    carries its own per-process cache — can never alias two distinct
+    programs or share state across processes.
     """
+    from repro.harness import progcache
     from repro.workloads import workload
 
-    cache: Dict[tuple, object] = {}
-
     def build(name: str, **size_args):
-        key = (name, tuple(sorted(size_args.items())))
-        if key not in cache:
-            cache[key] = workload(name).build(**size_args)
-        return cache[key]
+        return progcache.get_program(workload(name), size_args)
 
     return build
 

@@ -29,6 +29,7 @@ from ..runtime import Backend, Version, run_program
 from ..workloads import all_workloads, workload
 from .experiment import PAPER_PE_COUNTS, ExperimentRunner
 from .report import generate_report
+from .sweep import SweepSpec, plan_cells, sweep_grid
 from .tables import format_table1, format_table2
 
 
@@ -49,15 +50,27 @@ def _sweeps(args: argparse.Namespace):
     names = args.workloads.split(",") if args.workloads else \
         [spec.name for spec in all_workloads()]
     pe_counts = _parse_pes(args.pes)
-    runners = {}
-    sweeps = []
-    for name in names:
-        spec = workload(name.strip())
-        runner = ExperimentRunner(spec, _size_args(args), check=not args.no_check)
-        runners[spec.name] = runner
-        print(f"running {spec.name} {runner.size_args} over PEs {pe_counts} ...",
-              file=sys.stderr)
-        sweeps.append(runner.sweep(pe_counts))
+    jobs = getattr(args, "jobs", 1)
+    specs = [SweepSpec.create(workload(name.strip()).name,
+                              size_args=_size_args(args),
+                              pe_counts=pe_counts,
+                              check=not args.no_check)
+             for name in names]
+    print(f"running {len(plan_cells(specs))} cells "
+          f"({', '.join(s.workload for s in specs)}) over PEs {pe_counts} "
+          f"with {max(1, jobs)} process(es) ...", file=sys.stderr)
+
+    def progress(done: int, total: int, text: str) -> None:
+        print(f"  [{done}/{total}] {text}", file=sys.stderr)
+
+    sweeps = sweep_grid(specs, jobs=jobs, progress=progress)
+    # Report generation re-derives CCDP pass reports from runners (the
+    # sweep records travel without them); runners share the sweep's
+    # programs/transforms through the content-addressed cache.
+    runners = {s.workload: ExperimentRunner(workload(s.workload),
+                                            _size_args(args),
+                                            check=not args.no_check)
+               for s in specs}
     return sweeps, runners
 
 
@@ -76,6 +89,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--steps", type=int, default=None, help="time steps")
         p.add_argument("--no-check", action="store_true",
                        help="skip oracle validation (faster)")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run sweep cells across N worker processes "
+                            "(results are byte-identical to --jobs 1)")
 
     for name in ("table1", "table2", "report"):
         p = sub.add_parser(name)
@@ -270,6 +286,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "pf_dropped", "pf_drop_bypass", "vector_prefetches",
                     "bypass_reads", "stale_reads"):
             print(f"  {key:18s} {record.stats.get(key, 0):.0f}")
+        print(f"  backend            {record.backend}")
+        if record.backend != Backend.REFERENCE:
+            print(f"  batch_chunks       {record.batch_chunks}")
+            print(f"  batch_fallbacks    {record.batch_fallbacks}")
+            print(f"  fault_fallbacks    {record.fault_fallbacks}")
+            print(f"  batched_coverage   {record.batched_coverage:.3f}")
         if record.fault_stats is not None:
             print("  faults:")
             for key, value in record.fault_stats.items():

@@ -35,6 +35,9 @@ class EquivalenceReport:
     batch_chunks: int          #: loop chunks the batched backend bulk-serviced
     batch_fallbacks: int       #: chunks that bound but fell back at run time
     mismatches: List[str] = field(default_factory=list)
+    fault_fallbacks: int = 0   #: chunks the fault schedule forced to reference
+    coverage: float = 0.0      #: fraction of refs the batched run bulk-served
+    stats_batched: dict = field(default_factory=dict)  #: batched-run stats
 
     @property
     def exact(self) -> bool:
@@ -85,20 +88,30 @@ def compare_backends(program, params: MachineParams, version: str,
         elapsed_batched=res_bat.elapsed,
         batch_chunks=getattr(bat, "batch_chunks", 0),
         batch_fallbacks=getattr(bat, "batch_fallbacks", 0),
-        mismatches=mism)
+        mismatches=mism,
+        fault_fallbacks=getattr(bat, "fault_fallbacks", 0),
+        coverage=res_bat.batched_coverage,
+        stats_batched=bat.machine.stats.as_dict())
 
 
 def check_workload(name: str, params: MachineParams, version: str,
                    on_stale: str = "record", fault_plan=None,
-                   oracle: bool = False, **size_args) -> EquivalenceReport:
+                   oracle: bool = False, transform: Optional[bool] = None,
+                   ccdp_overrides: Optional[dict] = None,
+                   **size_args) -> EquivalenceReport:
     """Build workload ``name``; CCDP-transform it when ``version`` is
-    ``ccdp``; then :func:`compare_backends`."""
+    ``ccdp`` (or ``transform`` forces it either way — e.g. to exercise
+    the prefetch instructions the transform inserts under SEQ/BASE
+    semantics); then :func:`compare_backends`.  ``ccdp_overrides`` are
+    passed to :class:`CCDPConfig` (``enable_vpg=False`` steers the
+    scheduler to line prefetches, the batched replay path's diet)."""
     from ..coherence import CCDPConfig, ccdp_transform
     from ..workloads import workload
 
     program = workload(name).build(**size_args)
-    if version == Version.CCDP:
-        program, _ = ccdp_transform(program, CCDPConfig(machine=params))
+    if transform if transform is not None else version == Version.CCDP:
+        config = CCDPConfig(machine=params).with_(**(ccdp_overrides or {}))
+        program, _ = ccdp_transform(program, config)
     return compare_backends(program, params, version, on_stale,
                             fault_plan=fault_plan, oracle=oracle)
 
@@ -122,6 +135,33 @@ def _diff_stats(machine_a, machine_b, out: List[str]) -> None:
             out.append(f"pe{pe}.cache.tags differ")
         elif not np.array_equal(pa.cache.data, pb.cache.data):
             out.append(f"pe{pe}.cache.data differ")
+        elif not np.array_equal(pa.cache.vers, pb.cache.vers):
+            out.append(f"pe{pe}.cache.vers differ")
+        # Prefetch hardware state: the batched replay path rebuilds the
+        # queue wholesale, so compare its contents, its aggregate
+        # counters, and the rule-2 dropped-line bookkeeping exactly.
+        if pa.queue.snapshot() != pb.queue.snapshot():
+            out.append(f"pe{pe}.queue.entries: {pa.queue.snapshot()} != "
+                       f"{pb.queue.snapshot()}")
+        for counter in ("issued", "dropped"):
+            va, vb = getattr(pa.queue, counter), getattr(pb.queue, counter)
+            if va != vb:
+                out.append(f"pe{pe}.queue.{counter}: {va} != {vb}")
+        if pa.dropped_lines != pb.dropped_lines:
+            out.append(f"pe{pe}.dropped_lines: {sorted(pa.dropped_lines)} != "
+                       f"{sorted(pb.dropped_lines)}")
+        if pa.last_prefetch_pe != pb.last_prefetch_pe:
+            out.append(f"pe{pe}.last_prefetch_pe: {pa.last_prefetch_pe} != "
+                       f"{pb.last_prefetch_pe}")
+        va = [(t.array, t.line_lo, t.line_hi, t.completion)
+              for t in pa.vectors.transfers]
+        vb = [(t.array, t.line_lo, t.line_hi, t.completion)
+              for t in pb.vectors.transfers]
+        if va != vb:
+            out.append(f"pe{pe}.vectors.transfers: {va} != {vb}")
+        if pa.vectors.issued != pb.vectors.issued:
+            out.append(f"pe{pe}.vectors.issued: {pa.vectors.issued} != "
+                       f"{pb.vectors.issued}")
 
 
 def _diff_memory(mem_a, mem_b, out: List[str]) -> None:

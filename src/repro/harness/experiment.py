@@ -15,10 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..coherence import CCDPConfig, CCDPReport, ccdp_transform
+from ..coherence import CCDPReport
 from ..machine.params import MachineParams, t3d
 from ..runtime import RunResult, Version, run_program
 from ..workloads.base import WorkloadSpec, check_result
+from . import progcache
 
 PAPER_PE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
 
@@ -44,11 +45,20 @@ class RunRecord:
     ccdp_report: Optional[CCDPReport] = None
     fault_stats: Optional[Dict[str, float]] = None  #: when a plan was active
     oracle_summary: Optional[str] = None            #: when the oracle ran
+    backend: str = "reference"
+    batch_chunks: int = 0        #: chunks the batched backend bulk-executed
+    batch_fallbacks: int = 0     #: chunks that bound but fell back at run time
+    fault_fallbacks: int = 0     #: chunks routed to the reference path by faults
+    batched_coverage: float = 0.0  #: fraction of refs served by batched plans
 
     def describe(self) -> str:
         status = "ok" if self.correct else f"WRONG ({self.error})"
-        return (f"{self.workload}/{self.version} @ {self.n_pes} PEs: "
+        text = (f"{self.workload}/{self.version} @ {self.n_pes} PEs: "
                 f"{self.elapsed:.0f} cycles, {status}")
+        if self.backend != "reference":
+            text += (f" [{self.backend}: {self.batched_coverage:.0%} coverage, "
+                     f"{self.batch_fallbacks + self.fault_fallbacks} fallbacks]")
+        return text
 
 
 @dataclass
@@ -96,9 +106,8 @@ class ExperimentRunner:
                                 **(param_overrides or {})}
         self.ccdp_overrides = dict(ccdp_overrides or {})
         self.check = check
-        self.program = spec.build(**self.size_args)
-        self.oracle = spec.oracle(**self.size_args) if check else {}
-        self._ccdp_cache: Dict[int, Tuple[object, CCDPReport]] = {}
+        self.program = progcache.get_program(spec, self.size_args)
+        self.oracle = progcache.get_oracle(spec, self.size_args) if check else {}
 
     # ------------------------------------------------------------------
     def params_for(self, n_pes: int) -> MachineParams:
@@ -106,11 +115,12 @@ class ExperimentRunner:
 
     def ccdp_program(self, n_pes: int):
         """CCDP-transformed program for a PE count (the transform sees the
-        machine description, so it is PE-count specific)."""
-        if n_pes not in self._ccdp_cache:
-            config = CCDPConfig(machine=self.params_for(n_pes)).with_(**self.ccdp_overrides)
-            self._ccdp_cache[n_pes] = ccdp_transform(self.program, config)
-        return self._ccdp_cache[n_pes]
+        machine description, so it is PE-count specific).  Served by the
+        content-addressed :mod:`.progcache`, so equal (program, machine,
+        overrides) inputs share one transform across runners."""
+        return progcache.get_transform(
+            self.spec.name, self.size_args, self.program,
+            self.params_for(n_pes), self.ccdp_overrides)
 
     # ------------------------------------------------------------------
     def run_version(self, version: str, n_pes: int,
@@ -139,7 +149,12 @@ class ExperimentRunner:
             fault_stats=(None if result.fault_stats is None
                          else result.fault_stats.as_dict()),
             oracle_summary=(None if result.oracle is None
-                            else result.oracle.summary()))
+                            else result.oracle.summary()),
+            backend=backend,
+            batch_chunks=result.batch_chunks,
+            batch_fallbacks=result.batch_fallbacks,
+            fault_fallbacks=result.fault_fallbacks,
+            batched_coverage=result.batched_coverage)
 
     def sweep(self, pe_counts: Sequence[int] = PAPER_PE_COUNTS,
               versions: Sequence[str] = (Version.BASE, Version.CCDP)) -> Sweep:

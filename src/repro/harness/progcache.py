@@ -1,0 +1,120 @@
+"""Content-addressed in-process cache for built programs, oracles and
+CCDP transforms.
+
+Building a workload's IR and running the CCDP compiler are pure
+functions of (workload name, size arguments) and (program, machine
+parameters, CCDP overrides) respectively, and both are reused many
+times per process: every version run of a sweep shares one built
+program, every PE count shares one oracle, and benchmark sessions
+rebuild the same handful of programs across modules.  This module
+memoises them under *content keys* — canonical JSON of every input that
+affects the result, hashed with SHA-256 — so equal inputs hit the cache
+regardless of which caller (CLI, sweep worker, benchmark fixture)
+produced them, and unequal inputs can never collide on a partial key.
+
+The cache is per-process by design.  Parallel sweep workers each carry
+their own copy (populated on first use, or inherited pre-warmed via
+``fork``), so no cross-process locking or shared mutable state exists;
+determinism follows because the cached values are themselves pure.
+
+Programs and transform results are returned *shared*, not cloned: the
+runtime treats IR as immutable (the interpreters never mutate a
+program), which is the same contract ``ExperimentRunner`` has always
+relied on when reusing ``self.program`` across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Dict, Tuple
+
+from ..machine.params import MachineParams
+
+_PROGRAMS: Dict[str, object] = {}
+_ORACLES: Dict[str, dict] = {}
+_TRANSFORMS: Dict[str, Tuple[object, object]] = {}
+
+#: Cache effectiveness counters (observable by tests and diagnostics).
+COUNTERS = {"program_hits": 0, "program_misses": 0,
+            "oracle_hits": 0, "oracle_misses": 0,
+            "transform_hits": 0, "transform_misses": 0}
+
+
+def _canonical(value):
+    """Reduce a key component to canonical JSON-encodable form."""
+    if isinstance(value, MachineParams):
+        return {k: _canonical(v) for k, v in sorted(asdict(value).items())}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # Fall back to repr for exotic override values; repr equality is a
+    # conservative (never falsely equal) stand-in for content equality.
+    return repr(value)
+
+
+def content_key(*parts) -> str:
+    """SHA-256 over the canonical JSON encoding of ``parts``."""
+    blob = json.dumps(_canonical(parts), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def get_program(spec, size_args: Dict[str, int]):
+    """Memoised ``spec.build(**size_args)``."""
+    key = content_key("program", spec.name, size_args)
+    if key not in _PROGRAMS:
+        COUNTERS["program_misses"] += 1
+        _PROGRAMS[key] = spec.build(**size_args)
+    else:
+        COUNTERS["program_hits"] += 1
+    return _PROGRAMS[key]
+
+
+def get_oracle(spec, size_args: Dict[str, int]) -> dict:
+    """Memoised ``spec.oracle(**size_args)`` (NumPy reference results)."""
+    key = content_key("oracle", spec.name, size_args)
+    if key not in _ORACLES:
+        COUNTERS["oracle_misses"] += 1
+        _ORACLES[key] = spec.oracle(**size_args)
+    else:
+        COUNTERS["oracle_hits"] += 1
+    return _ORACLES[key]
+
+
+def get_transform(name: str, size_args: Dict[str, int], program,
+                  params: MachineParams, ccdp_overrides: Dict[str, object]):
+    """Memoised ``ccdp_transform(program, CCDPConfig(machine=params)
+    .with_(**ccdp_overrides))`` → ``(transformed_program, CCDPReport)``.
+
+    ``program`` must be the build for ``(name, size_args)``; the key is
+    derived from those plus the *full* machine description, so two
+    parameter sets differing in any field (PE count, cache size, queue
+    slots, ...) can never share a transform.
+    """
+    key = content_key("ccdp", name, size_args, params, ccdp_overrides)
+    if key not in _TRANSFORMS:
+        from ..coherence import CCDPConfig, ccdp_transform
+        COUNTERS["transform_misses"] += 1
+        config = CCDPConfig(machine=params).with_(**ccdp_overrides)
+        _TRANSFORMS[key] = ccdp_transform(program, config)
+    else:
+        COUNTERS["transform_hits"] += 1
+    return _TRANSFORMS[key]
+
+
+def clear() -> None:
+    """Drop every cached artifact (tests; memory pressure)."""
+    _PROGRAMS.clear()
+    _ORACLES.clear()
+    _TRANSFORMS.clear()
+    for k in COUNTERS:
+        COUNTERS[k] = 0
+
+
+__all__ = ["content_key", "get_program", "get_oracle", "get_transform",
+           "clear", "COUNTERS"]

@@ -111,18 +111,31 @@ def generate_report(sweeps: Sequence[Sweep],
       "cached value.  `pf_drop_bypass` counts those replacement fetches "
       "(they also appear in `bypass_reads`).")
     w("")
+    w("The last two columns describe the *execution backend*, not the "
+      "scheme: under `backend=\"batched\"` they give the fraction of "
+      "references served through bulk chunk plans and the chunks that "
+      "fell back to the reference path (run-time guards or injected "
+      "faults); under the reference backend they are `-`.")
+    w("")
     w("| app | issued | extracted | pf_dropped | pf_drop_bypass "
-      "| vector prefetches |")
-    w("|---|---|---|---|---|---|")
+      "| vector prefetches | batched coverage | fallbacks |")
+    w("|---|---|---|---|---|---|---|---|")
     for sweep in sweeps:
         top = max(sweep.pe_counts())
-        stats = sweep.record(Version.CCDP, top).stats
+        record = sweep.record(Version.CCDP, top)
+        stats = record.stats
+        if record.backend == "reference":
+            coverage, fallbacks = "-", "-"
+        else:
+            coverage = f"{record.batched_coverage:.3f}"
+            fallbacks = f"{record.batch_fallbacks + record.fault_fallbacks}"
         w(f"| {sweep.workload} "
           f"| {stats.get('prefetch_issued', 0):.0f} "
           f"| {stats.get('prefetch_extracted', 0):.0f} "
           f"| {stats.get('pf_dropped', 0):.0f} "
           f"| {stats.get('pf_drop_bypass', 0):.0f} "
-          f"| {stats.get('vector_prefetches', 0):.0f} |")
+          f"| {stats.get('vector_prefetches', 0):.0f} "
+          f"| {coverage} | {fallbacks} |")
     w("")
 
     # Figures 1 & 2 (algorithms): observable pass outputs.

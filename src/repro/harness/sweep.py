@@ -1,0 +1,250 @@
+"""Process-parallel sweep engine for the experiment grid.
+
+A paper reproduction sweep is an embarrassingly parallel grid: every
+(workload, version, PE count) cell is an independent simulation whose
+result depends only on its own inputs.  This module fans that grid out
+to a ``multiprocessing`` pool (CLI ``--jobs N``) while keeping the
+output *byte-identical* to the serial sweep:
+
+* **Deterministic cell order.**  Cells are enumerated in the exact
+  order :meth:`ExperimentRunner.sweep` runs them (per workload: SEQ
+  first, then PE-major, version-minor) and results are merged back by
+  cell index, so the assembled :class:`Sweep` objects never depend on
+  worker scheduling.
+* **Deterministic cell seeds.**  A faulted sweep derives each cell's
+  fault seed from a stable hash of (base seed, workload, version, PE
+  count) — the same cell gets the same fault schedule no matter which
+  worker runs it, at any job count.
+* **Pure, content-addressed caching.**  Workers memoise built programs,
+  oracles and CCDP transforms through :mod:`.progcache`; cache hits
+  return the same pure values a cold build would, so caching is
+  invisible in the results.
+* **Failure surfacing.**  A crashing cell never wedges the pool: the
+  worker catches the exception and ships the traceback home, and
+  :func:`sweep_grid` raises one :class:`SweepError` naming every failed
+  cell with its traceback.
+
+``jobs <= 1`` runs the identical code path in-process (no pool), which
+is both the fallback and the determinism reference.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..runtime import Version
+from .experiment import PAPER_PE_COUNTS, ExperimentRunner, RunRecord, Sweep
+
+ProgressFn = Callable[[int, int, str], None]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Hashable description of one workload's sweep (picklable, so it can
+    cross the process boundary; hashable, so workers can key their
+    per-process runner cache on it)."""
+
+    workload: str
+    size_args: Tuple[Tuple[str, int], ...] = ()
+    pe_counts: Tuple[int, ...] = PAPER_PE_COUNTS
+    versions: Tuple[str, ...] = (Version.BASE, Version.CCDP)
+    backend: str = "reference"
+    check: bool = True
+    param_overrides: Tuple[Tuple[str, float], ...] = ()
+    ccdp_overrides: Tuple[Tuple[str, object], ...] = ()
+    fault_spec: Optional[str] = None   #: ``--faults`` spec/preset, or None
+    fault_seed: int = 0                #: base seed; cells derive their own
+
+    @classmethod
+    def create(cls, workload: str, size_args: Optional[Dict[str, int]] = None,
+               pe_counts: Sequence[int] = PAPER_PE_COUNTS,
+               versions: Sequence[str] = (Version.BASE, Version.CCDP),
+               backend: str = "reference", check: bool = True,
+               param_overrides: Optional[Dict[str, float]] = None,
+               ccdp_overrides: Optional[Dict[str, object]] = None,
+               fault_spec: Optional[str] = None,
+               fault_seed: int = 0) -> "SweepSpec":
+        """Build a spec from plain dict/sequence options."""
+        as_items = lambda d: tuple(sorted((d or {}).items()))
+        return cls(workload=workload, size_args=as_items(size_args),
+                   pe_counts=tuple(pe_counts), versions=tuple(versions),
+                   backend=backend, check=check,
+                   param_overrides=as_items(param_overrides),
+                   ccdp_overrides=as_items(ccdp_overrides),
+                   fault_spec=fault_spec, fault_seed=fault_seed)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid point: a single (workload, version, PE count) run."""
+
+    index: int     #: global position in the serial sweep order
+    workload: str
+    version: str
+    n_pes: int
+
+    def describe(self) -> str:
+        return f"{self.workload}/{self.version}@{self.n_pes}"
+
+
+class SweepError(RuntimeError):
+    """One or more sweep cells failed; carries every cell's traceback."""
+
+    def __init__(self, failures: List[Tuple[Cell, str]]) -> None:
+        self.failures = failures
+        names = ", ".join(cell.describe() for cell, _ in failures)
+        detail = "\n\n".join(
+            f"--- {cell.describe()} ---\n{tb.rstrip()}"
+            for cell, tb in failures)
+        super().__init__(
+            f"{len(failures)} sweep cell(s) failed: {names}\n{detail}")
+
+
+def cell_fault_seed(base_seed: int, cell: Cell) -> int:
+    """Stable per-cell fault seed: equal cells get equal schedules at any
+    job count; distinct cells get decorrelated streams."""
+    tag = f"{base_seed}|{cell.workload}|{cell.version}|{cell.n_pes}"
+    return zlib.crc32(tag.encode()) & 0x7FFFFFFF
+
+
+def plan_cells(specs: Sequence[SweepSpec]) -> List[Tuple[SweepSpec, Cell]]:
+    """Enumerate the grid in serial-sweep order (the determinism anchor:
+    result merging relies on this order, never on completion order)."""
+    cells: List[Tuple[SweepSpec, Cell]] = []
+    index = 0
+    for spec in specs:
+        cells.append((spec, Cell(index, spec.workload, Version.SEQ, 1)))
+        index += 1
+        for n_pes in spec.pe_counts:
+            for version in spec.versions:
+                cells.append((spec, Cell(index, spec.workload, version, n_pes)))
+                index += 1
+    return cells
+
+
+# -- worker side ---------------------------------------------------------------
+
+#: Per-process runner cache.  Keyed by the (hashable) SweepSpec so one
+#: worker servicing many cells of the same sweep builds the program and
+#: oracle once; safe because runners are only ever used for pure runs.
+_RUNNERS: Dict[SweepSpec, ExperimentRunner] = {}
+
+
+def _runner_for(spec: SweepSpec) -> ExperimentRunner:
+    if spec not in _RUNNERS:
+        from ..workloads import workload
+        _RUNNERS[spec] = ExperimentRunner(
+            workload(spec.workload), dict(spec.size_args),
+            dict(spec.param_overrides), dict(spec.ccdp_overrides),
+            check=spec.check)
+    return _RUNNERS[spec]
+
+
+def _run_cell(payload: Tuple[SweepSpec, Cell]):
+    """Execute one grid cell; never raises.  Returns
+    ``(index, RunRecord, None)`` on success or ``(index, None,
+    traceback_text)`` on failure — the parent turns failures into one
+    aggregated :class:`SweepError`."""
+    spec, cell = payload
+    try:
+        fault_plan = None
+        if spec.fault_spec:
+            from ..faults import parse_fault_plan
+            fault_plan = parse_fault_plan(
+                spec.fault_spec, seed=cell_fault_seed(spec.fault_seed, cell))
+        runner = _runner_for(spec)
+        record = runner.run_version(cell.version, cell.n_pes,
+                                    backend=spec.backend,
+                                    fault_plan=fault_plan)
+        # CCDPReport is a rich object graph that is expensive to pickle
+        # and not needed per-cell (report generation re-derives it from a
+        # runner); stripping it on BOTH the serial and parallel paths
+        # keeps the two byte-identical.
+        record.ccdp_report = None
+        return cell.index, record, None
+    except Exception:
+        return cell.index, None, traceback.format_exc()
+
+
+# -- parent side ---------------------------------------------------------------
+
+def _sized_args(spec: SweepSpec) -> Dict[str, int]:
+    """The effective size arguments (defaults + applicable overrides),
+    mirroring ExperimentRunner's filtering without building anything."""
+    from ..workloads import workload
+    defaults = workload(spec.workload).default_args
+    overrides = {k: v for k, v in dict(spec.size_args).items()
+                 if k in defaults}
+    return {**defaults, **overrides}
+
+
+def sweep_grid(specs: Sequence[SweepSpec], jobs: int = 1,
+               progress: Optional[ProgressFn] = None) -> List[Sweep]:
+    """Run every spec's full grid, optionally across ``jobs`` processes.
+
+    Returns one :class:`Sweep` per spec, in spec order, with records
+    identical (bit-for-bit, including pickled form) to a serial
+    ``ExperimentRunner.sweep`` — see the module docstring for how.
+    Raises :class:`SweepError` if any cell failed.
+    """
+    payloads = plan_cells(specs)
+    total = len(payloads)
+    results: List[Tuple[int, Optional[RunRecord], Optional[str]]] = []
+    if jobs <= 1 or total <= 1:
+        for payload in payloads:
+            # Round-trip through pickle exactly as a pool transfer would:
+            # a natively built record shares interned strings between its
+            # attribute dict and its stats dict, a pool-returned one does
+            # not, and that identity difference changes the record's own
+            # pickled bytes.  Serialising on both paths keeps serial and
+            # parallel records byte-identical, which tests rely on.
+            result = pickle.loads(pickle.dumps(_run_cell(payload)))
+            results.append(result)
+            if progress is not None:
+                _report(progress, len(results), total, payload[1], result)
+    else:
+        with multiprocessing.Pool(processes=min(jobs, total)) as pool:
+            for done, result in enumerate(
+                    pool.imap(_run_cell, payloads, chunksize=1)):
+                results.append(result)
+                if progress is not None:
+                    _report(progress, done + 1, total,
+                            payloads[done][1], result)
+
+    by_index = {index: (record, err) for index, record, err in results}
+    failures = [(cell, by_index[cell.index][1]) for _, cell in payloads
+                if by_index[cell.index][1] is not None]
+    if failures:
+        raise SweepError(failures)
+
+    sweeps: List[Sweep] = []
+    cursor = 0
+    for spec in specs:
+        sweep = Sweep(workload=spec.workload, size_args=_sized_args(spec))
+        n_cells = 1 + len(spec.pe_counts) * len(spec.versions)
+        for _, cell in payloads[cursor:cursor + n_cells]:
+            record = by_index[cell.index][0]
+            if cell.version == Version.SEQ:
+                sweep.seq = record
+            else:
+                sweep.runs[(cell.version, cell.n_pes)] = record
+        cursor += n_cells
+        sweeps.append(sweep)
+    return sweeps
+
+
+def _report(progress: ProgressFn, done: int, total: int, cell: Cell,
+            result) -> None:
+    _, record, err = result
+    text = record.describe() if record is not None else \
+        f"{cell.describe()}: FAILED ({err.strip().splitlines()[-1]})"
+    progress(done, total, text)
+
+
+__all__ = ["SweepSpec", "Cell", "SweepError", "cell_fault_seed",
+           "plan_cells", "sweep_grid"]

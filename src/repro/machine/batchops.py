@@ -1,14 +1,24 @@
 """Bulk (vectorized) primitives for the batched execution backend.
 
 The heart of this module is :func:`classify_events`: an exact direct-mapped
-cache simulation over a whole event trace.  For traces without INVALIDATE
-events it runs as a handful of NumPy array operations using the *shifted
-comparison* trick pioneered in ``fastcache``: sort events by cache set
-(stable), then for every event the resident line beforehand is the line of
-the most recent earlier installing event in the same set — a prefix-maximum
-over positions, no Python loop.  Traces with INVALIDATE events fall back to
-an exact per-event Python scan (invalidations are rare in practice: the
-batched runtime issues them through its own scan engine).
+cache simulation over a whole event trace.  It runs as a handful of NumPy
+array operations using the *shifted comparison* trick pioneered in
+``fastcache``: sort events by cache set (stable), then for every event the
+resident line beforehand is the line of the most recent earlier installing
+event in the same set — a prefix-maximum over positions, no Python loop.
+INVALIDATE events ride the same machinery: an invalidate *kills* iff its
+line equals the last-installed line of its set, and a set reads as empty
+whenever the most recent kill postdates the most recent install (a kill
+marked while the set was already empty is harmless — it clears to the same
+empty state the set was in).
+
+:func:`replay_chunk` is the prefetch replay engine: an exact, allocation-free
+scan over one batched chunk's pre-classified events that reproduces the
+reference machine's prefetch semantics — invalidate-before-prefetch, queue
+occupancy/coalescing/reclaim, capacity-drop → bypass-fetch degradation
+(paper rule 2), extract-vs-late arrival stalls and vector-transfer stalls —
+without touching the live machine.  The batched runtime commits its outcome
+wholesale, or discards it untouched when the scan flags a hazard.
 
 Unlike ``fastcache.classify_trace`` (which always starts from a cold cache),
 :func:`classify_events` accepts ``initial_tags`` so a trace can be classified
@@ -72,33 +82,59 @@ def classify_events(line_addrs: np.ndarray,
     """
     line_addrs = np.asarray(line_addrs, dtype=np.int64)
     n = line_addrs.shape[0]
-    if kinds is None:
+    all_reads = kinds is None
+    if all_reads:
         kinds = np.zeros(n, dtype=np.int8)
     else:
         kinds = np.asarray(kinds, dtype=np.int8)
+        all_reads = bool((kinds == READ).all())
     outcomes = np.full(n, OUT_NA, dtype=np.int8)
     present = np.zeros(n, dtype=bool)
     empty = np.empty(0, dtype=np.int64)
     if n == 0:
         return EventClassification(outcomes, present, empty, empty.copy())
-    sets = (line_addrs % n_lines).astype(np.int64)
+    sets = line_addrs % n_lines  # already int64 from the asarray above
     if initial_tags is None:
         init = np.full(n_lines, -1, dtype=np.int64)
     else:
         init = np.asarray(initial_tags, dtype=np.int64)
-    if bool((kinds == INVALIDATE).any()):
-        return _classify_scan(line_addrs, kinds, sets, init, outcomes, present)
-
-    order = np.argsort(sets, kind="stable")
+    if n_lines <= 0x7FFF:
+        # Radix-sorting narrow keys is markedly cheaper; set indices
+        # always fit in int16 for realistic cache geometries.
+        order = np.argsort(sets.astype(np.int16), kind="stable")
+    else:
+        order = np.argsort(sets, kind="stable")
     ss = sets[order]
     sl = line_addrs[order]
-    sk = kinds[order]
-    pos = np.arange(n, dtype=np.int64)
 
     # Segment start per set-run (events of one set stay in trace order).
     seg_start = np.empty(n, dtype=bool)
     seg_start[0] = True
     seg_start[1:] = ss[1:] != ss[:-1]
+
+    if all_reads:
+        # Every event installs its line, so an event hits iff it repeats
+        # the immediately preceding line in its set-run (or the initial
+        # resident line at a run start).  No install/invalidate chains.
+        hit = np.empty(n, dtype=bool)
+        hit[0] = True
+        np.equal(sl[1:], sl[:-1], out=hit[1:])
+        starts = np.flatnonzero(seg_start)
+        hit[starts] = init[ss[starts]] == sl[starts]
+        out_sorted = np.where(hit, np.int8(OUT_HIT), np.int8(OUT_MISS))
+        outcomes[order] = out_sorted
+        present[order] = hit
+        seg_last = np.empty(n, dtype=bool)
+        seg_last[-1] = True
+        seg_last[:-1] = seg_start[1:]
+        csets = ss[seg_last]
+        fin = sl[seg_last]
+        changed = fin != init[csets]
+        return EventClassification(outcomes, present, csets[changed],
+                                   fin[changed])
+
+    sk = kinds[order]
+    pos = np.arange(n, dtype=np.int64)
     seg0 = np.maximum.accumulate(np.where(seg_start, pos, np.int64(-1)))
 
     # Installing events: READs (miss or hit, the line ends up resident
@@ -111,6 +147,22 @@ def classify_events(line_addrs: np.ndarray,
     has_prev = prev_inst >= seg0
     before = np.where(has_prev, sl[np.maximum(prev_inst, 0)], init[ss])
     hit = before == sl
+
+    # INVALIDATEs: one kills iff its line equals the set's last-installed
+    # line, and the set reads empty whenever the latest kill postdates the
+    # latest install.  A kill marked while the set was already empty is a
+    # no-op either way (it "clears" to the same empty state), so the
+    # install-line comparison alone is exact.
+    inval = sk == INVALIDATE
+    has_inval = bool(inval.any())
+    if has_inval:
+        kills = inval & hit
+        last_kill = np.maximum.accumulate(np.where(kills, pos, np.int64(-1)))
+        prev_kill = np.empty(n, dtype=np.int64)
+        prev_kill[0] = -1
+        prev_kill[1:] = last_kill[:-1]
+        cleared = (prev_kill >= seg0) & (prev_kill > prev_inst)
+        hit = hit & ~cleared
 
     is_read = sk == READ
     out_sorted = np.full(n, OUT_NA, dtype=np.int8)
@@ -126,42 +178,232 @@ def classify_events(line_addrs: np.ndarray,
     has_final = li >= seg0[seg_last]
     csets = ss[seg_last]
     fin = np.where(has_final, sl[np.maximum(li, 0)], init[csets])
+    if has_inval:
+        lk = last_kill[seg_last]
+        killed = (lk >= seg0[seg_last]) & (lk > li)
+        fin = np.where(killed, np.int64(-1), fin)
     changed = fin != init[csets]
     return EventClassification(outcomes, present, csets[changed], fin[changed])
 
 
-def _classify_scan(line_addrs, kinds, sets, init, outcomes, present):
-    """Exact per-event scan; handles INVALIDATE (conditional set clear)."""
-    state = {}
-    la = line_addrs.tolist()
-    ks = kinds.tolist()
-    st = sets.tolist()
-    for i in range(len(la)):
-        s = st[i]
-        line = la[i]
-        resident = state.get(s)
-        if resident is None:
-            resident = int(init[s])
-        here = resident == line
-        present[i] = here
-        k = ks[i]
-        if k == READ:
-            outcomes[i] = OUT_HIT if here else OUT_MISS
-            state[s] = line
-        elif k == INSTALL:
-            state[s] = line
-        elif k == INVALIDATE:
-            if here:
-                state[s] = -1
-    csets: List[int] = []
-    clines: List[int] = []
-    for s in sorted(state):
-        if state[s] != int(init[s]):
-            csets.append(s)
-            clines.append(state[s])
-    return EventClassification(outcomes, present,
-                               np.asarray(csets, dtype=np.int64),
-                               np.asarray(clines, dtype=np.int64))
+# -- prefetch replay scan engine ---------------------------------------------
+
+# Replay event kinds (distinct from trace kinds above: replay events carry
+# per-event costs and are interleaved with queue/transfer state).
+RE_COST = 0   # fixed-cost event (uncached read, uncacheable write, OOB prefetch)
+RE_READ = 1   # cacheable read (hit / extract / miss / drop-bypass)
+RE_WRITE = 2  # cacheable write-through (ghost-dirty hazard detection)
+RE_PF = 3     # in-bounds line prefetch (invalidate + queue issue)
+
+# Stall codes in ReplayOutcome.stalls (the commit step must apply idle time
+# per stall, in order, exactly as the reference interpreter does).
+STALL_VECTOR = 0    # read raced an in-flight vector transfer
+STALL_LATE = 1      # read arrived before its prefetch (late-arrival wait)
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of one exact prefetch-replay scan over a chunk's events.
+
+    ``hazard`` means the scan detected a state it cannot commit exactly (a
+    write-through into a line invalidated earlier in the same chunk, whose
+    ghost contents would then diverge from final memory); the caller must
+    fall back to the reference path.  Nothing in the scan mutates live
+    machine state, so a hazard costs only the scan itself."""
+
+    hazard: bool
+    clock: float = 0.0
+    busy: float = 0.0
+    tags: Optional[List[int]] = None       #: final per-set resident lines
+    queue: Optional[List[tuple]] = None    #: (line, arrival, issued_at, home, array)
+    dropped: Optional[set] = None          #: final dropped-line set (rule 2)
+    q_issued: int = 0                      #: PrefetchQueue.issued delta
+    q_dropped: int = 0                     #: PrefetchQueue.dropped delta
+    stalls: Optional[List[tuple]] = None   #: ordered (code, cycles)
+    ghosts: Optional[List[tuple]] = None   #: (set, line, array) needing refill
+    counters: Optional[dict] = None        #: PEStats deltas from the scan
+
+
+def replay_chunk(kinds: np.ndarray, pre: np.ndarray, cost: np.ndarray,
+                 lines: np.ndarray, misscost: np.ndarray, unccost: np.ndarray,
+                 localf: np.ndarray, sharedf: np.ndarray, fill: np.ndarray,
+                 home: np.ndarray, invalf: np.ndarray, slot_of: np.ndarray,
+                 slot_arrays: Sequence[Optional[str]],
+                 tags0: np.ndarray, n_lines: int, clock0: float, tail: float,
+                 queue0: Sequence[tuple], queue_cap: int,
+                 dropped0, transfers: Sequence[tuple],
+                 cache_hit: float, extract_cost: float,
+                 reclaim_lag: float) -> ReplayOutcome:
+    """Exact scan of one chunk's replay events against shadow PE state.
+
+    Mirrors ``Machine.read`` / ``Machine.prefetch_line`` event by event —
+    same costs, same queue coalesce/capacity/reclaim rules, same stall
+    resolution — but against *copies* of the PE's tags, prefetch queue and
+    dropped-line set.  ``pre[i]`` is the fixed (arith/overhead) cost charged
+    before event *i*; ``tail`` is charged once after the last event.
+
+    Invalidate-before-prefetch leaves *ghost sets*: the tag is cleared but
+    the reference cache keeps the line's data frozen at invalidation time.
+    The scan tracks ghosts so the commit step can refill them from final
+    memory — exact as long as no later write-through dirtied the ghost line,
+    which is precisely the hazard this function detects.
+    """
+    n = len(kinds)
+    kl = kinds.tolist()
+    prel = pre.tolist()
+    costl = cost.tolist()
+    linel = lines.tolist()
+    missl = misscost.tolist()
+    uncl = unccost.tolist()
+    locl = localf.tolist()
+    shrl = sharedf.tolist()
+    filll = fill.tolist()
+    homel = home.tolist()
+    invl = invalf.tolist()
+    slotl = slot_of.tolist()
+
+    tags = tags0.tolist()
+    queue = list(queue0)
+    dropped = set(dropped0)
+    ghosts: dict = {}        # set index -> (line, array)
+    ghost_lines: set = set()
+    stalls: List[tuple] = []
+    tlist = list(transfers)  # (line_lo, line_hi, completion)
+
+    hits = misses = local_fills = remote_fills = 0
+    drop_bypass = extracted = 0
+    pf_issued = pf_dropped = invalidations = 0
+    q_issued = q_dropped = 0
+    clock = clock0
+    busy = 0.0
+
+    for i in range(n):
+        p = prel[i]
+        if p:
+            clock += p
+            busy += p
+        k = kl[i]
+        if k == RE_COST:
+            c = costl[i]
+            clock += c
+            busy += c
+            continue
+        line = linel[i]
+        if k == RE_READ:
+            if shrl[i] and line in dropped:
+                # Paper rule 2: a dropped prefetch degrades this use to a
+                # one-shot bypass fetch (no install, no hit/miss counters).
+                dropped.discard(line)
+                c = uncl[i]
+                clock += c
+                busy += c
+                drop_bypass += 1
+                continue
+            s = line % n_lines
+            if tags[s] == line:
+                if tlist:
+                    best = 0.0
+                    found = False
+                    for (t_lo, t_hi, t_comp) in tlist:
+                        if t_lo <= line <= t_hi and (not found or t_comp < best):
+                            best = t_comp
+                            found = True
+                    if found and best > clock:
+                        stalls.append((STALL_VECTOR, best - clock))
+                        clock = best
+                clock += cache_hit
+                busy += cache_hit
+                hits += 1
+                continue
+            qi = -1
+            for j in range(len(queue)):
+                if queue[j][0] == line:
+                    qi = j
+                    break
+            if qi >= 0:
+                arrival = queue[qi][1]
+                if arrival > clock:
+                    stalls.append((STALL_LATE, arrival - clock))
+                    clock = arrival
+                clock += extract_cost
+                busy += extract_cost
+                del queue[qi]
+                extracted += 1
+                tags[s] = line
+                if s in ghosts:
+                    ghost_lines.discard(ghosts.pop(s)[0])
+                continue
+            c = missl[i]
+            clock += c
+            busy += c
+            misses += 1
+            if locl[i]:
+                local_fills += 1
+            else:
+                remote_fills += 1
+            tags[s] = line
+            if s in ghosts:
+                ghost_lines.discard(ghosts.pop(s)[0])
+            continue
+        if k == RE_WRITE:
+            c = costl[i]
+            clock += c
+            busy += c
+            if ghost_lines and line in ghost_lines:
+                # Write-through into a ghosted line: the reference cache
+                # keeps pre-write contents, final memory would not.
+                return ReplayOutcome(hazard=True)
+            continue
+        # RE_PF: invalidate-before-prefetch, then queue issue.
+        s = line % n_lines
+        if invl[i] and tags[s] == line:
+            tags[s] = -1
+            invalidations += 1
+            ghosts[s] = (line, slot_arrays[slotl[i]])
+            ghost_lines.add(line)
+        c = costl[i]
+        clock += c
+        busy += c
+        if queue:
+            lim = clock - reclaim_lag
+            keep = [e for e in queue if e[1] > lim]
+            if len(keep) != len(queue):
+                queue = keep
+        found = False
+        for e in queue:
+            if e[0] == line:
+                found = True
+                break
+        if found:
+            accepted = True          # coalesced: no new entry, no counters
+        elif len(queue) >= queue_cap:
+            q_dropped += 1
+            accepted = False
+        else:
+            queue.append((line, clock + filll[i], clock, homel[i],
+                          slot_arrays[slotl[i]]))
+            q_issued += 1
+            accepted = True
+        if accepted:
+            pf_issued += 1
+            dropped.discard(line)
+        else:
+            pf_dropped += 1
+            dropped.add(line)
+    clock += tail
+    busy += tail
+
+    return ReplayOutcome(
+        hazard=False, clock=clock, busy=busy, tags=tags, queue=queue,
+        dropped=dropped, q_issued=q_issued, q_dropped=q_dropped,
+        stalls=stalls, ghosts=[(s, g[0], g[1]) for s, g in ghosts.items()],
+        counters={
+            "cache_hits": hits, "cache_misses": misses,
+            "local_fills": local_fills, "remote_fills": remote_fills,
+            "pf_drop_bypass": drop_bypass, "prefetch_extracted": extracted,
+            "prefetch_issued": pf_issued, "pf_dropped": pf_dropped,
+            "invalidations": invalidations,
+        })
 
 
 # -- latency tables ----------------------------------------------------------
@@ -288,7 +530,10 @@ def stale_words(cache, versions_flat: np.ndarray):
 __all__ = [
     "READ", "WRITE", "INSTALL", "INVALIDATE",
     "OUT_HIT", "OUT_MISS", "OUT_NA",
+    "RE_COST", "RE_READ", "RE_WRITE", "RE_PF",
+    "STALL_VECTOR", "STALL_LATE",
     "EventClassification", "classify_events",
+    "ReplayOutcome", "replay_chunk",
     "read_latency_table", "write_latency_table", "uncached_read_latency_table",
     "bulk_fill_lines", "bulk_update_words", "stale_words",
 ]

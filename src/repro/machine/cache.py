@@ -90,11 +90,22 @@ class DirectMappedCache:
         returns the number of lines dropped."""
         first = addr_lo // self.line_words
         last = addr_hi // self.line_words
-        count = 0
-        if last - first + 1 >= self.n_lines:
+        span = last - first + 1
+        if span >= self.n_lines:
             count = int(np.count_nonzero(self.tags >= 0))
             self.tags[:] = -1
             return count
+        if span > 4:
+            # Fewer lines than sets: each line maps to a distinct set, so
+            # one gather/scatter pair invalidates every present line.
+            lines = np.arange(first, last + 1, dtype=np.int64)
+            ix = lines % self.n_lines
+            hit = self.tags[ix] == lines
+            count = int(np.count_nonzero(hit))
+            if count:
+                self.tags[ix[hit]] = -1
+            return count
+        count = 0
         for line in range(first, last + 1):
             if self.invalidate_line(line):
                 count += 1

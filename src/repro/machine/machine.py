@@ -128,6 +128,42 @@ class Machine:
         words, versions = self._line_contents(name, line_addr, pe.pe_id)
         pe.cache.install(line_addr, words, versions)
 
+    def _install_lines_bulk(self, pe: PE, name: str, lines: list) -> None:
+        """Install many lines of one array at once.
+
+        Shared arrays are line-aligned views into the flat memory backing
+        (padding words between arrays stay zero), so a line's contents are
+        exactly ``values_flat[line*lw : (line+1)*lw]`` — one gather/scatter
+        replaces the per-line install loop when the target sets are distinct
+        (always true for a contiguous run shorter than the cache)."""
+        decl = self.memory.decls[name]
+        n = len(lines)
+        if decl.is_shared and n > 1:
+            cache = pe.cache
+            lw = self._lw
+            ln = np.asarray(lines, dtype=np.int64)
+            contiguous = n == int(ln[-1] - ln[0] + 1)
+            i0 = int(ln[0]) % cache.n_lines
+            if contiguous and i0 + n <= cache.n_lines:
+                # Contiguous run with no set wraparound: both sides are
+                # plain slices of the line-aligned flat backing.
+                w0 = int(ln[0]) * lw
+                cache.tags[i0:i0 + n] = ln
+                cache.data[i0:i0 + n] = \
+                    self.memory.values_flat[w0:w0 + n * lw].reshape(n, lw)
+                cache.vers[i0:i0 + n] = \
+                    self.memory.versions_flat[w0:w0 + n * lw].reshape(n, lw)
+                return
+            ix = ln % cache.n_lines
+            if contiguous or np.unique(ix).size == ix.size:
+                word_ix = ln[:, None] * lw + np.arange(lw, dtype=np.int64)
+                cache.tags[ix] = ln
+                cache.data[ix] = self.memory.values_flat[word_ix]
+                cache.vers[ix] = self.memory.versions_flat[word_ix]
+                return
+        for line_addr in lines:
+            self._install_line(pe, name, line_addr)
+
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
@@ -361,7 +397,7 @@ class Machine:
         line_lo = addr_lo // self._lw
         line_hi = addr_hi // self._lw
         if stride == 1:
-            install_lines = list(range(line_lo, line_hi + 1))
+            install_lines = np.arange(line_lo, line_hi + 1, dtype=np.int64)
         else:
             install_lines = sorted({
                 self.addr_map.addr(name, flat_start + k * stride) // self._lw
@@ -389,8 +425,7 @@ class Machine:
         if owner != pe_id:
             network = self.memory.remote_latency(pe_id, network)
         completion = pe.clock + self.params.vector_per_word * words + network
-        for line_addr in install_lines:
-            self._install_line(pe, name, line_addr)
+        self._install_lines_bulk(pe, name, install_lines)
         pe.vectors.issue(VectorTransfer(array=name, line_lo=line_lo,
                                         line_hi=line_hi, completion=completion))
         pe.stats.vector_prefetches += 1

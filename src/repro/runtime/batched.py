@@ -24,13 +24,13 @@ the reference interpreter.  This rests on invariants that are checked at
 falls back to the reference per-iteration path, so the fallback is always
 exact too:
 
-* the loop body is all-``Assign``, every array reference affine, bounds
-  array-free, no short-circuit ``and``/``or`` (data-dependent event order);
+* the loop body is all-``Assign``/``PrefetchLine``, every array reference
+  affine, bounds array-free, no short-circuit ``and``/``or``
+  (data-dependent event order);
 * every affine-form variable is bound to a Python int and every subscript
   stays in bounds across the whole chunk (else the reference path raises
-  the exact ``IndexError`` mid-chunk);
-* the PE's prefetch queue is empty and no vector transfer is still in
-  flight (so no prefetch-extract or transfer-stall events can occur);
+  the exact ``IndexError`` mid-chunk; prefetch subscripts are exempt —
+  beyond-edge look-ahead is legal and replayed as an issue-cost no-op);
 * no resident cache word is stale (so reads return memory values and no
   stale events can occur — one PE's chunk runs with no interleaved remote
   writes, and its own write-through stores keep cache and memory in step);
@@ -38,8 +38,21 @@ exact too:
   (adding integers to a float clock is associative below 2**53);
 * race checking and read tracing are off (those need per-event order).
 
-Chunks containing prefetch/invalidate statements, ``If``s, calls or nested
-loops are never planned; they run on the reference path unchanged.
+Chunks whose events can interact with prefetch state — they contain
+``PrefetchLine`` statements, or leftover prefetch-queue entries /
+dropped-line marks alias the chunk's cacheable reads — route their timing
+through :func:`~repro.machine.batchops.replay_chunk`: an exact scan over
+the pre-bound event stream against *shadow* copies of the PE's tags,
+queue and dropped set, committed wholesale afterwards (invalidate-before-
+prefetch, queue coalesce/capacity/reclaim, capacity-drop → bypass-fetch
+degradation, extract and vector-transfer stalls all replayed
+bit-exactly).  The scan flags the one inexpressible case — a
+write-through into a line ghosted by an in-chunk invalidation — as a
+hazard, falling back before anything is mutated.
+
+Chunks containing ``PrefetchVector``/``InvalidateLines`` statements,
+``If``s, calls or nested loops are never planned; they run on the
+reference path unchanged.
 """
 
 from __future__ import annotations
@@ -52,10 +65,13 @@ import numpy as np
 from ..analysis.affine import AffineForm, affine_ref
 from ..ir.expr import (ArrayRef, BinOp, Expr, FloatConst, IntConst,
                        IntrinsicCall, RefMode, SymConst, UnaryOp, VarRef)
-from ..ir.stmt import Assign, Loop, LoopKind, Stmt
-from ..machine.batchops import (OUT_HIT, bulk_fill_lines, read_latency_table,
-                                stale_words, uncached_read_latency_table,
+from ..ir.stmt import Assign, Loop, LoopKind, PrefetchLine, Stmt
+from ..machine.batchops import (OUT_HIT, RE_COST, RE_PF, RE_READ, RE_WRITE,
+                                STALL_VECTOR, bulk_fill_lines,
+                                read_latency_table, replay_chunk, stale_words,
+                                uncached_read_latency_table,
                                 write_latency_table)
+from ..machine.prefetchq import PrefetchEntry
 from .interp import Interpreter
 
 #: Minimum chunk size (iterations x memory events) worth the bind overhead.
@@ -65,13 +81,14 @@ MIN_BATCH_EVENTS = 16
 class _Slot:
     """One memory-touching operation of the loop body (one per iteration).
 
-    ``role`` is 'cr' (cacheable read), 'ur' (uncached/bypass read) or 'w'
-    (write).  ``address`` is the 0-based flat-element affine form; ``dims``
-    are the 1-based per-dimension forms used for bounds checking."""
+    ``role`` is 'cr' (cacheable read), 'ur' (uncached/bypass read), 'w'
+    (write) or 'pf' (line prefetch).  ``address`` is the 0-based
+    flat-element affine form; ``dims`` are the 1-based per-dimension forms
+    used for bounds checking."""
 
     __slots__ = ("role", "array", "base", "shared", "bypass", "craft",
                  "cacheable", "var_coeff", "env_coeffs", "const0",
-                 "dim_checks", "owner_table", "extra")
+                 "dim_checks", "owner_table", "extra", "inval")
 
     def __init__(self, role: str, array: str, base: int, shared: bool,
                  bypass: bool, craft: bool, cacheable: bool,
@@ -98,6 +115,7 @@ class _Slot:
         self.dim_checks = tuple(checks)
         self.owner_table = owner_table  # int16 per flat element, shared only
         self.extra = extra              # CRAFT overhead folded into latency
+        self.inval = False              # 'pf' only: invalidate before issue
 
     def variables(self) -> Set[str]:
         out = {n for n, _ in self.env_coeffs}
@@ -122,15 +140,81 @@ class _Slot:
             const += c * env[name]
         return const + self.var_coeff * values
 
+    def bind_pf(self, env: dict,
+                values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(flat vector, in-bounds mask) for a prefetch slot.  Beyond-edge
+        look-ahead is legal for prefetches (the reference charges the bare
+        issue cost and drops), so out-of-bounds iterations are masked
+        rather than rejecting the chunk; their flat entry is a harmless 0."""
+        mask = np.ones(len(values), dtype=bool)
+        for dconst, denv, dcoeff, extent in self.dim_checks:
+            d0 = dconst
+            for name, c in denv:
+                d0 += c * env[name]
+            dval = d0 + dcoeff * values
+            mask &= (1 <= dval) & (dval <= extent)
+        const = self.const0
+        for name, c in self.env_coeffs:
+            const += c * env[name]
+        flat = const + self.var_coeff * values
+        if not mask.all():
+            flat = np.where(mask, flat, 0)
+        return flat, mask
+
+    def bounds2(self, env: dict, outer: str, vmin: int, vmax: int,
+                omin: int, omax: int) -> bool:
+        """Box bounds check for a fused chunk.  The per-dimension forms are
+        affine in both loop variables, so checking the four box corners —
+        whose outer values are actual chunk members — decides exactly what
+        the per-row check decides."""
+        for dconst, denv, dcoeff, extent in self.dim_checks:
+            d0 = dconst
+            ocoeff = 0
+            for name, c in denv:
+                if name == outer:
+                    ocoeff = c
+                else:
+                    d0 += c * env[name]
+            lo = d0 \
+                + (dcoeff * vmin if dcoeff >= 0 else dcoeff * vmax) \
+                + (ocoeff * omin if ocoeff >= 0 else ocoeff * omax)
+            hi = d0 \
+                + (dcoeff * vmax if dcoeff >= 0 else dcoeff * vmin) \
+                + (ocoeff * omax if ocoeff >= 0 else ocoeff * omin)
+            if not (1 <= lo and hi <= extent):
+                return False
+        return True
+
+    def bind2(self, env: dict, V: np.ndarray, O: np.ndarray, outer: str,
+              vmin: int, vmax: int, omin: int,
+              omax: int) -> Optional[np.ndarray]:
+        """Fused-chunk variant of :meth:`bind`: one bind over the whole
+        (outer, inner) iteration space when every outer row shares the same
+        inner bounds."""
+        if not self.bounds2(env, outer, vmin, vmax, omin, omax):
+            return None
+        const = self.const0
+        ocoeff = 0
+        for name, c in self.env_coeffs:
+            if name == outer:
+                ocoeff = c
+            else:
+                const += c * env[name]
+        flat = const + self.var_coeff * V
+        if ocoeff:
+            flat = flat + ocoeff * O
+        return flat
+
 
 class _Plan:
     """Compiled batched form of one innermost loop."""
 
     __slots__ = ("var", "registers", "final_clear", "value_fns", "slots",
-                 "cached_idx", "uncached_idx", "write_idx", "const_per_iter",
-                 "n_events", "env_vars", "touches_shared_cache",
-                 "const_before", "tail_const", "assigned", "vec_stmts",
-                 "reg_ops", "alias_pairs")
+                 "cached_idx", "uncached_idx", "write_idx", "pf_idx",
+                 "const_per_iter", "n_events", "env_vars",
+                 "touches_shared_cache", "const_before", "tail_const",
+                 "assigned", "vec_stmts", "reg_ops", "alias_pairs",
+                 "bind_groups")
 
     def __init__(self, var: str, registers: dict, final_clear: bool,
                  value_fns: list, slots: List[_Slot],
@@ -149,13 +233,34 @@ class _Plan:
         self.reg_ops = reg_ops      # register-state replay for the epilogue
         # Same-array (write, other) slot pairs that the bind-time alias
         # check must prove elementwise-identical or fully disjoint before
-        # the vectorised value pass may run.
+        # the vectorised value pass may run.  Pairs with identical affine
+        # forms bind to identical vectors under every environment, so they
+        # are provably safe here and skipped at run time.
         self.alias_pairs = [
             (w, j) for w, sw in enumerate(slots) if sw.role == "w"
-            for j, sj in enumerate(slots) if j != w and sj.array == sw.array]
+            for j, sj in enumerate(slots)
+            if j != w and sj.role != "pf" and sj.array == sw.array
+            and not (sj.var_coeff == sw.var_coeff
+                     and sj.env_coeffs == sw.env_coeffs
+                     and sj.const0 == sw.const0)]
+        # Slots sharing (var_coeff, env_coeffs) bind to vectors that differ
+        # only by the constant term under every environment: bind once per
+        # group and add the delta.  Unrolled bodies collapse hard here.
+        by_form: dict = {}
+        for i, s in enumerate(slots):
+            by_form.setdefault((s.var_coeff, s.env_coeffs), []).append(i)
+        self.bind_groups = [
+            (idxs[0],
+             [(j, slots[j].const0 - slots[idxs[0]].const0,
+               # An identical-form member passes bounds iff the rep does.
+               not (slots[j].const0 == slots[idxs[0]].const0
+                    and slots[j].dim_checks == slots[idxs[0]].dim_checks))
+              for j in idxs[1:]])
+            for idxs in by_form.values()]
         self.cached_idx = [i for i, s in enumerate(slots) if s.role == "cr"]
         self.uncached_idx = [i for i, s in enumerate(slots) if s.role == "ur"]
         self.write_idx = [i for i, s in enumerate(slots) if s.role == "w"]
+        self.pf_idx = [i for i, s in enumerate(slots) if s.role == "pf"]
         self.const_per_iter = const_per_iter
         self.n_events = len(slots)
         env_vars: Set[str] = set()
@@ -163,7 +268,9 @@ class _Plan:
             env_vars |= slot.variables()
         self.env_vars = tuple(env_vars)
         self.touches_shared_cache = any(
-            s.shared and s.cacheable and s.role in ("cr", "w") for s in slots)
+            s.shared and (s.role == "pf" or (s.cacheable
+                                             and s.role in ("cr", "w")))
+            for s in slots)
 
 
 class _Ineligible(Exception):
@@ -204,6 +311,13 @@ class BatchedInterpreter(Interpreter):
         #: chunks routed to the reference path because fault injection or
         #: the coherence oracle was active (subset of batch_fallbacks)
         self.fault_fallbacks = 0
+        #: memory references (reads+writes) serviced by committed chunks
+        self.batch_refs = 0
+        p = self.params
+        #: prefetch replay needs integral issue/extract costs for exact
+        #: bulk busy-cycle summation (the clock itself is scanned exactly)
+        self._replay_costs_ok = _integral(p.prefetch_issue, p.dtb_setup,
+                                          p.prefetch_extract)
 
     # ------------------------------------------------------------------
     # integration points
@@ -273,9 +387,10 @@ class BatchedInterpreter(Interpreter):
             if inner is not None:
                 plan, _, _, _, bound_vars = inner
                 # Vector value pass only (the sequential pass would need
-                # per-group register churn), and the inner bounds must not
-                # depend on scalars the body itself assigns.
-                if (plan.vec_stmts is not None
+                # per-group register churn), no prefetch slots (replay is
+                # per-chunk), and the inner bounds must not depend on
+                # scalars the body itself assigns.
+                if (plan.vec_stmts is not None and not plan.pf_idx
                         and bound_vars.isdisjoint(plan.assigned)):
                     entry = inner
         self._fused_plans[loop.uid] = entry
@@ -296,17 +411,26 @@ class BatchedInterpreter(Interpreter):
         if not self._chunk_guards(plan, env, pe_obj, skip=outer_var):
             return False
         overhead = float(self.params.loop_overhead)
+        # Row bounds are array-free pure closures; evaluate them all first.
+        # When every row shares the same bounds (the common rectangular
+        # case) the whole (outer, inner) box binds in ONE bind2 call per
+        # slot instead of one bind per (slot, row).
+        bounds = []
+        for j in values:
+            env[outer_var] = j
+            bounds.append((int(lo_fn(env, pe)), int(hi_fn(env, pe)),
+                           int(step_fn(env, pe))))
+        if all(b == bounds[0] for b in bounds):
+            return self._exec_fused_uniform(plan, env, pe, pe_obj, values,
+                                            outer_var, bounds[0], overhead)
         flat_groups: List[List[np.ndarray]] = [[] for _ in plan.slots]
         v_rows: List[np.ndarray] = []
         o_rows: List[np.ndarray] = []
         row_marks: List[Tuple[int, float]] = []
         pending = 0.0  # outer overheads awaiting the next non-empty group
         total_iters = 0
-        for j in values:
+        for j, (lo, hi, step) in zip(values, bounds):
             env[outer_var] = j
-            lo = int(lo_fn(env, pe))
-            hi = int(hi_fn(env, pe))
-            step = int(step_fn(env, pe))
             vals_j = range(lo, hi + (1 if step > 0 else -1), step)
             pending += overhead
             tj = len(vals_j)
@@ -314,7 +438,7 @@ class BatchedInterpreter(Interpreter):
                 continue
             vj = np.arange(vals_j.start, vals_j.stop, vals_j.step,
                            dtype=np.int64)
-            bound = self._bind_slots(plan, env, vj)
+            bound, _ = self._bind_slots(plan, env, vj)
             if bound is None:
                 return False  # out of bounds: reference raises exactly
             for s_i, f in enumerate(bound):
@@ -327,6 +451,9 @@ class BatchedInterpreter(Interpreter):
         if total_iters == 0 or total_iters * plan.n_events < MIN_BATCH_EVENTS:
             return False
         flats = [np.concatenate(g) for g in flat_groups]
+        if ((pe_obj.queue.entries or pe_obj.dropped_lines)
+                and not self._prefetch_disjoint(plan, pe_obj, flats)):
+            return False  # per-iteration path: inner chunks replay exactly
         if plan.touches_shared_cache and stale_words(
                 pe_obj.cache, machine.memory.versions_flat):
             return self._fall()
@@ -345,6 +472,59 @@ class BatchedInterpreter(Interpreter):
                        + plan.const_per_iter * total_iters)
         self._timing_pass(plan, pe_obj, pe, total_iters, flats, const_total,
                           (extra_rows, pending), self._inflight(pe_obj))
+        return True
+
+    def _exec_fused_uniform(self, plan: _Plan, env: dict, pe: int, pe_obj,
+                            values: Sequence[int], outer_var: str,
+                            row_bounds: Tuple[int, int, int],
+                            overhead: float) -> bool:
+        """Fused chunk whose rows all share (lo, hi, step): bind the whole
+        box with one :meth:`_Slot.bind2` call per slot."""
+        lo, hi, step = row_bounds
+        rng = range(lo, hi + (1 if step > 0 else -1), step)
+        tj = len(rng)
+        n_outer = len(values)
+        total_iters = n_outer * tj
+        if tj == 0 or total_iters * plan.n_events < MIN_BATCH_EVENTS:
+            return False
+        machine = self.machine
+        vj = np.arange(rng.start, rng.stop, rng.step, dtype=np.int64)
+        V = np.tile(vj, n_outer)
+        O = np.repeat(np.fromiter(values, dtype=np.int64, count=n_outer), tj)
+        vmin = int(vj.min())
+        vmax = int(vj.max())
+        omin = min(values)
+        omax = max(values)
+        flats: List[Optional[np.ndarray]] = [None] * plan.n_events
+        for rep, members in plan.bind_groups:
+            base = plan.slots[rep].bind2(env, V, O, outer_var,
+                                         vmin, vmax, omin, omax)
+            if base is None:
+                return False  # out of bounds: reference raises exactly
+            flats[rep] = base
+            for j, dc, need_bounds in members:
+                if need_bounds and not plan.slots[j].bounds2(
+                        env, outer_var, vmin, vmax, omin, omax):
+                    return False
+                flats[j] = base if dc == 0 else base + dc
+        if ((pe_obj.queue.entries or pe_obj.dropped_lines)
+                and not self._prefetch_disjoint(plan, pe_obj, flats)):
+            return False  # per-iteration path: inner chunks replay exactly
+        if plan.touches_shared_cache and stale_words(
+                pe_obj.cache, machine.memory.versions_flat):
+            return self._fall()
+        if not self._vector_safe(plan, flats):
+            return False  # per-group chunks may still vectorise alone
+        self.batch_chunks += 1
+        vecs = {plan.var: V, outer_var: O}
+        self._vector_value_pass(plan, env, pe, flats, vecs)
+        env[plan.var] = int(V[-1])
+        # env[outer_var] already holds values[-1] from the bounds sweep.
+        extra_rows = np.zeros(total_iters, dtype=np.float64)
+        extra_rows[::tj] += overhead
+        const_total = overhead * n_outer + plan.const_per_iter * total_iters
+        self._timing_pass(plan, pe_obj, pe, total_iters, flats, const_total,
+                          (extra_rows, 0.0), self._inflight(pe_obj))
         return True
 
     # ------------------------------------------------------------------
@@ -383,6 +563,10 @@ class BatchedInterpreter(Interpreter):
         vec_meta: list = []  # per-stmt ("arr", slot, rhs, pops) / ("sca", ...)
         assigned: List[str] = []
         for stmt in loop.body:
+            if isinstance(stmt, PrefetchLine):
+                self._plan_prefetch(stmt, loop.var, slots, const_before,
+                                    accbox)
+                continue
             if not isinstance(stmt, Assign):
                 raise _Ineligible
             for node in stmt.rhs.walk():
@@ -431,6 +615,25 @@ class BatchedInterpreter(Interpreter):
         return _Plan(loop.var, ctx.values, final_clear, value_fns, slots,
                      const_per_iter, const_before, accbox[0], tuple(assigned),
                      vec_stmts, reg_ops)
+
+    def _plan_prefetch(self, stmt: PrefetchLine, var: str, slots, const_before,
+                       accbox) -> None:
+        params = self.params
+        if not _integral(params.prefetch_issue):
+            raise _Ineligible
+        decl = self.program.array(stmt.ref.array)
+        if not self.config.cache_shared and decl.is_shared:
+            # Disabled shared cache: the reference folds the prefetch into a
+            # no-op costing bare issue time, in or out of bounds alike.
+            accbox[0] += float(params.prefetch_issue)
+            return
+        if not _integral(params.dtb_setup, params.prefetch_extract):
+            raise _Ineligible
+        slot = self._slot_for(stmt.ref, "pf", var, False, False, True)
+        slot.inval = bool(stmt.invalidate_first)
+        slots.append(slot)
+        const_before.append(accbox[0])
+        accbox[0] = 0.0
 
     def _slot_for(self, ref: ArrayRef, role: str, var: str, bypass: bool,
                   craft: bool, cacheable: bool) -> _Slot:
@@ -859,32 +1062,39 @@ class BatchedInterpreter(Interpreter):
         machine = self.machine
         if machine.race_check or machine.trace_enabled:
             return False
-        if (machine.faults is not None or machine.oracle is not None
-                or pe_obj.dropped_lines):
+        if machine.faults is not None or machine.oracle is not None:
             # Fault injection and the oracle are defined over the reference
             # event order; faulted chunks always take the exact fallback.
             self.fault_fallbacks += 1
             if machine.faults is not None:
                 machine.faults.stats.batch_fallbacks += 1
             return False
-        if pe_obj.queue.entries:
-            return False  # a miss could extract a queued prefetch
         for name in plan.env_vars:
             if name != skip and type(env.get(name)) is not int:
                 return False
         return True
 
-    def _bind_slots(self, plan: _Plan, env: dict,
-                    V: np.ndarray) -> Optional[List[np.ndarray]]:
+    def _bind_slots(self, plan: _Plan, env: dict, V: np.ndarray):
+        """(flats, pf_masks): per-slot flat vectors plus, for prefetch
+        slots, the in-bounds mask.  (None, None) when a non-prefetch slot
+        leaves its array bounds (the reference raises exactly there)."""
         vmin = int(V.min())
         vmax = int(V.max())
         flats: List[np.ndarray] = []
-        for slot in plan.slots:
+        masks: Optional[Dict[int, np.ndarray]] = None
+        for i, slot in enumerate(plan.slots):
+            if slot.role == "pf":
+                flat, mask = slot.bind_pf(env, V)
+                if masks is None:
+                    masks = {}
+                masks[i] = mask
+                flats.append(flat)
+                continue
             bound = slot.bind(env, V, vmin, vmax)
             if bound is None:
-                return None  # out of bounds: reference raises exactly
+                return None, None  # out of bounds: reference raises exactly
             flats.append(bound)
-        return flats
+        return flats, masks
 
     def _inflight(self, pe_obj) -> list:
         clock = pe_obj.clock
@@ -905,12 +1115,23 @@ class BatchedInterpreter(Interpreter):
                           dtype=np.int64)
         else:
             V = np.asarray(values, dtype=np.int64)
-        flats = self._bind_slots(plan, env, V)
+        flats, pf_masks = self._bind_slots(plan, env, V)
         if flats is None:
             return self._fall()
         if plan.touches_shared_cache and stale_words(
                 pe_obj.cache, machine.memory.versions_flat):
             return self._fall()  # stale hits possible: needs per-event order
+        outcome = dtb_count = new_last = None
+        if plan.pf_idx or pe_obj.queue.entries or pe_obj.dropped_lines:
+            if plan.pf_idx or not self._prefetch_disjoint(plan, pe_obj,
+                                                          flats):
+                if (not self._replay_costs_ok
+                        or pe_obj.queue.squeeze is not None):
+                    return self._fall()
+                outcome, dtb_count, new_last = self._replay_scan(
+                    plan, pe_obj, pe, T, flats, pf_masks)
+                if outcome.hazard:
+                    return self._fall()
         self.batch_chunks += 1
 
         # -- value pass ----------------------------------------------------
@@ -930,10 +1151,210 @@ class BatchedInterpreter(Interpreter):
             if plan.final_clear:
                 registers.clear()
 
-        self._timing_pass(plan, pe_obj, pe, T, flats,
-                          plan.const_per_iter * T, None,
-                          self._inflight(pe_obj))
+        if outcome is None:
+            self._timing_pass(plan, pe_obj, pe, T, flats,
+                              plan.const_per_iter * T, None,
+                              self._inflight(pe_obj))
+        else:
+            self._replay_commit(plan, pe_obj, pe, T, flats, outcome,
+                                dtb_count, new_last)
         return True
+
+    def _prefetch_disjoint(self, plan: _Plan, pe_obj,
+                           flats: List[np.ndarray]) -> bool:
+        """True when leftover prefetch state (queued entries, dropped-line
+        marks) cannot intersect any cacheable read of the chunk — then the
+        plain fast timing path is exact despite a non-empty queue."""
+        pend = pe_obj.queue.lines()
+        if pe_obj.dropped_lines:
+            dl = np.fromiter(pe_obj.dropped_lines, dtype=np.int64,
+                             count=len(pe_obj.dropped_lines))
+            pend = np.concatenate([pend, dl]) if pend.size else dl
+        if not pend.size:
+            return True
+        lw = self.params.line_words
+        for i in plan.cached_idx:
+            slot = plan.slots[i]
+            lines = (slot.base + flats[i]) // lw
+            if np.isin(lines, pend).any():
+                return False
+        return True
+
+    def _replay_scan(self, plan: _Plan, pe_obj, pe: int, Tt: int,
+                     flats: List[np.ndarray], pf_masks):
+        """Prepare the chunk's replay-event matrices and run the exact
+        :func:`replay_chunk` scan against shadow PE state.  Returns
+        ``(outcome, dtb_count, new_last_prefetch_pe)``; nothing live is
+        mutated, so a hazard outcome costs only the scan."""
+        params = self.params
+        lw = params.line_words
+        n_slots = plan.n_events
+        kind = np.zeros((Tt, n_slots), dtype=np.int8)
+        cost = np.zeros((Tt, n_slots), dtype=np.float64)
+        line = np.full((Tt, n_slots), -1, dtype=np.int64)
+        miss = np.zeros((Tt, n_slots), dtype=np.float64)
+        unc = np.zeros((Tt, n_slots), dtype=np.float64)
+        loc = np.zeros((Tt, n_slots), dtype=bool)
+        shr = np.zeros((Tt, n_slots), dtype=bool)
+        fill = np.zeros((Tt, n_slots), dtype=np.float64)
+        home = np.zeros((Tt, n_slots), dtype=np.int64)
+        inval = np.zeros((Tt, n_slots), dtype=bool)
+        slot_of = np.zeros((Tt, n_slots), dtype=np.int64)
+        for i, slot in enumerate(plan.slots):
+            slot_of[:, i] = i
+            role = slot.role
+            if role == "cr":
+                kind[:, i] = RE_READ
+                line[:, i] = (slot.base + flats[i]) // lw
+                if slot.shared:
+                    own = slot.owner_table[flats[i]]
+                    miss[:, i] = self._lat_table(pe, "r", slot.extra)[own]
+                    unc[:, i] = self._lat_table(pe, "u", slot.extra)[own]
+                    loc[:, i] = own == pe
+                    shr[:, i] = True
+                else:
+                    miss[:, i] = float(params.local_mem)
+                    loc[:, i] = True
+            elif role == "ur":
+                own = slot.owner_table[flats[i]]
+                cost[:, i] = self._lat_table(pe, "u", slot.extra)[own]
+            elif role == "w":
+                if slot.shared:
+                    own = slot.owner_table[flats[i]]
+                    cost[:, i] = self._lat_table(pe, "w", slot.extra)[own]
+                else:
+                    cost[:, i] = float(params.write_local)
+                if slot.cacheable:
+                    kind[:, i] = RE_WRITE
+                    line[:, i] = (slot.base + flats[i]) // lw
+            else:  # 'pf': out-of-bounds look-aheads degrade to bare issues
+                m = pf_masks[i]
+                kind[:, i] = np.where(m, RE_PF, RE_COST)
+                cost[:, i] = float(params.prefetch_issue)
+                line[:, i] = np.where(m, (slot.base + flats[i]) // lw, -1)
+                if slot.shared:
+                    home[:, i] = slot.owner_table[flats[i]]
+                else:
+                    home[:, i] = pe
+                fill[:, i] = self._lat_table(pe, "r", 0.0)[home[:, i]]
+                inval[:, i] = slot.inval
+        kindF = kind.ravel()
+        costF = cost.ravel()
+        homeF = home.ravel()
+        dtb_count = 0
+        new_last = None
+        pf_pos = np.flatnonzero(kindF == RE_PF)
+        if pf_pos.size:
+            # DTB setups chain over successive in-bounds prefetch issues:
+            # charged whenever the home PE changes from the previous issue.
+            homes = homeF[pf_pos]
+            prev = np.empty(pf_pos.size, dtype=np.int64)
+            lp = pe_obj.last_prefetch_pe
+            prev[0] = -1 if lp is None else lp
+            prev[1:] = homes[:-1]
+            dtb = homes != prev
+            costF[pf_pos[dtb]] += float(params.dtb_setup)
+            dtb_count = int(dtb.sum())
+            new_last = int(homes[-1])
+        pre = np.tile(plan.const_before, (Tt, 1))
+        if Tt > 1:
+            pre[1:, 0] += plan.tail_const
+        outcome = replay_chunk(
+            kindF, pre.ravel(), costF, line.ravel(), miss.ravel(),
+            unc.ravel(), loc.ravel(), shr.ravel(), fill.ravel(), homeF,
+            inval.ravel(), slot_of.ravel(), [s.array for s in plan.slots],
+            pe_obj.cache.tags, pe_obj.cache.n_lines, pe_obj.clock,
+            plan.tail_const, pe_obj.queue.snapshot(), pe_obj.queue.capacity,
+            pe_obj.dropped_lines,
+            [(t.line_lo, t.line_hi, t.completion)
+             for t in pe_obj.vectors.transfers],
+            float(params.cache_hit), float(params.prefetch_extract),
+            4 * float(params.remote_base))
+        return outcome, dtb_count, new_last
+
+    def _replay_commit(self, plan: _Plan, pe_obj, pe: int, Tt: int,
+                       flats: List[np.ndarray], outcome, dtb_count: int,
+                       new_last) -> None:
+        """Apply one hazard-free replay outcome to the live machine."""
+        params = self.params
+        memory = self.machine.memory
+        st = pe_obj.stats
+        n_reads = len(plan.cached_idx) + len(plan.uncached_idx)
+        n_writes = len(plan.write_idx)
+        byp = ulr = urr = rw = 0
+        for i in plan.uncached_idx:
+            slot = plan.slots[i]
+            if slot.bypass:
+                byp += Tt
+            else:
+                own = slot.owner_table[flats[i]]
+                nlocal = int((own == pe).sum())
+                ulr += nlocal
+                urr += Tt - nlocal
+        for i in plan.write_idx:
+            slot = plan.slots[i]
+            if slot.shared:
+                rw += int((slot.owner_table[flats[i]] != pe).sum())
+        c = outcome.counters
+        st.add_bulk(
+            reads=Tt * n_reads, writes=Tt * n_writes,
+            cache_hits=c["cache_hits"], cache_misses=c["cache_misses"],
+            local_fills=c["local_fills"], remote_fills=c["remote_fills"],
+            bypass_reads=byp + c["pf_drop_bypass"],
+            uncached_local_reads=ulr, uncached_remote_reads=urr,
+            remote_writes=rw, busy_cycles=outcome.busy,
+            prefetch_issued=c["prefetch_issued"],
+            pf_dropped=c["pf_dropped"],
+            pf_drop_bypass=c["pf_drop_bypass"],
+            prefetch_extracted=c["prefetch_extracted"],
+            invalidations=c["invalidations"], dtb_setups=dtb_count)
+        for code, s in outcome.stalls:  # ordered, exactly as wait_until
+            st.idle_cycles += s
+            if code == STALL_VECTOR:
+                st.vector_stall_cycles += s
+            else:
+                st.prefetch_late_cycles += s
+        pe_obj.clock = outcome.clock
+
+        # -- cache / prefetch state commit --------------------------------
+        cache = pe_obj.cache
+        new_tags = np.asarray(outcome.tags, dtype=np.int64)
+        changed = np.flatnonzero(new_tags != cache.tags)
+        if changed.size:
+            cache.tags[changed] = new_tags[changed]
+        pe_obj.queue.replace_entries(
+            PrefetchEntry(line_addr=ln, array=ar, arrival=arr,
+                          issued_at=isd, home_pe=hm)
+            for (ln, arr, isd, hm, ar) in outcome.queue)
+        pe_obj.queue.issued += outcome.q_issued
+        pe_obj.queue.dropped += outcome.q_dropped
+        pe_obj.dropped_lines = outcome.dropped
+        if new_last is not None:
+            pe_obj.last_prefetch_pe = new_last
+        lw = params.line_words
+        shared_lines: List[np.ndarray] = []
+        for i in plan.cached_idx + plan.write_idx:
+            slot = plan.slots[i]
+            if not slot.cacheable:
+                continue
+            lines = (slot.base + flats[i]) // lw
+            if slot.shared:
+                shared_lines.append(lines)
+            else:
+                self._fill_private_lines(cache, lines, slot.base, slot.array,
+                                         pe)
+        if shared_lines:
+            cat = np.concatenate(shared_lines)
+            bulk_fill_lines(cache, np.flatnonzero(np.bincount(cat)),
+                            memory.values_flat, memory.versions_flat)
+        # Ghost sets (invalidated, tag already -1) keep data frozen at
+        # invalidation time; hazard-free means no later write dirtied the
+        # line, so refilling from final memory reproduces it exactly.
+        for (s, ln, array) in outcome.ghosts:
+            words, vers = self.machine._line_contents(array, ln, pe)
+            cache.data[s] = words
+            cache.vers[s] = vers
+        self.batch_refs += Tt * (n_reads + n_writes)
 
     def _vector_safe(self, plan: _Plan, flats: List[np.ndarray]) -> bool:
         """True when statement-at-a-time gather/scatter reproduces the
@@ -1017,72 +1438,110 @@ class BatchedInterpreter(Interpreter):
         memory = self.machine.memory
         ch = float(params.cache_hit)
         n_slots = plan.n_events
-        cost_cols: List[Optional[np.ndarray]] = [None] * n_slots
+        # Dense (Tt, n_slots) per-event cost matrix: every slot of a
+        # non-prefetch plan is cr/ur/w, so all columns get filled and one
+        # matrix sum replaces per-slot reductions (integral costs keep any
+        # summation order exact).
+        ev = np.empty((Tt, n_slots), dtype=np.float64)
         hit_cols: List[Optional[np.ndarray]] = [None] * n_slots
-        total = const_total
+        line_cols: List[Optional[np.ndarray]] = [None] * n_slots
         n_reads = len(plan.cached_idx) + len(plan.uncached_idx)
         n_writes = len(plan.write_idx)
         hits = misses = lf = rf = byp = ulr = urr = rw = 0
         cls = None
         cidx = plan.cached_idx
+        lw = params.line_words
+        # Slots that share a flats vector (unrolled-body duplicates) reuse
+        # every derived gather: owner lookups, latency columns, line
+        # addresses, and local-ownership counts are keyed by object id.
+        own_cache: dict = {}
+        eq_cache: dict = {}
+        latcol_cache: dict = {}
+        line_cache: dict = {}
         if cidx:
+            addr_cache: dict = {}
             addr_mat = np.empty((Tt, len(cidx)), dtype=np.int64)
             for k, i in enumerate(cidx):
-                addr_mat[:, k] = plan.slots[i].base + flats[i]
+                slot = plan.slots[i]
+                akey = (slot.base, id(flats[i]))
+                addr = addr_cache.get(akey)
+                if addr is None:
+                    addr = slot.base + flats[i]
+                    addr_cache[akey] = addr
+                    line_cache[akey] = addr // lw
+                addr_mat[:, k] = addr
+                line_cols[i] = line_cache[akey]
             cls = pe_obj.cache.classify_trace(addr_mat.reshape(-1))
-            hit_mat = (cls.outcomes == OUT_HIT).reshape(Tt, len(cidx))
+            ncr = len(cidx)
+            hit_mat = (cls.outcomes == OUT_HIT).reshape(Tt, ncr)
+            lat_mat = np.empty((Tt, ncr), dtype=np.float64)
+            eq_mat = np.empty((Tt, ncr), dtype=bool)
             for k, i in enumerate(cidx):
                 slot = plan.slots[i]
-                hcol = hit_mat[:, k]
-                hit_cols[i] = hcol
-                nh = int(hcol.sum())
-                nm = Tt - nh
-                hits += nh
-                misses += nm
+                hit_cols[i] = hit_mat[:, k]
                 if slot.shared:
+                    okey = (id(slot.owner_table), id(flats[i]))
+                    own = own_cache.get(okey)
+                    if own is None:
+                        own = slot.owner_table[flats[i]]
+                        own_cache[okey] = own
+                        eq_cache[okey] = own == pe
                     table = self._lat_table(pe, "r", slot.extra)
-                    own = slot.owner_table[flats[i]]
-                    col = np.where(hcol, ch, table[own])
-                    nlocal = int((~hcol & (own == pe)).sum())
-                    lf += nlocal
-                    rf += nm - nlocal
+                    lkey = (id(table), id(own))
+                    lcol = latcol_cache.get(lkey)
+                    if lcol is None:
+                        lcol = table[own]
+                        latcol_cache[lkey] = lcol
+                    lat_mat[:, k] = lcol
+                    eq_mat[:, k] = eq_cache[okey]
                 else:
-                    col = np.where(hcol, ch, float(params.local_mem))
-                    lf += nm  # private data is always home-local
-                cost_cols[i] = col
-                total += float(col.sum())
-        for i in plan.uncached_idx:
-            slot = plan.slots[i]
-            table = self._lat_table(pe, "u", slot.extra)
-            own = slot.owner_table[flats[i]]
-            col = table[own]
-            cost_cols[i] = col
-            total += float(col.sum())
-            if slot.bypass:
-                byp += Tt
-            else:
-                nlocal = int((own == pe).sum())
-                ulr += nlocal
-                urr += Tt - nlocal
-        for i in plan.write_idx:
-            slot = plan.slots[i]
-            if slot.shared:
-                table = self._lat_table(pe, "w", slot.extra)
-                own = slot.owner_table[flats[i]]
-                col = table[own]
-                rw += int((own != pe).sum())
-            else:
-                col = np.full(Tt, float(params.write_local))
-            cost_cols[i] = col
-            total += float(col.sum())
+                    lat_mat[:, k] = float(params.local_mem)
+                    eq_mat[:, k] = True  # private data is always home-local
+            hits = int(np.count_nonzero(hit_mat))
+            misses = Tt * ncr - hits
+            lf = int(np.count_nonzero(~hit_mat & eq_mat))
+            rf = misses - lf
+            lat_mat[hit_mat] = ch
+            ev[:, cidx] = lat_mat
+        for kind, idx_list in (("u", plan.uncached_idx),
+                               ("w", plan.write_idx)):
+            for i in idx_list:
+                slot = plan.slots[i]
+                if kind == "w" and not slot.shared:
+                    ev[:, i] = float(params.write_local)
+                    continue
+                okey = (id(slot.owner_table), id(flats[i]))
+                own = own_cache.get(okey)
+                if own is None:
+                    own = slot.owner_table[flats[i]]
+                    own_cache[okey] = own
+                    eq_cache[okey] = own == pe
+                table = self._lat_table(pe, kind, slot.extra)
+                lkey = (id(table), id(own))
+                lcol = latcol_cache.get(lkey)
+                if lcol is None:
+                    lcol = table[own]
+                    latcol_cache[lkey] = lcol
+                ev[:, i] = lcol
+                if kind == "u":
+                    if slot.bypass:
+                        byp += Tt
+                    else:
+                        nlocal = int(np.count_nonzero(eq_cache[okey]))
+                        ulr += nlocal
+                        urr += Tt - nlocal
+                else:
+                    rw += Tt - int(np.count_nonzero(eq_cache[okey]))
+        total = const_total + float(ev.sum())
         pe_obj.stats.add_bulk(
             reads=Tt * n_reads, writes=Tt * n_writes, cache_hits=hits,
             cache_misses=misses, local_fills=lf, remote_fills=rf,
             bypass_reads=byp, uncached_local_reads=ulr,
             uncached_remote_reads=urr, remote_writes=rw, busy_cycles=total)
+        self.batch_refs += Tt * (n_reads + n_writes)
         if transfers:
             clock_final, stalls = self._stall_clock(
-                plan, pe_obj, Tt, flats, cost_cols, hit_cols, row_extra)
+                plan, pe_obj, Tt, ev, hit_cols, line_cols, row_extra, total)
             for s in stalls:  # ordered scalar adds, exactly as wait_until
                 pe_obj.stats.idle_cycles += s
                 pe_obj.stats.vector_stall_cycles += s
@@ -1094,15 +1553,23 @@ class BatchedInterpreter(Interpreter):
         cache = pe_obj.cache
         if cls is not None and len(cls.changed_sets):
             cache.tags[cls.changed_sets] = cls.changed_lines
-        lw = params.line_words
         shared_lines: List[np.ndarray] = []
+        seen_lines: Set[int] = set()
         for i in cidx + plan.write_idx:
             slot = plan.slots[i]
             if not slot.cacheable:
                 continue
-            lines = (slot.base + flats[i]) // lw
+            lines = line_cols[i]
+            if lines is None:
+                lkey = (slot.base, id(flats[i]))
+                lines = line_cache.get(lkey)
+                if lines is None:
+                    lines = (slot.base + flats[i]) // lw
+                    line_cache[lkey] = lines
             if slot.shared:
-                shared_lines.append(lines)
+                if id(lines) not in seen_lines:
+                    seen_lines.add(id(lines))
+                    shared_lines.append(lines)
             else:
                 self._fill_private_lines(cache, lines, slot.base, slot.array,
                                          pe)
@@ -1113,8 +1580,8 @@ class BatchedInterpreter(Interpreter):
                             memory.versions_flat)
 
     def _stall_clock(self, plan: _Plan, pe_obj, Tt: int,
-                     flats: List[np.ndarray], cost_cols, hit_cols,
-                     row_extra):
+                     ev: np.ndarray, hit_cols, line_cols, row_extra,
+                     total: float):
         """Final PE clock with vector-transfer stalls resolved.
 
         Replays the reference rule on the flat event stream: a cached-read
@@ -1122,12 +1589,59 @@ class BatchedInterpreter(Interpreter):
         transfer stalls to that completion (``wait_until``) when the
         pre-event clock is still short of it.  Integer event costs make
         every partial sum exact, so composing segments between stalls
-        reproduces the reference's sequential float adds bit-for-bit."""
-        params = self.params
-        lw = params.line_words
+        reproduces the reference's sequential float adds bit-for-bit.
+
+        Covers are computed per cached column — a column whose line range
+        misses every live transfer costs two scalar reductions, and when no
+        column is covered at all the chunk's clock is ``clock0 + total``
+        exactly (integral costs make both groupings the same float)."""
         n_slots = plan.n_events
         clock0 = pe_obj.clock
-        pre = np.tile(plan.const_before, (Tt, 1))
+        # match() returns the earliest-completion covering transfer (list
+        # order breaks ties), completed ones included — those shadow any
+        # still-in-flight transfer on the lines they cover.
+        all_transfers = list(pe_obj.vectors.transfers)
+        mm_cache: dict = {}
+
+        def line_span(lines):
+            span = mm_cache.get(id(lines))
+            if span is None:
+                span = (int(lines.min()), int(lines.max()))
+                mm_cache[id(lines)] = span
+            return span
+
+        masks = []
+        for ti, t in enumerate(all_transfers):
+            if t.completion <= clock0:
+                continue
+            parts = []
+            for i in plan.cached_idx:
+                lines = line_cols[i]
+                lmin, lmax = line_span(lines)
+                if lmax < t.line_lo or lmin > t.line_hi:
+                    continue
+                cover = (lines >= t.line_lo) & (lines <= t.line_hi) \
+                    & hit_cols[i]
+                for oi, o in enumerate(all_transfers):
+                    if o is t:
+                        continue
+                    if (o.completion < t.completion
+                            or (o.completion == t.completion and oi < ti)):
+                        if lmax < o.line_lo or lmin > o.line_hi:
+                            continue
+                        cover &= ~((lines >= o.line_lo)
+                                   & (lines <= o.line_hi))
+                rows = np.flatnonzero(cover)
+                if rows.size:
+                    parts.append(rows * n_slots + i)
+            if parts:
+                cov_idx = parts[0] if len(parts) == 1 else np.sort(
+                    np.concatenate(parts))
+                masks.append([t, cov_idx, None])
+        if not masks:
+            return clock0 + total, []
+        pre = np.empty((Tt, n_slots), dtype=np.float64)
+        pre[:] = plan.const_before
         tail = plan.tail_const
         if Tt > 1:
             pre[1:, 0] += tail
@@ -1135,34 +1649,11 @@ class BatchedInterpreter(Interpreter):
             extra_rows, tail_extra = row_extra
             pre[:, 0] += extra_rows
             tail = tail + tail_extra
-        ev = np.stack(cost_cols, axis=1)
-        hit = np.zeros((Tt, n_slots), dtype=bool)
-        line = np.full((Tt, n_slots), -1, dtype=np.int64)
-        for i in plan.cached_idx:
-            hit[:, i] = hit_cols[i]
-            line[:, i] = (plan.slots[i].base + flats[i]) // lw
         ev_f = ev.ravel()
         C = np.cumsum(pre.ravel() + ev_f)
         D = C - ev_f  # clock offset just before each event's own cost
-        hit_f = hit.ravel()
-        line_f = line.ravel()
-        # match() returns the earliest-completion covering transfer (list
-        # order breaks ties), completed ones included — those shadow any
-        # still-in-flight transfer on the lines they cover.
-        all_transfers = list(pe_obj.vectors.transfers)
-        masks = []
-        for ti, t in enumerate(all_transfers):
-            if t.completion <= clock0:
-                continue
-            cover = hit_f & (line_f >= t.line_lo) & (line_f <= t.line_hi)
-            for oi, o in enumerate(all_transfers):
-                if o is t:
-                    continue
-                if (o.completion < t.completion
-                        or (o.completion == t.completion and oi < ti)):
-                    cover &= ~((line_f >= o.line_lo) & (line_f <= o.line_hi))
-            if cover.any():
-                masks.append((t, cover))
+        for item in masks:
+            item[2] = D[item[1]]
         base = clock0
         base_D = 0.0
         base_idx = -1
@@ -1172,13 +1663,11 @@ class BatchedInterpreter(Interpreter):
             best_e = None
             best = None
             for item in remaining:
-                t, cover = item
-                cand = cover & (base + (D - base_D) < t.completion)
-                if base_idx >= 0:
-                    cand = cand & (np.arange(cand.size) > base_idx)
-                idx = np.nonzero(cand)[0]
-                if idx.size and (best_e is None or idx[0] < best_e):
-                    best_e = int(idx[0])
+                t, cov_idx, cov_D = item
+                cand = cov_idx[(base + (cov_D - base_D) < t.completion)
+                               & (cov_idx > base_idx)]
+                if cand.size and (best_e is None or cand[0] < best_e):
+                    best_e = int(cand[0])
                     best = item
             if best_e is None:
                 break

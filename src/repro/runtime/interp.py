@@ -67,7 +67,17 @@ class RunResult:
     config: ExecutionConfig
     epochs: List[EpochRecord] = field(default_factory=list)
     batch_chunks: int = 0      #: chunks the batched backend bulk-executed
+    batch_fallbacks: int = 0   #: chunks that bound but fell back at run time
     fault_fallbacks: int = 0   #: chunks routed to the reference path by faults
+    batch_refs: int = 0        #: memory references served by batched chunks
+
+    @property
+    def batched_coverage(self) -> float:
+        """Fraction of all memory references serviced through batched
+        plans (0.0 under the reference backend)."""
+        total = self.machine.stats.total()
+        denom = total.reads + total.writes
+        return self.batch_refs / denom if denom else 0.0
 
     @property
     def stats(self):
@@ -178,7 +188,9 @@ class Interpreter:
         return RunResult(elapsed=self.machine.elapsed(), machine=self.machine,
                          config=self.config, epochs=self.epochs,
                          batch_chunks=getattr(self, "batch_chunks", 0),
-                         fault_fallbacks=getattr(self, "fault_fallbacks", 0))
+                         batch_fallbacks=getattr(self, "batch_fallbacks", 0),
+                         fault_fallbacks=getattr(self, "fault_fallbacks", 0),
+                         batch_refs=getattr(self, "batch_refs", 0))
 
     # ------------------------------------------------------------------
     # epoch-level control

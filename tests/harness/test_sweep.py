@@ -1,0 +1,101 @@
+"""The parallel sweep engine's contract: parallel == serial, byte for
+byte, and worker failures surface as one aggregated error."""
+
+import pickle
+
+import pytest
+
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.sweep import (Cell, SweepError, SweepSpec,
+                                 cell_fault_seed, plan_cells, sweep_grid)
+from repro.runtime import Version
+from repro.workloads import workload
+
+SMALL = dict(size_args={"n": 8}, pe_counts=(1, 2), check=True)
+
+
+def _pickled(sweeps):
+    """Canonical bytes of every record, in deterministic cell order."""
+    out = []
+    for sweep in sweeps:
+        out.append(pickle.dumps(sweep.seq, protocol=4))
+        for key in sorted(sweep.runs):
+            out.append(pickle.dumps(sweep.runs[key], protocol=4))
+    return out
+
+
+def test_parallel_matches_serial_byte_exact():
+    specs = [SweepSpec.create("mxm", **SMALL),
+             SweepSpec.create("vpenta", **SMALL)]
+    serial = sweep_grid(specs, jobs=1)
+    parallel = sweep_grid(specs, jobs=2)
+    assert _pickled(serial) == _pickled(parallel)
+
+
+def test_parallel_matches_serial_with_faults():
+    """Seeded fault schedules are per-cell deterministic, so a faulted
+    sweep must also be byte-identical at any job count."""
+    specs = [SweepSpec.create("mxm", fault_spec="light", fault_seed=7,
+                              **SMALL)]
+    serial = sweep_grid(specs, jobs=1)
+    parallel = sweep_grid(specs, jobs=2)
+    assert _pickled(serial) == _pickled(parallel)
+    assert serial[0].seq.fault_stats is not None
+
+
+def test_matches_experiment_runner_sweep():
+    """sweep_grid is a drop-in for ExperimentRunner.sweep (modulo the
+    stripped CCDPReport, which travels separately)."""
+    spec = SweepSpec.create("mxm", **SMALL)
+    [grid] = sweep_grid([spec], jobs=1)
+    legacy = ExperimentRunner(workload("mxm"), {"n": 8}).sweep((1, 2))
+    assert grid.seq.elapsed == legacy.seq.elapsed
+    assert sorted(grid.runs) == sorted(legacy.runs)
+    for key, record in grid.runs.items():
+        assert record.elapsed == legacy.runs[key].elapsed
+        assert record.stats == legacy.runs[key].stats
+        assert record.correct and legacy.runs[key].correct
+
+
+def test_batched_backend_sweep():
+    """A batched sweep carries its coverage/fallback accounting through
+    the records."""
+    specs = [SweepSpec.create("mxm", backend="batched",
+                              versions=(Version.CCDP,), **SMALL)]
+    [sweep] = sweep_grid(specs, jobs=2)
+    record = sweep.record(Version.CCDP, 2)
+    assert record.backend == "batched"
+    assert record.batch_chunks > 0
+    assert record.batched_coverage > 0.0
+    assert sweep.all_correct()
+
+
+def test_cell_order_is_serial_sweep_order():
+    specs = [SweepSpec.create("mxm", versions=(Version.BASE, Version.CCDP),
+                              **SMALL)]
+    cells = [cell for _, cell in plan_cells(specs)]
+    assert [(c.version, c.n_pes) for c in cells] == [
+        (Version.SEQ, 1), (Version.BASE, 1), (Version.CCDP, 1),
+        (Version.BASE, 2), (Version.CCDP, 2)]
+    assert [c.index for c in cells] == list(range(5))
+
+
+def test_cell_fault_seeds_stable_and_distinct():
+    a = Cell(0, "mxm", Version.CCDP, 4)
+    assert cell_fault_seed(7, a) == cell_fault_seed(7, a)
+    others = [Cell(1, "mxm", Version.BASE, 4), Cell(2, "mxm", Version.CCDP, 8),
+              Cell(3, "swim", Version.CCDP, 4)]
+    seeds = {cell_fault_seed(7, c) for c in [a] + others}
+    assert len(seeds) == 4
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_worker_failure_surfaces_as_sweep_error(jobs):
+    specs = [SweepSpec.create("mxm", **SMALL),
+             SweepSpec.create("no-such-workload", **SMALL)]
+    with pytest.raises(SweepError) as excinfo:
+        sweep_grid(specs, jobs=jobs)
+    message = str(excinfo.value)
+    assert "no-such-workload" in message
+    assert "Traceback" in message
+    assert len(excinfo.value.failures) == 5  # every cell of the bad spec
