@@ -63,6 +63,10 @@ class FaultState:
         self.plan = plan
         self.n_pes = n_pes
         self.stats = FaultStats()
+        # Machine-event tracer (set by Machine when tracing is on):
+        # injection decisions surface as fault_activation events, so a
+        # trace shows *where* in the event stream each fault landed.
+        self.tracer = None
         self._drop: List[PrefetchDropFault] = []
         self._squeeze: List[QueueSqueezeFault] = []
         self._jitter: List[LatencyJitterFault] = []
@@ -100,6 +104,9 @@ class FaultState:
                 dropped = True
         if dropped:
             self.stats.forced_drops += 1
+            if self.tracer is not None:
+                self.tracer.emit(("fault_activation", pe, "prefetch_drop",
+                                  "issue dropped before the queue"))
         return dropped
 
     def squeeze_capacity(self, pe: int, capacity: int) -> int:
@@ -112,6 +119,9 @@ class FaultState:
                 squeezed = True
         if squeezed:
             self.stats.squeezed_issues += 1
+            if self.tracer is not None:
+                self.tracer.emit(("fault_activation", pe, "queue_squeeze",
+                                  f"capacity squeezed to {cap}"))
         return cap
 
     # -- network hooks -----------------------------------------------------
@@ -126,6 +136,10 @@ class FaultState:
                 self.stats.jitter_events += 1
         if extra:
             self.stats.jitter_cycles += extra
+            if self.tracer is not None:
+                self.tracer.emit(("fault_activation", pe, "latency_jitter",
+                                  f"+{extra:g} cycles"))
+        failures = 0
         for model in self._fail:
             rng = self._rng(model, pe)
             for attempt in range(model.max_retries):
@@ -135,10 +149,14 @@ class FaultState:
                 # off, then retry (re-paying the base latency).
                 penalty = float(model.backoff) * (2 ** attempt) + base_latency
                 extra += penalty
+                failures += 1
                 self.stats.remote_failures += 1
                 self.stats.retry_cycles += penalty
             # After max_retries failures the final attempt succeeds
             # unconditionally — the fault is transient by construction.
+        if failures and self.tracer is not None:
+            self.tracer.emit(("fault_activation", pe, "remote_fail",
+                              f"{failures} failed attempts, retried"))
         return extra
 
     # -- cache hooks -------------------------------------------------------
@@ -158,6 +176,13 @@ class FaultState:
             evicted = cache.invalidate_sets(sets)
             self.stats.storms += 1
             self.stats.evicted_lines += evicted
+            if self.tracer is not None:
+                self.tracer.emit(("fault_activation", pe, "eviction_storm",
+                                  f"{evicted} lines evicted"))
+                # Storm invalidations are fault consequences, not program
+                # invalidations: reason "fault" keeps the fold from
+                # counting them against PEStats.invalidations.
+                self.tracer.emit(("invalidate", pe, "*", evicted, "fault"))
 
 
 def make_state(plan: Optional[FaultPlan], n_pes: int) -> Optional[FaultState]:

@@ -11,6 +11,10 @@ Subcommands
     program plus the pass reports.
 ``run``
     Execute one (workload, version, PE count) and print statistics.
+``trace``
+    Execute one version with machine-event tracing: per-kind counts and
+    the per-epoch metrics timeline, with optional JSONL / Chrome-trace
+    export (``--trace-out`` / ``--chrome-out``).
 ``info``
     List workloads and the machine configuration.
 """
@@ -129,6 +133,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--oracle", action="store_true",
                    help="arm the shadow coherence oracle (raises "
                         "StaleReadViolation on any unflagged stale value)")
+
+    p = sub.add_parser("trace", help="run one version with machine-event "
+                                     "tracing and a metrics timeline")
+    p.add_argument("workload")
+    p.add_argument("--version", default=Version.CCDP,
+                   choices=list(Version.ALL))
+    p.add_argument("--pes", default="4")
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--backend", default=Backend.REFERENCE,
+                   choices=list(Backend.ALL),
+                   help="both backends emit identical event streams")
+    p.add_argument("--trace-out", default="", metavar="PATH",
+                   help="write recorded events as JSONL")
+    p.add_argument("--chrome-out", default="", metavar="PATH",
+                   help="write a Chrome trace (load in chrome://tracing "
+                        "or https://ui.perfetto.dev)")
+    p.add_argument("--trace-events", default="", metavar="KINDS",
+                   help="comma allow-list of event kinds to record "
+                        "(others are counted but not recorded)")
+    p.add_argument("--trace-sample", type=int, default=None, metavar="K",
+                   help="record 1 of every K events per kind "
+                        "(0 = count only, no tuples)")
+    p.add_argument("--trace-capacity", type=int, default=None, metavar="N",
+                   help="ring-buffer size: keep only the last N events "
+                        "(counters stay exact)")
 
     p = sub.add_parser("compile-file",
                        help="compile a DSL source file with CCDP")
@@ -266,6 +296,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("\nmost-conflicted cache sets (set: misses):")
         for set_i, count in zip(worst, counts):
             print(f"  {set_i:>4d}: {count}")
+        return 0
+
+    if args.command == "trace":
+        from ..obs import Tracer, write_chrome_trace, write_jsonl
+        from .experiment import SCALED_CACHE_BYTES
+        from .report import timeline_table
+
+        spec = workload(args.workload)
+        sizes = {**spec.default_args, **_size_args(args)}
+        sizes = {k: v for k, v in sizes.items() if k in spec.default_args}
+        program = spec.build(**sizes)
+        n_pes = int(args.pes)
+        params = t3d(n_pes, cache_bytes=SCALED_CACHE_BYTES)
+        if args.version == Version.CCDP:
+            program, _ = ccdp_transform(program, CCDPConfig(machine=params))
+        kinds = [k.strip() for k in args.trace_events.split(",")
+                 if k.strip()] or None
+        try:
+            tracer = Tracer(capacity=args.trace_capacity,
+                            sample=args.trace_sample, kinds=kinds)
+        except ValueError as exc:
+            parser.error(str(exc))
+        result = run_program(program, params, args.version,
+                             backend=args.backend, tracer=tracer)
+        print(f"{spec.name}/{args.version} on {n_pes} PE(s) "
+              f"[{args.backend}]: {result.elapsed:,.0f} cycles")
+        print(f"events: {tracer.total:,} emitted, {tracer.kept:,} recorded"
+              + (f" ({tracer.evicted:,} since evicted)"
+                 if tracer.evicted else ""))
+        for kind in sorted(tracer.counts):
+            print(f"  {kind:16s} {tracer.counts[kind]:>10,}")
+        if tracer.timeline:
+            print()
+            print(timeline_table(tracer.timeline))
+        if args.trace_out:
+            n = write_jsonl(tracer.events, args.trace_out)
+            print(f"wrote {n} events to {args.trace_out}", file=sys.stderr)
+        if args.chrome_out:
+            write_chrome_trace(tracer.timeline, args.chrome_out,
+                               events=tracer.events)
+            print(f"wrote Chrome trace to {args.chrome_out}",
+                  file=sys.stderr)
         return 0
 
     if args.command == "run":

@@ -38,6 +38,7 @@ class EquivalenceReport:
     fault_fallbacks: int = 0   #: chunks the fault schedule forced to reference
     coverage: float = 0.0      #: fraction of refs the batched run bulk-served
     stats_batched: dict = field(default_factory=dict)  #: batched-run stats
+    trace_events: int = 0      #: events compared (0 unless trace=True)
 
     @property
     def exact(self) -> bool:
@@ -52,7 +53,8 @@ class EquivalenceReport:
 
 def compare_backends(program, params: MachineParams, version: str,
                      on_stale: str = "record", fault_plan=None,
-                     oracle: bool = False) -> EquivalenceReport:
+                     oracle: bool = False,
+                     trace: bool = False) -> EquivalenceReport:
     """Run ``program`` under both backends and diff every observable.
 
     Comparisons are exact (``==`` / ``array_equal``), never approximate:
@@ -61,15 +63,27 @@ def compare_backends(program, params: MachineParams, version: str,
     schedule (the batched backend routes faulted chunks to the reference
     path), so the diff must still be empty — that invariant is what the
     fault-matrix tests lean on.
+
+    With ``trace=True``, both runs carry an unbounded
+    :class:`~repro.obs.Tracer` and the full machine-event streams plus
+    the per-epoch metrics timelines are diffed element by element — the
+    batched backend synthesises events, so this is the strongest
+    backend-equivalence check available.
     """
+    from ..obs import Tracer
+
+    tracer_ref = Tracer() if trace else None
+    tracer_bat = Tracer() if trace else None
     ref = make_interpreter(program, params,
                            ExecutionConfig.for_version(
                                version, on_stale, backend="reference",
-                               fault_plan=fault_plan, oracle=oracle))
+                               fault_plan=fault_plan, oracle=oracle,
+                               tracer=tracer_ref))
     bat = make_interpreter(program, params,
                            ExecutionConfig.for_version(
                                version, on_stale, backend="batched",
-                               fault_plan=fault_plan, oracle=oracle))
+                               fault_plan=fault_plan, oracle=oracle,
+                               tracer=tracer_bat))
     res_ref = ref.run()
     res_bat = bat.run()
     mism: List[str] = []
@@ -83,6 +97,9 @@ def compare_backends(program, params: MachineParams, version: str,
         for key in fa:
             if key != "batch_fallbacks" and fa[key] != fb[key]:
                 mism.append(f"faults.{key}: {fa[key]} != {fb[key]}")
+    trace_events = 0
+    if trace:
+        trace_events = _diff_traces(tracer_ref, tracer_bat, mism)
     return EquivalenceReport(
         version=version, elapsed_ref=res_ref.elapsed,
         elapsed_batched=res_bat.elapsed,
@@ -91,14 +108,15 @@ def compare_backends(program, params: MachineParams, version: str,
         mismatches=mism,
         fault_fallbacks=getattr(bat, "fault_fallbacks", 0),
         coverage=res_bat.batched_coverage,
-        stats_batched=bat.machine.stats.as_dict())
+        stats_batched=bat.machine.stats.as_dict(),
+        trace_events=trace_events)
 
 
 def check_workload(name: str, params: MachineParams, version: str,
                    on_stale: str = "record", fault_plan=None,
                    oracle: bool = False, transform: Optional[bool] = None,
                    ccdp_overrides: Optional[dict] = None,
-                   **size_args) -> EquivalenceReport:
+                   trace: bool = False, **size_args) -> EquivalenceReport:
     """Build workload ``name``; CCDP-transform it when ``version`` is
     ``ccdp`` (or ``transform`` forces it either way — e.g. to exercise
     the prefetch instructions the transform inserts under SEQ/BASE
@@ -113,7 +131,7 @@ def check_workload(name: str, params: MachineParams, version: str,
         config = CCDPConfig(machine=params).with_(**(ccdp_overrides or {}))
         program, _ = ccdp_transform(program, config)
     return compare_backends(program, params, version, on_stale,
-                            fault_plan=fault_plan, oracle=oracle)
+                            fault_plan=fault_plan, oracle=oracle, trace=trace)
 
 
 def _diff_stats(machine_a, machine_b, out: List[str]) -> None:
@@ -143,7 +161,7 @@ def _diff_stats(machine_a, machine_b, out: List[str]) -> None:
         if pa.queue.snapshot() != pb.queue.snapshot():
             out.append(f"pe{pe}.queue.entries: {pa.queue.snapshot()} != "
                        f"{pb.queue.snapshot()}")
-        for counter in ("issued", "dropped"):
+        for counter in ("issued", "dropped", "high_water"):
             va, vb = getattr(pa.queue, counter), getattr(pb.queue, counter)
             if va != vb:
                 out.append(f"pe{pe}.queue.{counter}: {va} != {vb}")
@@ -162,6 +180,36 @@ def _diff_stats(machine_a, machine_b, out: List[str]) -> None:
         if pa.vectors.issued != pb.vectors.issued:
             out.append(f"pe{pe}.vectors.issued: {pa.vectors.issued} != "
                        f"{pb.vectors.issued}")
+
+
+def _diff_traces(tracer_ref, tracer_bat, out: List[str]) -> int:
+    """Diff two full (unsampled, uncapped) traces: event streams, per-kind
+    counters and metrics timelines.  Returns the number of events in the
+    reference stream."""
+    ev_a = tracer_ref.events
+    ev_b = tracer_bat.events
+    if len(ev_a) != len(ev_b):
+        out.append(f"trace length: {len(ev_a)} != {len(ev_b)}")
+    for i, (a, b) in enumerate(zip(ev_a, ev_b)):
+        if a != b:
+            lo = max(0, i - 2)
+            ctx_a = ev_a[lo:i + 2]
+            ctx_b = ev_b[lo:i + 2]
+            out.append(f"trace event {i}: {a} != {b} "
+                       f"(ref context {ctx_a}, batched context {ctx_b})")
+            break
+    if tracer_ref.counts != tracer_bat.counts:
+        out.append(f"trace counts: {tracer_ref.counts} != "
+                   f"{tracer_bat.counts}")
+    rows_a = [r.as_dict() for r in tracer_ref.timeline]
+    rows_b = [r.as_dict() for r in tracer_bat.timeline]
+    if len(rows_a) != len(rows_b):
+        out.append(f"timeline length: {len(rows_a)} != {len(rows_b)}")
+    for i, (ra, rb) in enumerate(zip(rows_a, rows_b)):
+        if ra != rb:
+            out.append(f"timeline row {i}: {ra} != {rb}")
+            break
+    return len(ev_a)
 
 
 def _diff_memory(mem_a, mem_b, out: List[str]) -> None:

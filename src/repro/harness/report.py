@@ -33,6 +33,31 @@ def band_verdict(workload: str, improvements: Sequence[float]) -> str:
     return "outside the paper band (see notes)"
 
 
+def timeline_table(timeline: Sequence) -> str:
+    """Markdown summary of a :class:`~repro.obs.Tracer` metrics timeline.
+
+    One row per epoch, PE metrics aggregated: total reads, machine-wide
+    hit rate, prefetch issue/drop totals, the deepest any PE's prefetch
+    queue got, and total stall cycles."""
+    lines = ["| epoch | label | start | cycles | reads | hit rate "
+             "| pf issued | pf dropped | queue hw | stall cyc |",
+             "|---|---|---|---|---|---|---|---|---|---|"]
+    for row in timeline:
+        reads = sum(m.reads for m in row.per_pe)
+        hits = sum(m.hits for m in row.per_pe)
+        cached = hits + sum(m.misses for m in row.per_pe)
+        rate = f"{hits / cached:.3f}" if cached else "-"
+        issued = sum(m.prefetch_issued for m in row.per_pe)
+        dropped = sum(m.pf_dropped for m in row.per_pe)
+        qhw = max((m.queue_high_water for m in row.per_pe), default=0)
+        stall = sum(m.stall_cycles for m in row.per_pe)
+        lines.append(
+            f"| {row.index} | {row.label} | {row.start:.0f} "
+            f"| {row.duration:.0f} | {reads} | {rate} | {issued} "
+            f"| {dropped} | {qhw} | {stall:.0f} |")
+    return "\n".join(lines)
+
+
 def generate_report(sweeps: Sequence[Sweep],
                     runners: Optional[Dict[str, ExperimentRunner]] = None,
                     notes: str = "") -> str:
@@ -199,4 +224,4 @@ DEFAULT_NOTES = """
 """
 
 
-__all__ = ["generate_report", "band_verdict"]
+__all__ = ["generate_report", "band_verdict", "timeline_table"]

@@ -200,6 +200,20 @@ RE_PF = 3     # in-bounds line prefetch (invalidate + queue issue)
 STALL_VECTOR = 0    # read raced an in-flight vector transfer
 STALL_LATE = 1      # read arrived before its prefetch (late-arrival wait)
 
+# Dynamic-outcome record codes (machine-event synthesis in the batched
+# backend): replay_chunk fills one code per RE_READ / RE_PF event when the
+# caller passes a ``record`` list, so the commit step can synthesise the
+# exact event stream the reference interpreter would have emitted.
+REC_NONE = -1          # event emits nothing (RE_COST slots keep this)
+REC_HIT = 0            # read_hit
+REC_EXTRACT = 1        # pf_complete (queue extract at the use point)
+REC_MISS = 2           # read_miss
+REC_DROP_BYPASS = 3    # bypass_fetch kind="pf_drop" (paper rule 2)
+REC_PF_ISSUE = 4       # pf_issue
+REC_PF_COALESCE = 5    # pf_coalesce
+REC_PF_DROP = 6        # pf_drop (queue capacity)
+REC_KILL_FLAG = 8      # OR'd onto pf codes: invalidate killed a resident line
+
 
 @dataclass
 class ReplayOutcome:
@@ -219,6 +233,7 @@ class ReplayOutcome:
     dropped: Optional[set] = None          #: final dropped-line set (rule 2)
     q_issued: int = 0                      #: PrefetchQueue.issued delta
     q_dropped: int = 0                     #: PrefetchQueue.dropped delta
+    q_hw: int = 0                          #: queue high-water during the scan
     stalls: Optional[List[tuple]] = None   #: ordered (code, cycles)
     ghosts: Optional[List[tuple]] = None   #: (set, line, array) needing refill
     counters: Optional[dict] = None        #: PEStats deltas from the scan
@@ -233,7 +248,8 @@ def replay_chunk(kinds: np.ndarray, pre: np.ndarray, cost: np.ndarray,
                  queue0: Sequence[tuple], queue_cap: int,
                  dropped0, transfers: Sequence[tuple],
                  cache_hit: float, extract_cost: float,
-                 reclaim_lag: float) -> ReplayOutcome:
+                 reclaim_lag: float,
+                 record: Optional[list] = None) -> ReplayOutcome:
     """Exact scan of one chunk's replay events against shadow PE state.
 
     Mirrors ``Machine.read`` / ``Machine.prefetch_line`` event by event —
@@ -247,6 +263,11 @@ def replay_chunk(kinds: np.ndarray, pre: np.ndarray, cost: np.ndarray,
     The scan tracks ghosts so the commit step can refill them from final
     memory — exact as long as no later write-through dirtied the ghost line,
     which is precisely the hazard this function detects.
+
+    When ``record`` (a mutable sequence of length ``n``, prefilled with
+    ``REC_NONE``) is supplied, the scan writes one ``REC_*`` code per
+    RE_READ / RE_PF event so the caller can synthesise the exact machine
+    events the reference path would have emitted.
     """
     n = len(kinds)
     kl = kinds.tolist()
@@ -274,6 +295,8 @@ def replay_chunk(kinds: np.ndarray, pre: np.ndarray, cost: np.ndarray,
     drop_bypass = extracted = 0
     pf_issued = pf_dropped = invalidations = 0
     q_issued = q_dropped = 0
+    q_hw = len(queue)
+    rec = record is not None
     clock = clock0
     busy = 0.0
 
@@ -298,6 +321,8 @@ def replay_chunk(kinds: np.ndarray, pre: np.ndarray, cost: np.ndarray,
                 clock += c
                 busy += c
                 drop_bypass += 1
+                if rec:
+                    record[i] = REC_DROP_BYPASS
                 continue
             s = line % n_lines
             if tags[s] == line:
@@ -314,6 +339,8 @@ def replay_chunk(kinds: np.ndarray, pre: np.ndarray, cost: np.ndarray,
                 clock += cache_hit
                 busy += cache_hit
                 hits += 1
+                if rec:
+                    record[i] = REC_HIT
                 continue
             qi = -1
             for j in range(len(queue)):
@@ -332,11 +359,15 @@ def replay_chunk(kinds: np.ndarray, pre: np.ndarray, cost: np.ndarray,
                 tags[s] = line
                 if s in ghosts:
                     ghost_lines.discard(ghosts.pop(s)[0])
+                if rec:
+                    record[i] = REC_EXTRACT
                 continue
             c = missl[i]
             clock += c
             busy += c
             misses += 1
+            if rec:
+                record[i] = REC_MISS
             if locl[i]:
                 local_fills += 1
             else:
@@ -356,11 +387,13 @@ def replay_chunk(kinds: np.ndarray, pre: np.ndarray, cost: np.ndarray,
             continue
         # RE_PF: invalidate-before-prefetch, then queue issue.
         s = line % n_lines
+        kflag = 0
         if invl[i] and tags[s] == line:
             tags[s] = -1
             invalidations += 1
             ghosts[s] = (line, slot_arrays[slotl[i]])
             ghost_lines.add(line)
+            kflag = REC_KILL_FLAG
         c = costl[i]
         clock += c
         busy += c
@@ -376,14 +409,21 @@ def replay_chunk(kinds: np.ndarray, pre: np.ndarray, cost: np.ndarray,
                 break
         if found:
             accepted = True          # coalesced: no new entry, no counters
+            code = REC_PF_COALESCE
         elif len(queue) >= queue_cap:
             q_dropped += 1
             accepted = False
+            code = REC_PF_DROP
         else:
             queue.append((line, clock + filll[i], clock, homel[i],
                           slot_arrays[slotl[i]]))
             q_issued += 1
             accepted = True
+            code = REC_PF_ISSUE
+            if len(queue) > q_hw:
+                q_hw = len(queue)
+        if rec:
+            record[i] = code | kflag
         if accepted:
             pf_issued += 1
             dropped.discard(line)
@@ -395,7 +435,7 @@ def replay_chunk(kinds: np.ndarray, pre: np.ndarray, cost: np.ndarray,
 
     return ReplayOutcome(
         hazard=False, clock=clock, busy=busy, tags=tags, queue=queue,
-        dropped=dropped, q_issued=q_issued, q_dropped=q_dropped,
+        dropped=dropped, q_issued=q_issued, q_dropped=q_dropped, q_hw=q_hw,
         stalls=stalls, ghosts=[(s, g[0], g[1]) for s, g in ghosts.items()],
         counters={
             "cache_hits": hits, "cache_misses": misses,
@@ -532,6 +572,8 @@ __all__ = [
     "OUT_HIT", "OUT_MISS", "OUT_NA",
     "RE_COST", "RE_READ", "RE_WRITE", "RE_PF",
     "STALL_VECTOR", "STALL_LATE",
+    "REC_NONE", "REC_HIT", "REC_EXTRACT", "REC_MISS", "REC_DROP_BYPASS",
+    "REC_PF_ISSUE", "REC_PF_COALESCE", "REC_PF_DROP", "REC_KILL_FLAG",
     "EventClassification", "classify_events",
     "ReplayOutcome", "replay_chunk",
     "read_latency_table", "write_latency_table", "uncached_read_latency_table",

@@ -40,9 +40,12 @@ class Machine:
 
     def __init__(self, arrays: Iterable[ArrayDecl], params: MachineParams,
                  on_stale: str = "record", trace: bool = False,
-                 fault_plan=None, oracle: bool = False) -> None:
+                 fault_plan=None, oracle: bool = False,
+                 tracer=None) -> None:
         if on_stale not in ("record", "raise"):
             raise ValueError("on_stale must be 'record' or 'raise'")
+        if tracer is not None and not callable(getattr(tracer, "emit", None)):
+            raise TypeError("tracer must expose an emit(event) method")
         decls = list(arrays)
         self.params = params
         self.addr_map = AddressMap(decls, params)
@@ -56,8 +59,14 @@ class Machine:
         # with one RNG stream per (model, PE), then hand hooks to the
         # components that need them.  None when no plan is active — the
         # hot paths below guard on that and stay fault-free-identical.
+        # Machine-event tracer (repro.obs.Tracer or None).  Every hot-path
+        # emission below is guarded by a plain None check; with no tracer
+        # attached the instrumentation is a single attribute test.
+        self.tracer = tracer
         self.faults = make_state(fault_plan, params.n_pes)
         self.memory.faults = self.faults
+        if self.faults is not None:
+            self.faults.tracer = tracer
         if self.faults is not None:
             for pe in self.pes:
                 pe.queue.squeeze = (
@@ -173,6 +182,7 @@ class Machine:
         the processor observes (stale cached data included)."""
         pe = self.pes[pe_id]
         pe.stats.reads += 1
+        tr = self.tracer
         decl = self.memory.decls[name]
         shared = decl.is_shared
         if self.faults is not None:
@@ -201,6 +211,11 @@ class Machine:
                 pe.stats.uncached_local_reads += 1
             else:
                 pe.stats.uncached_remote_reads += 1
+            if tr is not None:
+                kind = ("bypass" if bypass else
+                        "uncached_local" if owner == pe_id
+                        else "uncached_remote")
+                tr.emit(("bypass_fetch", pe_id, name, flat, kind))
             if shared:
                 value = self.memory.read(name, flat)
                 if self.oracle is not None:
@@ -227,6 +242,8 @@ class Machine:
             pe.advance(latency)
             pe.stats.bypass_reads += 1
             pe.stats.pf_drop_bypass += 1
+            if tr is not None:
+                tr.emit(("bypass_fetch", pe_id, name, flat, "pf_drop"))
             value = self.memory.read(name, flat)
             if self.oracle is not None:
                 self.oracle.observe_read(pe_id, name, flat, value, False)
@@ -245,6 +262,8 @@ class Machine:
             pe.advance(self.params.cache_hit)
             pe.stats.cache_hits += 1
             stale = shared and version < self.memory.version(name, flat)
+            if tr is not None:
+                tr.emit(("read_hit", pe_id, name, flat, int(stale)))
             if stale:
                 self._stale_event(pe_id, name, flat, version)
             if shared and self.oracle is not None:
@@ -259,6 +278,8 @@ class Machine:
             pe.advance(self.params.prefetch_extract)
             pe.queue.extract(entry)
             pe.stats.prefetch_extracted += 1
+            if tr is not None:
+                tr.emit(("pf_complete", pe_id, name, flat))
             self._install_line(pe, name, line_addr)
             fresh = pe.cache.read(addr)
             assert fresh is not None
@@ -279,6 +300,8 @@ class Machine:
             pe.stats.local_fills += 1
         else:
             pe.stats.remote_fills += 1
+        if tr is not None:
+            tr.emit(("read_miss", pe_id, name, flat, int(owner == pe_id)))
         self._install_line(pe, name, line_addr)
         fresh = pe.cache.read(addr)
         assert fresh is not None
@@ -309,6 +332,8 @@ class Machine:
         if not decl.is_shared:
             self.memory.write_private(name, pe_id, flat, value)
             pe.advance(self.params.write_local)
+            if self.tracer is not None:
+                self.tracer.emit(("write", pe_id, name, flat, 0, 0))
             if cacheable:
                 addr = self.addr_map.addr(name, flat)
                 pe.cache.write_through_update(addr, value, 0)
@@ -330,6 +355,9 @@ class Machine:
         pe.advance(latency)
         if owner != pe_id:
             pe.stats.remote_writes += 1
+        if self.tracer is not None:
+            self.tracer.emit(("write", pe_id, name, flat, 1,
+                              int(owner != pe_id)))
         if cacheable:
             # Write-through, no allocate: update this PE's copy if present.
             addr = self.addr_map.addr(name, flat)
@@ -344,19 +372,27 @@ class Machine:
         The target line is invalidated first, so even a dropped prefetch
         leaves the program coherent (the use will miss to fresh memory)."""
         pe = self.pes[pe_id]
+        tr = self.tracer
         addr = self.addr_map.addr(name, flat)
         line_addr = addr // self._lw
         if invalidate:
             if pe.cache.invalidate_line(line_addr):
                 pe.stats.invalidations += 1
+                if tr is not None:
+                    tr.emit(("invalidate", pe_id, name, 1, "prefetch"))
         owner = self._owner(name, flat, pe_id)
         cost = self.params.prefetch_issue
+        dtb = 0
         if pe.last_prefetch_pe != owner:
             cost += self.params.dtb_setup
             pe.stats.dtb_setups += 1
             pe.last_prefetch_pe = owner
+            dtb = 1
         pe.advance(cost)
         pe.queue.reclaim_arrived(pe.clock - 4 * self.params.remote_base)
+        # Coalesce probe (trace only): issue() folds both outcomes into
+        # True, so peek at the queue before issuing to tell them apart.
+        coalesced = tr is not None and pe.queue.match(line_addr) is not None
         if self.faults is not None and self.faults.force_drop(pe_id):
             # Injected drop: the issue is lost before it reaches the queue.
             accepted = False
@@ -370,11 +406,16 @@ class Machine:
         if accepted:
             pe.stats.prefetch_issued += 1
             pe.dropped_lines.discard(line_addr)
+            if tr is not None:
+                tr.emit(("pf_coalesce" if coalesced else "pf_issue",
+                         pe_id, name, line_addr, dtb))
         else:
             pe.stats.pf_dropped += 1
             # Paper rule 2: mark the line so its use point degrades to a
             # bypass-cache fetch (the line itself is already invalid).
             pe.dropped_lines.add(line_addr)
+            if tr is not None:
+                tr.emit(("pf_drop", pe_id, name, line_addr, dtb))
         return accepted
 
     def prefetch_vector(self, pe_id: int, name: str, flat_start: int,
@@ -406,13 +447,18 @@ class Machine:
             raise ValueError(
                 f"vector prefetch touching {len(install_lines)} lines exceeds "
                 f"the cache ({pe.cache.n_lines} lines); the compiler must bound it")
+        tr = self.tracer
         if invalidate:
             if stride == 1:
-                pe.stats.invalidations += pe.cache.invalidate_range(addr_lo, addr_hi)
+                killed = pe.cache.invalidate_range(addr_lo, addr_hi)
             else:
+                killed = 0
                 for line_addr in install_lines:
                     if pe.cache.invalidate_line(line_addr):
-                        pe.stats.invalidations += 1
+                        killed += 1
+            pe.stats.invalidations += killed
+            if tr is not None and killed:
+                tr.emit(("invalidate", pe_id, name, killed, "vector"))
         stall_at = pe.vectors.stall_until_slot(pe.clock)
         stall = pe.wait_until(stall_at)
         pe.stats.vector_stall_cycles += stall
@@ -430,6 +476,8 @@ class Machine:
                                         line_hi=line_hi, completion=completion))
         pe.stats.vector_prefetches += 1
         pe.stats.vector_words += words
+        if tr is not None:
+            tr.emit(("vector_transfer", pe_id, name, line_lo, line_hi, words))
 
     def invalidate(self, pe_id: int, name: str, flat_lo: int, flat_hi: int) -> int:
         """Explicit invalidation of the lines covering an element range."""
@@ -439,6 +487,8 @@ class Machine:
         count = pe.cache.invalidate_range(addr_lo, addr_hi)
         pe.stats.invalidations += count
         pe.advance(max(1, count) * self.params.int_op)
+        if self.tracer is not None:
+            self.tracer.emit(("invalidate", pe_id, name, count, "explicit"))
         return count
 
     # ------------------------------------------------------------------
@@ -462,7 +512,10 @@ class Machine:
         for pe in self.pes:
             pe.wait_until(latest)
             pe.clock += cost
-        return latest + cost
+        time = latest + cost
+        if self.tracer is not None:
+            self.tracer.emit(("barrier", time))
+        return time
 
     def sync_clocks_to(self, time: float) -> None:
         for pe in self.pes:

@@ -46,6 +46,13 @@ class PE:
     def reset_clock(self) -> None:
         self.clock = 0.0
 
+    def metrics_snapshot(self) -> tuple:
+        """The counters the epoch metrics timeline tracks as deltas:
+        (reads, hits, misses, prefetch_issued, pf_dropped, idle)."""
+        s = self.stats
+        return (s.reads, s.cache_hits, s.cache_misses, s.prefetch_issued,
+                s.pf_dropped, s.idle_cycles)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<PE {self.pe_id} @ {self.clock:.0f} cycles>"
 

@@ -42,6 +42,9 @@ class PrefetchQueue:
         self.entries: List[PrefetchEntry] = []
         self.dropped = 0
         self.issued = 0
+        # Deepest the queue has been since the last reset_high_water()
+        # (per-epoch queue-pressure metric in the tracing timeline).
+        self.high_water = 0
         # Fault-injection hook: callable(capacity) -> effective capacity for
         # this issue attempt (queue squeeze).  None means no squeezing.
         self.squeeze = None
@@ -58,7 +61,13 @@ class PrefetchQueue:
             return False
         self.entries.append(entry)
         self.issued += 1
+        if len(self.entries) > self.high_water:
+            self.high_water = len(self.entries)
         return True
+
+    def reset_high_water(self) -> None:
+        """Start a new high-water window (epoch boundary)."""
+        self.high_water = len(self.entries)
 
     def match(self, line_addr: int) -> Optional[PrefetchEntry]:
         for entry in self.entries:

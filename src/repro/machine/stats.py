@@ -42,21 +42,34 @@ class PEStats:
     idle_cycles: float = 0.0
 
     def merge(self, other: "PEStats") -> None:
+        if not isinstance(other, PEStats):
+            raise TypeError(f"merge expects PEStats, got "
+                            f"{type(other).__name__}")
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
     def add_bulk(self, **deltas: float) -> None:
         """Accumulate many counters at once (batched backend commit path).
 
-        Keyword names must be counter field names; raises AttributeError on
-        a typo rather than silently inventing a counter."""
+        Keyword names must be counter *field* names.  Validated against
+        the dataclass fields explicitly: ``getattr`` alone would let a
+        typo silently shadow a class-level attribute (``hit_rate``, a
+        method name) instead of raising."""
         for name, delta in deltas.items():
+            if name not in _PE_COUNTER_FIELDS:
+                raise ValueError(
+                    f"unknown PEStats counter {name!r}; valid counters: "
+                    f"{', '.join(sorted(_PE_COUNTER_FIELDS))}")
             setattr(self, name, getattr(self, name) + delta)
 
     @property
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+
+#: The counter names ``add_bulk`` accepts (exactly the dataclass fields).
+_PE_COUNTER_FIELDS = frozenset(f.name for f in fields(PEStats))
 
 
 @dataclass

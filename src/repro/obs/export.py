@@ -1,0 +1,123 @@
+"""Trace exporters: normalized JSONL and Chrome-trace (Perfetto) JSON.
+
+JSONL is the interchange + golden-snapshot format: one event per line,
+keys sorted, compact separators, and integral floats written as ints,
+so a byte-level diff of two traces is meaningful and stable.  The
+Chrome-trace exporter renders the epoch timeline (spans + per-PE
+counter tracks) and barrier instants for ``chrome://tracing`` /
+https://ui.perfetto.dev — the machine clock (cycles) is mapped onto the
+microsecond timestamp axis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .events import event_from_dict, event_to_dict
+
+PathLike = Union[str, Path]
+
+
+def normalize_value(value):
+    """JSON-safe scalar: NumPy ints/floats -> Python, integral floats
+    -> int (so ``12.0`` and ``12`` serialise identically)."""
+    if isinstance(value, bool) or isinstance(value, str):
+        return value
+    if hasattr(value, "item"):        # NumPy scalar
+        value = value.item()
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def event_to_json(event: tuple) -> str:
+    """One normalized JSONL line (no trailing newline)."""
+    record = {key: normalize_value(val)
+              for key, val in event_to_dict(event).items()}
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def events_to_jsonl(events: Iterable[tuple]) -> str:
+    """Full normalized JSONL document (trailing newline included)."""
+    lines = [event_to_json(event) for event in events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(events: Iterable[tuple], path: PathLike) -> int:
+    """Write events as JSONL; returns the number of lines written."""
+    text = events_to_jsonl(events)
+    Path(path).write_text(text)
+    return text.count("\n")
+
+
+def read_jsonl(path: PathLike) -> List[tuple]:
+    """Parse a JSONL trace back into event tuples (raises on malformed
+    lines, with the 1-based line number in the message)."""
+    events: List[tuple] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            events.append(event_from_dict(json.loads(line)))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from exc
+    return events
+
+
+def chrome_trace(timeline: Sequence, events: Iterable[tuple] = (),
+                 metadata: Optional[dict] = None) -> dict:
+    """Chrome-trace JSON object from a metrics timeline + event stream.
+
+    - each epoch becomes a complete ("X") span on the Epochs track;
+    - each ``barrier`` event becomes a global instant ("i");
+    - each :class:`~repro.obs.tracer.EpochPEMetrics` row becomes counter
+      ("C") samples per PE (hit rate, queue high-water, stalls).
+    """
+    trace_events: List[dict] = [
+        {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+         "args": {"name": "ccdp machine"}},
+        {"ph": "M", "pid": 0, "tid": 0, "name": "thread_name",
+         "args": {"name": "Epochs"}},
+    ]
+    for row in timeline:
+        trace_events.append({
+            "ph": "X", "pid": 0, "tid": 0, "name": row.label,
+            "ts": normalize_value(row.start),
+            "dur": normalize_value(max(row.duration, 0.0)),
+            "args": {"epoch": row.index}})
+        for m in row.per_pe:
+            ts = normalize_value(row.end)
+            trace_events.append(
+                {"ph": "C", "pid": 0, "tid": 0, "ts": ts,
+                 "name": f"pe{m.pe} hit_rate", "args": {"v": m.hit_rate}})
+            trace_events.append(
+                {"ph": "C", "pid": 0, "tid": 0, "ts": ts,
+                 "name": f"pe{m.pe} queue_hw",
+                 "args": {"v": m.queue_high_water}})
+            trace_events.append(
+                {"ph": "C", "pid": 0, "tid": 0, "ts": ts,
+                 "name": f"pe{m.pe} stall_cycles",
+                 "args": {"v": normalize_value(m.stall_cycles)}})
+    for event in events:
+        if event[0] == "barrier":
+            trace_events.append({
+                "ph": "i", "pid": 0, "tid": 0, "s": "g", "name": "barrier",
+                "ts": normalize_value(event[1])})
+    doc = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if metadata:
+        doc["otherData"] = metadata
+    return doc
+
+
+def write_chrome_trace(timeline: Sequence, path: PathLike,
+                       events: Iterable[tuple] = (),
+                       metadata: Optional[dict] = None) -> None:
+    doc = chrome_trace(timeline, events, metadata)
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+
+
+__all__ = ["normalize_value", "event_to_json", "events_to_jsonl",
+           "write_jsonl", "read_jsonl", "chrome_trace",
+           "write_chrome_trace"]

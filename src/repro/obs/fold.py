@@ -1,0 +1,134 @@
+"""Fold an event stream back into statistics.
+
+Every count-class field of :class:`~repro.machine.stats.PEStats` is a
+pure function of the event stream; :func:`fold_events` computes it, and
+:func:`reconcile` diffs the fold against a live machine's counters.
+The reconciliation property test runs this on both backends: if a
+backend ever emits a stream that folds to different numbers than its
+own ``MachineStats``, either an emission point is missing or one is
+double-counted.
+
+Cycle-class fields (busy/idle/late/stall cycles, flops, iterations)
+are *not* foldable — events carry no timing by design — so they are
+outside the reconciliation contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+#: PEStats fields reconstructable from events, in PEStats declaration
+#: order.  ``reads`` folds from the four read-outcome kinds; everything
+#: else maps to one kind (possibly filtered by a field value).
+FOLDABLE_PE_FIELDS = (
+    "reads", "writes", "cache_hits", "cache_misses", "local_fills",
+    "remote_fills", "bypass_reads", "uncached_local_reads",
+    "uncached_remote_reads", "remote_writes", "stale_hits",
+    "prefetch_issued", "pf_dropped", "pf_drop_bypass",
+    "prefetch_extracted", "vector_prefetches", "vector_words",
+    "invalidations", "dtb_setups",
+)
+
+#: MachineStats scalar fields reconstructable from events.
+FOLDABLE_MACHINE_FIELDS = ("stale_reads", "barriers", "epochs")
+
+
+def fold_events(events: Iterable[tuple], n_pes: int) -> dict:
+    """Replay ``events`` into ``{"per_pe": [...], "machine": {...}}``.
+
+    Requires an unsampled, uncapped stream (counters are exact under
+    sampling, folds are not).  Unknown kinds raise."""
+    per_pe: List[Dict[str, int]] = [
+        {name: 0 for name in FOLDABLE_PE_FIELDS} for _ in range(n_pes)]
+    machine = {name: 0 for name in FOLDABLE_MACHINE_FIELDS}
+    for event in events:
+        kind = event[0]
+        if kind == "read_hit":
+            pe, stale = event[1], event[4]
+            row = per_pe[pe]
+            row["reads"] += 1
+            row["cache_hits"] += 1
+            row["stale_hits"] += stale
+            machine["stale_reads"] += stale
+        elif kind == "read_miss":
+            pe, local = event[1], event[4]
+            row = per_pe[pe]
+            row["reads"] += 1
+            row["cache_misses"] += 1
+            row["local_fills" if local else "remote_fills"] += 1
+        elif kind == "bypass_fetch":
+            pe, why = event[1], event[4]
+            row = per_pe[pe]
+            row["reads"] += 1
+            if why == "bypass":
+                row["bypass_reads"] += 1
+            elif why == "uncached_local":
+                row["uncached_local_reads"] += 1
+            elif why == "uncached_remote":
+                row["uncached_remote_reads"] += 1
+            elif why == "pf_drop":
+                row["bypass_reads"] += 1
+                row["pf_drop_bypass"] += 1
+            else:
+                raise ValueError(f"unknown bypass_fetch kind {why!r}")
+        elif kind == "write":
+            row = per_pe[event[1]]
+            row["writes"] += 1
+            row["remote_writes"] += event[5]
+        elif kind in ("pf_issue", "pf_coalesce"):
+            row = per_pe[event[1]]
+            row["prefetch_issued"] += 1
+            row["dtb_setups"] += event[4]
+        elif kind == "pf_drop":
+            row = per_pe[event[1]]
+            row["pf_dropped"] += 1
+            row["dtb_setups"] += event[4]
+        elif kind == "pf_complete":
+            row = per_pe[event[1]]
+            row["reads"] += 1
+            row["prefetch_extracted"] += 1
+        elif kind == "invalidate":
+            # Eviction-storm invalidations (reason "fault") are injected
+            # consequences, not program behaviour; PEStats.invalidations
+            # counts only the latter.
+            if event[4] != "fault":
+                per_pe[event[1]]["invalidations"] += event[3]
+        elif kind == "vector_transfer":
+            row = per_pe[event[1]]
+            row["vector_prefetches"] += 1
+            row["vector_words"] += event[5]
+        elif kind == "barrier":
+            machine["barriers"] += 1
+        elif kind == "epoch_end":
+            machine["epochs"] += 1
+        elif kind in ("epoch_begin", "fault_activation"):
+            pass
+        else:
+            raise ValueError(f"unknown event kind {kind!r}")
+    return {"per_pe": per_pe, "machine": machine}
+
+
+def reconcile(events: Iterable[tuple], machine) -> List[str]:
+    """Diff :func:`fold_events` against a machine's live counters.
+
+    Returns human-readable mismatch strings (empty == reconciled)."""
+    folded = fold_events(events, len(machine.pes))
+    mismatches: List[str] = []
+    for pe, row in enumerate(folded["per_pe"]):
+        stats = machine.stats.per_pe[pe]
+        for name in FOLDABLE_PE_FIELDS:
+            want = getattr(stats, name)
+            got = row[name]
+            if got != want:
+                mismatches.append(
+                    f"pe{pe}.{name}: folded {got} != stats {want}")
+    for name in FOLDABLE_MACHINE_FIELDS:
+        want = getattr(machine.stats, name)
+        got = folded["machine"][name]
+        if got != want:
+            mismatches.append(f"machine.{name}: folded {got} != stats {want}")
+    return mismatches
+
+
+__all__ = ["FOLDABLE_PE_FIELDS", "FOLDABLE_MACHINE_FIELDS", "fold_events",
+           "reconcile"]

@@ -67,6 +67,8 @@ from ..ir.expr import (ArrayRef, BinOp, Expr, FloatConst, IntConst,
                        IntrinsicCall, RefMode, SymConst, UnaryOp, VarRef)
 from ..ir.stmt import Assign, Loop, LoopKind, PrefetchLine, Stmt
 from ..machine.batchops import (OUT_HIT, RE_COST, RE_PF, RE_READ, RE_WRITE,
+                                REC_EXTRACT, REC_HIT, REC_KILL_FLAG, REC_MISS,
+                                REC_NONE, REC_PF_COALESCE, REC_PF_ISSUE,
                                 STALL_VECTOR, bulk_fill_lines,
                                 read_latency_table, replay_chunk, stale_words,
                                 uncached_read_latency_table,
@@ -214,7 +216,7 @@ class _Plan:
                  "const_per_iter", "n_events", "env_vars",
                  "touches_shared_cache", "const_before", "tail_const",
                  "assigned", "vec_stmts", "reg_ops", "alias_pairs",
-                 "bind_groups")
+                 "bind_groups", "event_kinds")
 
     def __init__(self, var: str, registers: dict, final_clear: bool,
                  value_fns: list, slots: List[_Slot],
@@ -271,6 +273,23 @@ class _Plan:
             s.shared and (s.role == "pf" or (s.cacheable
                                              and s.role in ("cr", "w")))
             for s in slots)
+        # Every machine-event kind a chunk of this plan could emit (a
+        # conservative superset): the batched backend checks it against
+        # the tracer's sampling to pick full synthesis vs counts-only.
+        kinds: Set[str] = set()
+        if self.cached_idx:
+            kinds.update(("read_hit", "read_miss", "pf_complete"))
+            if any(slots[i].shared for i in self.cached_idx):
+                kinds.add("bypass_fetch")
+        if self.uncached_idx:
+            kinds.add("bypass_fetch")
+        if self.write_idx:
+            kinds.add("write")
+        if self.pf_idx:
+            kinds.update(("pf_issue", "pf_coalesce", "pf_drop"))
+            if any(slots[i].inval for i in self.pf_idx):
+                kinds.add("invalidate")
+        self.event_kinds = frozenset(kinds)
 
 
 class _Ineligible(Exception):
@@ -1121,15 +1140,15 @@ class BatchedInterpreter(Interpreter):
         if plan.touches_shared_cache and stale_words(
                 pe_obj.cache, machine.memory.versions_flat):
             return self._fall()  # stale hits possible: needs per-event order
-        outcome = dtb_count = new_last = None
+        outcome = dtb_count = new_last = record = dtbF = None
         if plan.pf_idx or pe_obj.queue.entries or pe_obj.dropped_lines:
             if plan.pf_idx or not self._prefetch_disjoint(plan, pe_obj,
                                                           flats):
                 if (not self._replay_costs_ok
                         or pe_obj.queue.squeeze is not None):
                     return self._fall()
-                outcome, dtb_count, new_last = self._replay_scan(
-                    plan, pe_obj, pe, T, flats, pf_masks)
+                outcome, dtb_count, new_last, record, dtbF = \
+                    self._replay_scan(plan, pe_obj, pe, T, flats, pf_masks)
                 if outcome.hazard:
                     return self._fall()
         self.batch_chunks += 1
@@ -1157,7 +1176,7 @@ class BatchedInterpreter(Interpreter):
                               self._inflight(pe_obj))
         else:
             self._replay_commit(plan, pe_obj, pe, T, flats, outcome,
-                                dtb_count, new_last)
+                                dtb_count, new_last, record, dtbF)
         return True
 
     def _prefetch_disjoint(self, plan: _Plan, pe_obj,
@@ -1184,8 +1203,11 @@ class BatchedInterpreter(Interpreter):
                      flats: List[np.ndarray], pf_masks):
         """Prepare the chunk's replay-event matrices and run the exact
         :func:`replay_chunk` scan against shadow PE state.  Returns
-        ``(outcome, dtb_count, new_last_prefetch_pe)``; nothing live is
-        mutated, so a hazard outcome costs only the scan."""
+        ``(outcome, dtb_count, new_last_prefetch_pe, record, dtbF)``,
+        where ``record``/``dtbF`` are the per-event outcome codes and
+        DTB-setup flags for event synthesis (``None`` unless a tracer
+        wants tuples); nothing live is mutated, so a hazard outcome
+        costs only the scan."""
         params = self.params
         lw = params.line_words
         n_slots = plan.n_events
@@ -1241,8 +1263,13 @@ class BatchedInterpreter(Interpreter):
         kindF = kind.ravel()
         costF = cost.ravel()
         homeF = home.ravel()
+        tr = self.machine.tracer
+        record = None
+        if tr is not None and not tr.counts_only(plan.event_kinds):
+            record = [REC_NONE] * (Tt * n_slots)
         dtb_count = 0
         new_last = None
+        dtbF = None
         pf_pos = np.flatnonzero(kindF == RE_PF)
         if pf_pos.size:
             # DTB setups chain over successive in-bounds prefetch issues:
@@ -1256,6 +1283,9 @@ class BatchedInterpreter(Interpreter):
             costF[pf_pos[dtb]] += float(params.dtb_setup)
             dtb_count = int(dtb.sum())
             new_last = int(homes[-1])
+            if record is not None:
+                dtbF = np.zeros(kindF.shape[0], dtype=bool)
+                dtbF[pf_pos[dtb]] = True
         pre = np.tile(plan.const_before, (Tt, 1))
         if Tt > 1:
             pre[1:, 0] += plan.tail_const
@@ -1269,12 +1299,12 @@ class BatchedInterpreter(Interpreter):
             [(t.line_lo, t.line_hi, t.completion)
              for t in pe_obj.vectors.transfers],
             float(params.cache_hit), float(params.prefetch_extract),
-            4 * float(params.remote_base))
-        return outcome, dtb_count, new_last
+            4 * float(params.remote_base), record=record)
+        return outcome, dtb_count, new_last, record, dtbF
 
     def _replay_commit(self, plan: _Plan, pe_obj, pe: int, Tt: int,
                        flats: List[np.ndarray], outcome, dtb_count: int,
-                       new_last) -> None:
+                       new_last, record=None, dtbF=None) -> None:
         """Apply one hazard-free replay outcome to the live machine."""
         params = self.params
         memory = self.machine.memory
@@ -1328,6 +1358,8 @@ class BatchedInterpreter(Interpreter):
             for (ln, arr, isd, hm, ar) in outcome.queue)
         pe_obj.queue.issued += outcome.q_issued
         pe_obj.queue.dropped += outcome.q_dropped
+        if outcome.q_hw > pe_obj.queue.high_water:
+            pe_obj.queue.high_water = outcome.q_hw
         pe_obj.dropped_lines = outcome.dropped
         if new_last is not None:
             pe_obj.last_prefetch_pe = new_last
@@ -1355,6 +1387,103 @@ class BatchedInterpreter(Interpreter):
             cache.data[s] = words
             cache.vers[s] = vers
         self.batch_refs += Tt * (n_reads + n_writes)
+
+        tr = self.machine.tracer
+        if tr is not None:
+            if record is None:
+                # Counts-only: every kind this chunk can emit is sampled
+                # out, so tally the exact per-kind counts without tuples.
+                tr.add_counts("read_hit", c["cache_hits"])
+                tr.add_counts("read_miss", c["cache_misses"])
+                tr.add_counts("pf_complete", c["prefetch_extracted"])
+                tr.add_counts("bypass_fetch",
+                              byp + ulr + urr + c["pf_drop_bypass"])
+                tr.add_counts("write", Tt * n_writes)
+                tr.add_counts("pf_issue", outcome.q_issued)
+                tr.add_counts("pf_coalesce",
+                              c["prefetch_issued"] - outcome.q_issued)
+                tr.add_counts("pf_drop", c["pf_dropped"])
+                tr.add_counts("invalidate", c["invalidations"])
+            else:
+                self._synth_replay_events(plan, pe, Tt, flats, record, dtbF,
+                                          tr)
+
+    def _synth_replay_events(self, plan: _Plan, pe: int, Tt: int,
+                             flats: List[np.ndarray], record, dtbF,
+                             tr) -> None:
+        """Emit a replay chunk's machine events, row-major (iteration,
+        slot) — exactly the order the reference interpreter would have
+        emitted them.  Static read/write events come from the slot roles;
+        dynamic read and prefetch outcomes come from the scan's record
+        codes (an invalidate kill precedes its prefetch event, as in
+        ``Machine.prefetch_line``)."""
+        emit = tr.emit
+        lw = self.params.line_words
+        dtb_l = dtbF.tolist() if dtbF is not None else None
+        cols = []
+        for i, slot in enumerate(plan.slots):
+            role = slot.role
+            if role == "pf":
+                # flats holds a harmless 0 for out-of-bounds look-aheads;
+                # their record code stays REC_NONE, so the bogus line is
+                # never read.
+                line_l = ((slot.base + flats[i]) // lw).tolist()
+                cols.append(("pf", slot.array, line_l, None))
+                continue
+            flat_l = flats[i].tolist()
+            eq_l = ((slot.owner_table[flats[i]] == pe).tolist()
+                    if slot.shared else None)
+            if role == "cr":
+                cols.append(("cr", slot.array, flat_l, eq_l))
+            elif role == "ur":
+                if slot.bypass:
+                    cols.append(("urb", slot.array, flat_l, None))
+                else:
+                    cols.append(("ur", slot.array, flat_l, eq_l))
+            elif slot.shared:  # shared write
+                cols.append(("ws", slot.array, flat_l, eq_l))
+            else:
+                cols.append(("wp", slot.array, flat_l, None))
+        f = 0
+        for t in range(Tt):
+            for code, array, data_l, aux in cols:
+                if code == "cr":
+                    rc = record[f]
+                    flat = data_l[t]
+                    if rc == REC_HIT:
+                        emit(("read_hit", pe, array, flat, 0))
+                    elif rc == REC_MISS:
+                        emit(("read_miss", pe, array, flat,
+                              1 if aux is None else int(aux[t])))
+                    elif rc == REC_EXTRACT:
+                        emit(("pf_complete", pe, array, flat))
+                    else:  # REC_DROP_BYPASS
+                        emit(("bypass_fetch", pe, array, flat, "pf_drop"))
+                elif code == "pf":
+                    rc = record[f]
+                    if rc != REC_NONE:
+                        if rc & REC_KILL_FLAG:
+                            emit(("invalidate", pe, array, 1, "prefetch"))
+                            rc &= ~REC_KILL_FLAG
+                        dtb = 1 if dtb_l[f] else 0
+                        line = data_l[t]
+                        if rc == REC_PF_ISSUE:
+                            emit(("pf_issue", pe, array, line, dtb))
+                        elif rc == REC_PF_COALESCE:
+                            emit(("pf_coalesce", pe, array, line, dtb))
+                        else:  # REC_PF_DROP
+                            emit(("pf_drop", pe, array, line, dtb))
+                elif code == "urb":
+                    emit(("bypass_fetch", pe, array, data_l[t], "bypass"))
+                elif code == "ur":
+                    emit(("bypass_fetch", pe, array, data_l[t],
+                          "uncached_local" if aux[t] else "uncached_remote"))
+                elif code == "ws":
+                    emit(("write", pe, array, data_l[t], 1,
+                          0 if aux[t] else 1))
+                else:  # private write
+                    emit(("write", pe, array, data_l[t], 0, 0))
+                f += 1
 
     def _vector_safe(self, plan: _Plan, flats: List[np.ndarray]) -> bool:
         """True when statement-at-a-time gather/scatter reproduces the
@@ -1445,6 +1574,7 @@ class BatchedInterpreter(Interpreter):
         ev = np.empty((Tt, n_slots), dtype=np.float64)
         hit_cols: List[Optional[np.ndarray]] = [None] * n_slots
         line_cols: List[Optional[np.ndarray]] = [None] * n_slots
+        eq_cols: List[Optional[np.ndarray]] = [None] * n_slots
         n_reads = len(plan.cached_idx) + len(plan.uncached_idx)
         n_writes = len(plan.write_idx)
         hits = misses = lf = rf = byp = ulr = urr = rw = 0
@@ -1494,6 +1624,7 @@ class BatchedInterpreter(Interpreter):
                         latcol_cache[lkey] = lcol
                     lat_mat[:, k] = lcol
                     eq_mat[:, k] = eq_cache[okey]
+                    eq_cols[i] = eq_cache[okey]
                 else:
                     lat_mat[:, k] = float(params.local_mem)
                     eq_mat[:, k] = True  # private data is always home-local
@@ -1523,6 +1654,7 @@ class BatchedInterpreter(Interpreter):
                     lcol = table[own]
                     latcol_cache[lkey] = lcol
                 ev[:, i] = lcol
+                eq_cols[i] = eq_cache[okey]
                 if kind == "u":
                     if slot.bypass:
                         byp += Tt
@@ -1539,6 +1671,16 @@ class BatchedInterpreter(Interpreter):
             bypass_reads=byp, uncached_local_reads=ulr,
             uncached_remote_reads=urr, remote_writes=rw, busy_cycles=total)
         self.batch_refs += Tt * (n_reads + n_writes)
+        tr = self.machine.tracer
+        if tr is not None:
+            if tr.counts_only(plan.event_kinds):
+                tr.add_counts("read_hit", hits)
+                tr.add_counts("read_miss", misses)
+                tr.add_counts("bypass_fetch", byp + ulr + urr)
+                tr.add_counts("write", Tt * n_writes)
+            else:
+                self._synth_timing_events(plan, pe, Tt, flats, hit_cols,
+                                          eq_cols, tr)
         if transfers:
             clock_final, stalls = self._stall_clock(
                 plan, pe_obj, Tt, ev, hit_cols, line_cols, row_extra, total)
@@ -1578,6 +1720,50 @@ class BatchedInterpreter(Interpreter):
             lines = np.flatnonzero(np.bincount(cat))  # sorted unique
             bulk_fill_lines(cache, lines, memory.values_flat,
                             memory.versions_flat)
+
+    def _synth_timing_events(self, plan: _Plan, pe: int, Tt: int,
+                             flats: List[np.ndarray], hit_cols, eq_cols,
+                             tr) -> None:
+        """Emit a fast-path chunk's machine events, row-major (iteration,
+        slot) — the order the reference interpreter would have emitted
+        them.  Fast-path plans have no prefetch slots and no queue
+        interaction, so every event is static (read hit/miss from the
+        classification, bypass fetch, write)."""
+        emit = tr.emit
+        cols = []
+        for i, slot in enumerate(plan.slots):
+            flat_l = flats[i].tolist()
+            role = slot.role
+            eq = eq_cols[i]
+            eq_l = eq.tolist() if eq is not None else None
+            if role == "cr":
+                cols.append(("cr", slot.array, flat_l, hit_cols[i].tolist(),
+                             eq_l))
+            elif role == "ur":
+                cols.append(("urb" if slot.bypass else "ur", slot.array,
+                             flat_l, None, eq_l))
+            elif slot.shared:  # shared write
+                cols.append(("ws", slot.array, flat_l, None, eq_l))
+            else:
+                cols.append(("wp", slot.array, flat_l, None, None))
+        for t in range(Tt):
+            for code, array, flat_l, hit_l, eq_l in cols:
+                flat = flat_l[t]
+                if code == "cr":
+                    if hit_l[t]:
+                        emit(("read_hit", pe, array, flat, 0))
+                    else:
+                        emit(("read_miss", pe, array, flat,
+                              1 if eq_l is None else int(eq_l[t])))
+                elif code == "urb":
+                    emit(("bypass_fetch", pe, array, flat, "bypass"))
+                elif code == "ur":
+                    emit(("bypass_fetch", pe, array, flat,
+                          "uncached_local" if eq_l[t] else "uncached_remote"))
+                elif code == "ws":
+                    emit(("write", pe, array, flat, 1, 0 if eq_l[t] else 1))
+                else:  # private write
+                    emit(("write", pe, array, flat, 0, 0))
 
     def _stall_clock(self, plan: _Plan, pe_obj, Tt: int,
                      ev: np.ndarray, hit_cols, line_cols, row_extra,

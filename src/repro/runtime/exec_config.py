@@ -50,6 +50,7 @@ class ExecutionConfig:
     backend: str = Backend.REFERENCE  #: "reference" or "batched"
     fault_plan: Optional[FaultPlan] = None  #: seeded fault injection, or None
     oracle: bool = False       #: arm the shadow coherence oracle
+    tracer: Optional[object] = None  #: repro.obs.Tracer (machine events)
 
     def __post_init__(self) -> None:
         if self.version not in Version.ALL:
@@ -70,12 +71,19 @@ class ExecutionConfig:
                 f"fault_plan must be a FaultPlan or None, got "
                 f"{type(self.fault_plan).__name__} (build one with "
                 f"repro.faults.parse_fault_plan or FaultPlan(models=...))")
+        if self.tracer is not None and not callable(
+                getattr(self.tracer, "emit", None)):
+            raise ValueError(
+                f"tracer must expose an emit(event) method, got "
+                f"{type(self.tracer).__name__} (build one with "
+                f"repro.obs.Tracer)")
 
     @staticmethod
     def for_version(version: str, on_stale: str = "record",
                     backend: str = Backend.REFERENCE,
                     fault_plan: Optional[FaultPlan] = None,
-                    oracle: bool = False) -> "ExecutionConfig":
+                    oracle: bool = False,
+                    tracer: Optional[object] = None) -> "ExecutionConfig":
         if version not in Version.ALL:
             raise ValueError(
                 f"unknown version {version!r}; "
@@ -86,7 +94,7 @@ class ExecutionConfig:
         return ExecutionConfig(version, cache_shared=not base,
                                craft_overheads=base, on_stale=on_stale,
                                backend=backend, fault_plan=fault_plan,
-                               oracle=oracle)
+                               oracle=oracle, tracer=tracer)
 
 
 __all__ = ["Version", "Backend", "ExecutionConfig"]

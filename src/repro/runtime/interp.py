@@ -160,7 +160,8 @@ class Interpreter:
                                on_stale=self.config.on_stale,
                                trace=trace_reads,
                                fault_plan=self.config.fault_plan,
-                               oracle=self.config.oracle)
+                               oracle=self.config.oracle,
+                               tracer=self.config.tracer)
         self.trace_epochs = trace_epochs
         self.epochs: List[EpochRecord] = []
         self._expr_cache: Dict[int, EvalFn] = {}
@@ -242,6 +243,10 @@ class Interpreter:
                 extra += params.craft_epoch_overhead
             for pe in machine.pes:
                 pe.advance(extra)
+        tracer = machine.tracer
+        epoch_label = loop.label or f"doall {loop.var}"
+        if tracer is not None:
+            tracer.epoch_begin(epoch_label, machine)
 
         lo = int(self._compile_expr(loop.lower)(env, 0))
         hi = int(self._compile_expr(loop.upper)(env, 0))
@@ -325,9 +330,11 @@ class Interpreter:
             machine.barrier()
         self._synced = True
         machine.stats.epochs += 1
+        if tracer is not None:
+            tracer.epoch_end(epoch_label, machine)
         if self.trace_epochs:
             self.epochs.append(EpochRecord(
-                label=loop.label or f"doall {loop.var}", kind="parallel",
+                label=epoch_label, kind="parallel",
                 start=start_time, end=machine.elapsed()))
 
     def _iterate_doall(self, loop: Loop, env_p: dict, pe: int,
@@ -918,11 +925,13 @@ def run_program(program: Program, params: MachineParams,
                 version: str = Version.CCDP, on_stale: str = "record",
                 trace_epochs: bool = False,
                 backend: str = "reference",
-                fault_plan=None, oracle: bool = False) -> RunResult:
+                fault_plan=None, oracle: bool = False,
+                tracer=None) -> RunResult:
     """One-call convenience: interpret ``program`` as the given version."""
     config = ExecutionConfig.for_version(version, on_stale=on_stale,
                                          backend=backend,
-                                         fault_plan=fault_plan, oracle=oracle)
+                                         fault_plan=fault_plan, oracle=oracle,
+                                         tracer=tracer)
     interp = make_interpreter(program, params, config,
                               trace_epochs=trace_epochs)
     return interp.run()

@@ -55,6 +55,25 @@ class TestStats:
         a.merge(b)
         assert a.reads == 7 and a.cache_hits == 3 and a.busy_cycles == 15.0
 
+    def test_merge_rejects_non_pestats(self):
+        with pytest.raises(TypeError, match="merge expects PEStats"):
+            PEStats().merge({"reads": 3})
+
+    def test_add_bulk(self):
+        stats = PEStats(reads=1)
+        stats.add_bulk(reads=4, cache_hits=2, idle_cycles=3.5)
+        assert stats.reads == 5 and stats.cache_hits == 2
+        assert stats.idle_cycles == 3.5
+
+    def test_add_bulk_rejects_unknown_counter(self):
+        stats = PEStats()
+        with pytest.raises(ValueError, match="unknown PEStats counter"):
+            stats.add_bulk(reads=1, cache_hit=1)   # typo: singular
+        # a method name must not be silently shadowed by the typo path
+        with pytest.raises(ValueError, match="hit_rate"):
+            stats.add_bulk(hit_rate=1)
+        assert stats.reads == 1  # earlier valid names in the call applied
+
     def test_hit_rate(self):
         stats = PEStats(cache_hits=3, cache_misses=1)
         assert stats.hit_rate == 0.75

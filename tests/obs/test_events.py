@@ -1,0 +1,81 @@
+"""Event schema: validation, dict/tuple round-trips."""
+
+import pytest
+
+from repro.obs import (BYPASS_KINDS, EVENT_FIELDS, EVENT_KINDS,
+                       INVALIDATE_REASONS, event_from_dict, event_to_dict,
+                       validate_event)
+
+#: one well-formed example of every kind, in schema order.
+EXAMPLES = {
+    "read_hit": ("read_hit", 0, "a", 12, 0),
+    "read_miss": ("read_miss", 1, "b", 3, 1),
+    "bypass_fetch": ("bypass_fetch", 2, "c", 7, "pf_drop"),
+    "write": ("write", 3, "a", 9, 1, 0),
+    "pf_issue": ("pf_issue", 0, "a", 2, 1),
+    "pf_coalesce": ("pf_coalesce", 1, "b", 4, 0),
+    "pf_drop": ("pf_drop", 2, "c", 5, 1),
+    "pf_complete": ("pf_complete", 3, "a", 16),
+    "invalidate": ("invalidate", 0, "b", 2, "prefetch"),
+    "vector_transfer": ("vector_transfer", 1, "c", 0, 3, 16),
+    "barrier": ("barrier", 128.0),
+    "epoch_begin": ("epoch_begin", 0, "init", 0),
+    "epoch_end": ("epoch_end", 0, "init", 96.5),
+    "fault_activation": ("fault_activation", 2, "drop_storm", "line 4"),
+}
+
+
+def test_examples_cover_every_kind():
+    assert set(EXAMPLES) == set(EVENT_KINDS) == set(EVENT_FIELDS)
+
+
+@pytest.mark.parametrize("kind", sorted(EXAMPLES))
+def test_validate_accepts_wellformed(kind):
+    validate_event(EXAMPLES[kind])
+
+
+@pytest.mark.parametrize("bad", [
+    None,                                   # not a tuple
+    (),                                     # empty
+    ["read_hit", 0, "a", 1, 0],             # list, not tuple
+    ("warp_core_breach", 0),                # unknown kind
+    ("read_hit", 0, "a", 1),                # arity too small
+    ("read_hit", 0, "a", 1, 0, 0),          # arity too large
+    ("read_hit", "0", "a", 1, 0),           # int field as str
+    ("read_hit", 0, 7, 1, 0),               # str field as int
+    ("read_hit", 0, "a", 1, True),          # bool is not an int here
+    ("barrier", "12"),                      # time must be numeric
+    ("barrier", True),                      # ... and not bool
+    ("bypass_fetch", 0, "a", 1, "teleport"),  # kind outside BYPASS_KINDS
+    ("invalidate", 0, "a", 1, "boredom"),   # reason outside the enum
+])
+def test_validate_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        validate_event(bad)
+
+
+def test_enum_values_validate():
+    for why in BYPASS_KINDS:
+        validate_event(("bypass_fetch", 0, "a", 1, why))
+    for reason in INVALIDATE_REASONS:
+        validate_event(("invalidate", 0, "a", 1, reason))
+
+
+@pytest.mark.parametrize("kind", sorted(EXAMPLES))
+def test_dict_roundtrip(kind):
+    event = EXAMPLES[kind]
+    record = event_to_dict(event)
+    assert record["ev"] == kind
+    assert list(record) == ["ev"] + list(EVENT_FIELDS[kind])
+    assert event_from_dict(record) == event
+
+
+@pytest.mark.parametrize("record", [
+    {},                                          # no ev key
+    {"ev": "warp_core_breach"},                  # unknown kind
+    {"ev": "barrier"},                           # missing field
+    {"ev": "barrier", "time": 1, "pe": 0},       # extra field
+])
+def test_from_dict_rejects(record):
+    with pytest.raises(ValueError):
+        event_from_dict(record)

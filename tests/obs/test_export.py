@@ -1,0 +1,105 @@
+"""Exporters and the validate CLI: JSONL round-trips, Chrome trace,
+normalisation guarantees the golden snapshots depend on."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (EpochPEMetrics, EpochRow, chrome_trace, event_to_json,
+                       events_to_jsonl, read_jsonl, write_jsonl)
+from repro.obs.export import normalize_value
+from repro.obs.validate import main as validate_main
+from repro.obs.validate import validate_file
+
+EVENTS = [
+    ("epoch_begin", 0, "init", 0),
+    ("read_miss", 1, "a", 3, 1),
+    ("barrier", 96.0),
+    ("epoch_end", 0, "init", 96.0),
+]
+
+
+@pytest.mark.parametrize("value,expect", [
+    (12.0, 12), (12.5, 12.5), (7, 7), ("a", "a"), (True, True),
+    (np.int64(4), 4), (np.float64(8.0), 8),
+])
+def test_normalize_value(value, expect):
+    got = normalize_value(value)
+    assert got == expect and type(got) is type(expect)
+
+
+def test_event_to_json_is_sorted_and_compact():
+    line = event_to_json(("read_miss", np.int64(1), "a", 3, np.int64(0)))
+    assert line == '{"array":"a","ev":"read_miss","flat":3,"local":0,"pe":1}'
+
+
+def test_events_to_jsonl_trailing_newline():
+    assert events_to_jsonl([]) == ""
+    text = events_to_jsonl(EVENTS)
+    assert text.endswith("\n") and not text.endswith("\n\n")
+    assert len(text.splitlines()) == len(EVENTS)
+
+
+def test_jsonl_roundtrip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    assert write_jsonl(EVENTS, path) == len(EVENTS)
+    assert read_jsonl(path) == EVENTS
+
+
+def test_read_jsonl_reports_line_number(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(event_to_json(EVENTS[0]) + "\n"
+                    + '{"ev":"warp_core_breach"}\n')
+    with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+        read_jsonl(path)
+
+
+def _timeline():
+    row = EpochRow(index=0, label="init", start=0.0, end=96.0)
+    row.per_pe.append(EpochPEMetrics(
+        pe=0, reads=10, hits=8, misses=2, prefetch_issued=3, pf_dropped=1,
+        stall_cycles=4.0, queue_high_water=2, cache_lines=5))
+    return [row]
+
+
+def test_chrome_trace_structure():
+    doc = chrome_trace(_timeline(), EVENTS, metadata={"workload": "mxm"})
+    assert doc["otherData"] == {"workload": "mxm"}
+    by_ph = {}
+    for ev in doc["traceEvents"]:
+        by_ph.setdefault(ev["ph"], []).append(ev)
+    assert len(by_ph["M"]) == 2                       # process + track names
+    (span,) = by_ph["X"]
+    assert (span["name"], span["ts"], span["dur"]) == ("init", 0, 96)
+    assert {c["name"] for c in by_ph["C"]} == {
+        "pe0 hit_rate", "pe0 queue_hw", "pe0 stall_cycles"}
+    (instant,) = by_ph["i"]
+    assert instant["ts"] == 96 and instant["s"] == "g"
+    json.dumps(doc)                                   # serialisable as-is
+
+
+def test_validate_file_census(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(EVENTS, path)
+    n, counts = validate_file(path)
+    assert n == len(EVENTS)
+    assert counts["epoch_begin"] == counts["epoch_end"] == 1
+
+
+def test_validate_main_exit_codes(tmp_path, capsys):
+    good = tmp_path / "good.jsonl"
+    write_jsonl(EVENTS, good)
+    assert validate_main([str(good)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"ev":"barrier","time":"noon"}\n')
+    assert validate_main([str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+    notjson = tmp_path / "notjson.jsonl"
+    notjson.write_text("{nope\n")
+    assert validate_main([str(notjson)]) == 1
+
+    assert validate_main([]) == 2

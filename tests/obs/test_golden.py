@@ -1,0 +1,95 @@
+"""Golden-trace snapshots: MXM n=8 under every program version.
+
+The committed JSONL files under ``tests/obs/golden/`` pin the exact
+machine-event stream — any change to interpreter scheduling, cache
+behaviour, prefetch timing or the event taxonomy shows up as a diff
+here.  To regenerate after an *intentional* behaviour change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_golden.py
+
+then review the golden diffs like any other code change.
+"""
+
+import difflib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.machine import t3d
+from repro.obs import Tracer, events_to_jsonl, read_jsonl
+from repro.obs.validate import validate_file
+from repro.runtime import Version, run_program
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDEN") == "1"
+
+#: golden configuration: the flagship workload, sized so each trace
+#: stays a few thousand events, on the equivalence tests' machine.
+N = 8
+N_PES = 4
+CACHE_BYTES = 2048
+
+
+def _trace_mxm(version: str) -> Tracer:
+    from repro.coherence import CCDPConfig, ccdp_transform
+    from repro.workloads import workload
+
+    params = t3d(N_PES, cache_bytes=CACHE_BYTES)
+    program = workload("mxm").build(n=N)
+    if version == Version.CCDP:
+        program, _ = ccdp_transform(program, CCDPConfig(machine=params))
+    tracer = Tracer()
+    run_program(program, params, version, tracer=tracer)
+    return tracer
+
+
+def _golden_path(version: str) -> Path:
+    return GOLDEN_DIR / f"mxm_n{N}_{version}.jsonl"
+
+
+@pytest.mark.parametrize("version", Version.ALL)
+def test_golden_trace(version):
+    text = events_to_jsonl(_trace_mxm(version).events)
+    path = _golden_path(version)
+    if UPDATE:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path.name} ({text.count(chr(10))} events)")
+    if not path.exists():
+        pytest.fail(f"missing golden {path}; generate it with "
+                    "REPRO_UPDATE_GOLDEN=1")
+    want = path.read_text()
+    if text == want:
+        return
+    diff = list(difflib.unified_diff(
+        want.splitlines(), text.splitlines(),
+        fromfile=f"golden/{path.name}", tofile="current", lineterm="", n=2))
+    shown = "\n".join(diff[:40])
+    omitted = max(0, len(diff) - 40)
+    pytest.fail(
+        f"trace diverged from golden ({len(want.splitlines())} -> "
+        f"{len(text.splitlines())} events). If intentional, regenerate "
+        f"with REPRO_UPDATE_GOLDEN=1 and review the diff.\n{shown}"
+        + (f"\n... {omitted} more diff lines" if omitted else ""))
+
+
+@pytest.mark.parametrize("version", Version.ALL)
+def test_golden_is_schema_valid(version):
+    """Every committed golden parses against the event schema (so the
+    snapshots double as validator fixtures)."""
+    path = _golden_path(version)
+    if not path.exists():
+        pytest.skip("golden not generated yet")
+    n, counts = validate_file(path)
+    assert n > 0
+    assert counts["epoch_begin"] == counts["epoch_end"]
+    assert read_jsonl(path)[0][0] == "epoch_begin"
+
+
+def test_trace_is_stable_across_runs():
+    """Two identical runs serialise byte-identically — the property that
+    makes golden snapshots (and cross-run diffing) meaningful at all."""
+    first = events_to_jsonl(_trace_mxm(Version.CCDP).events)
+    second = events_to_jsonl(_trace_mxm(Version.CCDP).events)
+    assert first == second

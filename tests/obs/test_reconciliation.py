@@ -1,0 +1,83 @@
+"""Trace <-> stats reconciliation: the event stream is an audit log.
+
+Every count-class PEStats field must be a pure fold over the event
+stream (see ``repro.obs.fold``).  The property test runs miniature
+programs across versions, backends and machine shapes and requires the
+fold to reproduce the live counters exactly — a missing or duplicated
+emission point anywhere in ``machine/`` or the batched synthesiser
+fails it.  A second property pins the other half of the Tracer
+contract: per-kind *counters* are exact under any sampling/capacity.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.machine import t3d
+from repro.obs import Tracer, fold_events, reconcile
+from repro.runtime import Backend, ExecutionConfig, Version
+from repro.runtime.interp import make_interpreter
+from tests.conftest import build_mini_mxm, build_pingpong
+
+PROGRAMS = {
+    "mini_mxm": lambda: build_mini_mxm(n=6),
+    "pingpong": lambda: build_pingpong(n=8, steps=2),
+}
+
+RELAXED = settings(max_examples=12, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+def _run_traced(build, version, backend, n_pes, tracer):
+    params = t3d(n_pes, cache_bytes=512)
+    program = build()
+    if version == Version.CCDP:
+        from repro.coherence import CCDPConfig, ccdp_transform
+        program, _ = ccdp_transform(program, CCDPConfig(machine=params))
+    interp = make_interpreter(
+        program, params,
+        ExecutionConfig.for_version(version, backend=backend, tracer=tracer))
+    interp.run()
+    return interp.machine
+
+
+@RELAXED
+@given(name=st.sampled_from(sorted(PROGRAMS)),
+       version=st.sampled_from(Version.ALL),
+       backend=st.sampled_from(Backend.ALL),
+       n_pes=st.sampled_from([1, 2, 4]))
+def test_fold_reconciles_with_live_stats(name, version, backend, n_pes):
+    tracer = Tracer()
+    machine = _run_traced(PROGRAMS[name], version, backend, n_pes, tracer)
+    mismatches = reconcile(tracer.events, machine)
+    assert not mismatches, "\n".join(mismatches)
+    assert tracer.counts.get("barrier", 0) == machine.stats.barriers
+
+
+@RELAXED
+@given(version=st.sampled_from([Version.BASE, Version.CCDP]),
+       backend=st.sampled_from(Backend.ALL),
+       sample=st.one_of(st.sampled_from([0, 2, 7]),
+                        st.just({"read_hit": 0, "write": 3})),
+       capacity=st.sampled_from([None, 16]))
+def test_counters_exact_under_sampling(version, backend, sample, capacity):
+    """Sampling and capacity shed *tuples*, never counts: any knob
+    setting must leave per-kind counters identical to a full trace (the
+    batched backend's counts-only fast path included)."""
+    full = Tracer()
+    _run_traced(PROGRAMS["mini_mxm"], version, backend, 2, full)
+    lossy = Tracer(capacity=capacity, sample=sample)
+    _run_traced(PROGRAMS["mini_mxm"], version, backend, 2, lossy)
+    assert lossy.counts == full.counts
+    assert lossy.kept <= full.kept
+
+
+def test_fold_matches_both_backends_identically():
+    """Folding the reference stream and the batched stream gives the
+    same table — a compact restatement of trace equivalence."""
+    folds = []
+    for backend in Backend.ALL:
+        tracer = Tracer()
+        machine = _run_traced(PROGRAMS["pingpong"], Version.CCDP, backend,
+                              4, tracer)
+        folds.append(fold_events(tracer.events, len(machine.pes)))
+    assert folds[0] == folds[1]

@@ -1,0 +1,110 @@
+"""Tracer unit behaviour: ring buffer, sampling, allow-lists, counters."""
+
+import pytest
+
+from repro.obs import Tracer
+
+
+def _emit_reads(tr, n, pe=0):
+    for i in range(n):
+        tr.emit(("read_hit", pe, "a", i, 0))
+
+
+def test_unbounded_keeps_everything():
+    tr = Tracer()
+    _emit_reads(tr, 5)
+    assert len(tr.events) == 5
+    assert tr.evicted == 0
+    assert tr.kept == 5
+    assert tr.counts == {"read_hit": 5}
+    assert tr.total == 5
+
+
+def test_events_returns_fresh_list():
+    tr = Tracer()
+    _emit_reads(tr, 2)
+    got = tr.events
+    got.clear()
+    assert len(tr.events) == 2
+
+
+def test_ring_buffer_evicts_oldest_counters_stay_exact():
+    tr = Tracer(capacity=3)
+    _emit_reads(tr, 10)
+    events = tr.events
+    assert len(events) == 3
+    assert [e[3] for e in events] == [7, 8, 9]   # most recent survive
+    assert tr.evicted == 7
+    assert tr.kept == 10
+    assert tr.counts["read_hit"] == 10           # counting ignores capacity
+
+
+def test_sample_stride_records_first_of_every_k():
+    tr = Tracer(sample=3)
+    _emit_reads(tr, 10)
+    assert [e[3] for e in tr.events] == [0, 3, 6, 9]
+    assert tr.counts["read_hit"] == 10
+
+
+def test_sample_zero_counts_without_recording():
+    tr = Tracer(sample=0)
+    _emit_reads(tr, 10)
+    tr.emit(("barrier", 5.0))
+    assert tr.events == []
+    assert tr.kept == 0
+    assert tr.counts == {"read_hit": 10, "barrier": 1}
+    assert tr.counts_only(["read_hit", "barrier"])
+
+
+def test_sample_dict_is_per_kind():
+    tr = Tracer(sample={"read_hit": 0, "barrier": 2})
+    _emit_reads(tr, 4)
+    for t in range(5):
+        tr.emit(("barrier", float(t)))
+    tr.emit(("write", 0, "a", 1, 1, 0))          # default stride 1
+    kinds = [e[0] for e in tr.events]
+    assert kinds == ["barrier", "barrier", "barrier", "write"]
+    assert [e[1] for e in tr.events[:3]] == [0.0, 2.0, 4.0]
+    assert tr.stride("read_hit") == 0
+    assert tr.stride("barrier") == 2
+    assert tr.stride("write") == 1
+
+
+def test_kinds_allowlist_counts_the_rest():
+    tr = Tracer(kinds=["barrier"])
+    _emit_reads(tr, 3)
+    tr.emit(("barrier", 1.0))
+    assert [e[0] for e in tr.events] == ["barrier"]
+    assert tr.counts == {"read_hit": 3, "barrier": 1}
+    assert tr.counts_only(["read_hit"])
+    assert not tr.counts_only(["read_hit", "barrier"])
+
+
+def test_add_counts_bulk_tally():
+    tr = Tracer(sample=0)
+    tr.add_counts("read_hit", 40)
+    tr.add_counts("read_hit", 2)
+    tr.add_counts("write", 0)                    # no-op, no key created
+    assert tr.counts == {"read_hit": 42}
+    assert tr.events == []
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"capacity": 0},
+    {"capacity": -1},
+    {"sample": -1},
+    {"sample": 1.5},
+    {"sample": {"warp_core_breach": 1}},
+    {"sample": {"read_hit": -2}},
+    {"sample": {"read_hit": "all"}},
+    {"kinds": ["read_hit", "warp_core_breach"]},
+])
+def test_constructor_rejects(kwargs):
+    with pytest.raises(ValueError):
+        Tracer(**kwargs)
+
+
+def test_epoch_end_without_begin_raises():
+    tr = Tracer()
+    with pytest.raises(RuntimeError):
+        tr.epoch_end("init", machine=None)

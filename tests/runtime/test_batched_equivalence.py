@@ -26,9 +26,13 @@ SIZES = {"mxm": 12, "vpenta": 8, "tomcatv": 10, "swim": 10}
 @pytest.mark.parametrize("version", [Version.SEQ, Version.BASE, Version.CCDP,
                                      Version.NAIVE])
 def test_workload_bit_exact(name, version):
+    """Machine state AND the machine-event trace: ``trace=True`` runs
+    both backends under an unbounded Tracer and diffs the full event
+    streams and metrics timelines element by element."""
     params = t3d(4, cache_bytes=2048)
-    report = check_workload(name, params, version, n=SIZES[name])
+    report = check_workload(name, params, version, n=SIZES[name], trace=True)
     assert report.exact, report.summary()
+    assert report.trace_events > 0
 
 
 @pytest.mark.parametrize("name", sorted(SIZES))
@@ -42,7 +46,7 @@ def test_transformed_prefetch_replay_bit_exact(name, version):
     semantics no-op prefetches, and must stay exact doing so."""
     params = t3d(4, cache_bytes=2048)
     report = check_workload(name, params, version, n=SIZES[name],
-                            transform=True,
+                            transform=True, trace=True,
                             ccdp_overrides={"enable_vpg": False})
     assert report.exact, report.summary()
     assert report.batch_chunks > 0
