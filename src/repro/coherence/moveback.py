@@ -3,8 +3,10 @@
 Adapted from Gornish's pull-back algorithm: a line prefetch for the
 target is hoisted as far above its use as control and data dependences
 allow — never above a statement that defines a scalar used in the
-target's subscripts, never above a procedure call, and never out of the
-enclosing IF branch (Fig. 2 cases 5/6).
+target's subscripts, never above a procedure call, never above a write
+to the same array that is not provably distinct or a parallel epoch
+boundary writing the array, and never out of the enclosing IF branch
+(Fig. 2 cases 5/6).
 
 The paper's tuning parameter decides whether a given hoist distance is
 *worth it*: if the prefetch cannot be moved far enough back to plausibly
@@ -47,7 +49,8 @@ def apply_move_back(target: PrefetchTarget, config: CCDPConfig,
     if not config.enable_mbp:
         return _bypass(target)
 
-    position = hoist_floor(container, use_index, info.ref, floor)
+    position = hoist_floor(container, use_index, info.ref, floor,
+                           decl=info.decl)
     distance = sum(stmt_cost(container[i], config.machine)
                    for i in range(position, use_index))
     if distance < config.mbp_min_cycles:

@@ -11,11 +11,13 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..analysis.affine import AffineRef, affine_ref
 from ..analysis.epochs import RefInfo
 from ..analysis.locality import PrefetchGroup
+from ..ir.arrays import ArrayDecl
 from ..ir.expr import (ArrayRef, BinOp, Expr, IntConst, IntrinsicCall,
                        RefMode, VarRef)
-from ..ir.stmt import (Assign, CallStmt, If, InvalidateLines, Loop,
+from ..ir.stmt import (Assign, CallStmt, If, InvalidateLines, Loop, LoopKind,
                        PrefetchLine, PrefetchVector, Stmt)
 from ..ir.visitor import substitute
 from .config import CCDPConfig
@@ -139,8 +141,40 @@ def subscript_free_vars(ref: ArrayRef) -> set:
     return names
 
 
+def _definitely_distinct(a: Optional[AffineRef], b: Optional[AffineRef]) -> bool:
+    """Provably different addresses for every loop environment: some
+    dimension's subscripts share coefficients but differ in constant."""
+    if a is None or b is None or len(a.dims) != len(b.dims):
+        return False
+    return any(x.same_shape(y) and x.const != y.const
+               for x, y in zip(a.dims, b.dims))
+
+
+def blocks_hoist(stmt: Stmt, ref: ArrayRef,
+                 decl: Optional[ArrayDecl] = None) -> bool:
+    """May a prefetch of ``ref`` NOT be hoisted above ``stmt``?
+
+    Two data hazards beyond the scalar-definition check: a write to the
+    same array whose address cannot be proven distinct (the prefetched
+    copy would predate the write its use must observe), and a parallel
+    loop writing the array (an epoch boundary — the paper forbids
+    prefetched data to cross it, as other PEs' writes invalidate it)."""
+    aref = affine_ref(ref, decl) if decl is not None else None
+    for node in stmt.walk():
+        if isinstance(node, Loop) and node.kind == LoopKind.DOALL:
+            if any(isinstance(s, Assign) and isinstance(s.lhs, ArrayRef)
+                   and s.lhs.array == ref.array for s in node.walk()):
+                return True
+        elif isinstance(node, Assign) and isinstance(node.lhs, ArrayRef) \
+                and node.lhs.array == ref.array:
+            wref = affine_ref(node.lhs, decl) if decl is not None else None
+            if not _definitely_distinct(aref, wref):
+                return True
+    return False
+
+
 def hoist_floor(container: Sequence[Stmt], use_index: int, ref: ArrayRef,
-                floor: int) -> int:
+                floor: int, decl: Optional[ArrayDecl] = None) -> int:
     """Earliest index in ``container`` a prefetch of ``ref`` may move to,
     starting from its use at ``use_index`` and never above ``floor``."""
     names = subscript_free_vars(ref)
@@ -149,10 +183,12 @@ def hoist_floor(container: Sequence[Stmt], use_index: int, ref: ArrayRef,
         previous = container[position - 1]
         if defines_names(previous, names):
             break
+        if blocks_hoist(previous, ref, decl):
+            break
         position -= 1
     return position
 
 
 __all__ = ["variant_axis", "clamp_expr", "sub_with", "shifted_ref",
            "warmup_invalidations", "locate", "defines_names",
-           "subscript_free_vars", "hoist_floor"]
+           "subscript_free_vars", "blocks_hoist", "hoist_floor"]

@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence
 
 from ..analysis.costmodel import average_remote_latency, loop_body_cost
 from ..ir.expr import BinOp, IntConst, IntrinsicCall
-from ..ir.loops import LSC, contains_call
+from ..ir.loops import LSC, contains_call, static_trip_count
 from ..ir.stmt import Loop, LoopKind, PrefetchLine, Stmt, clone_body
 from ..ir.visitor import const_int_value
 from .config import CCDPConfig
@@ -75,6 +75,17 @@ def try_software_pipeline(lsc: LSC, targets: Sequence[PrefetchTarget],
         distance = max(1, slots // len(targets))
     if distance * len(targets) > slots or distance < 1:
         return None
+
+    # Trip constraint: the steady-state loop runs lb .. ub-d, so a
+    # look-ahead reaching the trip count would leave it zero-trip (the
+    # validator rejects constant zero-trip loops).  Shrink the distance
+    # to keep at least one steady-state iteration; a 1-iteration loop
+    # cannot be pipelined at all.
+    trips = static_trip_count(loop)
+    if trips is not None:
+        if trips <= 1:
+            return None
+        distance = min(distance, trips - 1)
 
     parent = lsc.parent_body
     assert parent is not None

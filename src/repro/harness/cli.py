@@ -15,6 +15,14 @@ Subcommands
     Execute one version with machine-event tracing: per-kind counts and
     the per-epoch metrics timeline, with optional JSONL / Chrome-trace
     export (``--trace-out`` / ``--chrome-out``).
+``verify``
+    Static coherence-safety verification: prove the paper's coverage,
+    ordering and resource rules on the transformed IR of every
+    (workload, version) pair.
+``fuzz``
+    Differential conformance fuzzing: seeded random programs through
+    all four versions × both backends × oracle × static verifier
+    (``--shrink`` delta-debugs failures to minimal ``.ir`` reproducers).
 ``info``
     List workloads and the machine configuration.
 """
@@ -178,6 +186,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--steps", type=int, default=None)
     p.add_argument("--pe", type=int, default=0, help="which PE's trace")
 
+    p = sub.add_parser("verify", help="static coherence-safety verification "
+                                      "of the transformed IR")
+    p.add_argument("--workloads", default="",
+                   help="comma list (default: all four)")
+    p.add_argument("--versions", default=",".join(Version.ALL),
+                   help="comma list of versions to verify")
+    p.add_argument("--pes", default="8", help="PE count for the machine model")
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None)
+
+    p = sub.add_parser("fuzz", help="differential conformance fuzzing "
+                                    "(versions x backends x oracle x verifier)")
+    p.add_argument("--seeds", type=int, default=25, metavar="N",
+                   help="number of generator seeds to run")
+    p.add_argument("--start", type=int, default=0, metavar="S",
+                   help="first seed (cells run seeds S .. S+N-1)")
+    p.add_argument("--pes", default="4",
+                   help="PE count for the parallel versions (seq runs on 1)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan cells out across N worker processes")
+    p.add_argument("--shrink", action="store_true",
+                   help="delta-debug failing seeds to minimal reproducers")
+    p.add_argument("--out", default="", metavar="DIR",
+                   help="directory for failing-seed .ir repro files "
+                        "(default: current directory)")
+
     sub.add_parser("info", help="list workloads and machine defaults")
 
     args = parser.parse_args(argv)
@@ -339,6 +373,76 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote Chrome trace to {args.chrome_out}",
                   file=sys.stderr)
         return 0
+
+    if args.command == "verify":
+        from ..verify import verify_program
+        from .experiment import SCALED_CACHE_BYTES
+
+        names = args.workloads.split(",") if args.workloads else \
+            [spec.name for spec in all_workloads()]
+        versions = [v.strip() for v in args.versions.split(",") if v.strip()]
+        for version in versions:
+            if version not in Version.ALL:
+                parser.error(f"--versions: unknown version {version!r}")
+        config = CCDPConfig(machine=t3d(int(args.pes),
+                                        cache_bytes=SCALED_CACHE_BYTES))
+        bad = 0
+        for name in names:
+            spec = workload(name.strip())
+            sizes = {**spec.default_args, **_size_args(args)}
+            sizes = {k: v for k, v in sizes.items() if k in spec.default_args}
+            program = spec.build(**sizes)
+            for version in versions:
+                report = verify_program(program, version, config=config)
+                print(f"{spec.name}/{version}: {report.summary()}")
+                for violation in report.violations:
+                    print(f"  {violation.describe()}")
+                    bad += 1
+        if bad:
+            print(f"\n{bad} violation(s)", file=sys.stderr)
+            return 1
+        print("\nall clean", file=sys.stderr)
+        return 0
+
+    if args.command == "fuzz":
+        import os
+
+        from ..verify import fuzz_seeds, shrink_failure
+
+        n_pes = int(args.pes)
+        seeds = list(range(args.start, args.start + args.seeds))
+        print(f"fuzzing {len(seeds)} seed(s) [{seeds[0]}..{seeds[-1]}] "
+              f"on {n_pes} PE(s) with {max(1, args.jobs)} process(es) ...",
+              file=sys.stderr)
+
+        def progress(done: int, total: int, result) -> None:
+            print(f"  [{done}/{total}] {result.describe()}", file=sys.stderr)
+
+        results = fuzz_seeds(seeds, n_pes=n_pes, jobs=args.jobs,
+                             progress=progress)
+        failing = [r for r in results if not r.ok]
+        clean = sum(r.naive_stale == 0 for r in results)
+        print(f"\n{len(results) - len(failing)}/{len(results)} seeds ok "
+              f"({len(results) - clean} with naive-version stale reads)",
+              file=sys.stderr)
+        for result in failing:
+            print(f"\n--- {result.describe()} ---")
+            if result.choices:
+                print(f"  {result.choices}")
+            for failure in result.failures:
+                print(f"  {failure}")
+            if result.error:
+                print(result.error.rstrip())
+            if args.shrink and not result.error:
+                small, text = shrink_failure(result.seed, n_pes=n_pes)
+                os.makedirs(args.out or ".", exist_ok=True)
+                path = os.path.join(args.out or ".",
+                                    f"fuzz-seed-{result.seed}.ir")
+                with open(path, "w") as fh:
+                    fh.write(text)
+                print(f"  shrunk reproducer -> {path} "
+                      f"({len(text.splitlines())} lines)")
+        return 1 if failing else 0
 
     if args.command == "run":
         if args.fault_seed < 0:

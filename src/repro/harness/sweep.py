@@ -173,6 +173,41 @@ def _run_cell(payload: Tuple[SweepSpec, Cell]):
 
 # -- parent side ---------------------------------------------------------------
 
+def run_pool(worker, payloads: Sequence, jobs: int = 1,
+             progress: Optional[Callable[[int, int, object], None]] = None
+             ) -> List:
+    """Order-preserving map of ``worker`` over ``payloads``, optionally
+    across ``jobs`` processes.
+
+    This is the shared fan-out engine for any embarrassingly-parallel
+    grid (the experiment sweep, the fuzz harness).  ``worker`` must be a
+    module-level callable of one payload (so it pickles by reference)
+    that never raises — failures travel inside its return value.  The
+    serial path round-trips every result through pickle exactly as a
+    pool transfer would: a natively built result can share interned
+    objects between its attributes where a pool-returned one does not,
+    and that identity difference changes the result's own pickled
+    bytes.  Serialising on both paths keeps ``jobs=1`` and ``jobs=N``
+    byte-identical, which tests rely on.  ``progress`` (when given) is
+    called as ``progress(done, total, result)`` after every cell.
+    """
+    total = len(payloads)
+    results: List = []
+    if jobs <= 1 or total <= 1:
+        for payload in payloads:
+            result = pickle.loads(pickle.dumps(worker(payload)))
+            results.append(result)
+            if progress is not None:
+                progress(len(results), total, result)
+    else:
+        with multiprocessing.Pool(processes=min(jobs, total)) as pool:
+            for result in pool.imap(worker, payloads, chunksize=1):
+                results.append(result)
+                if progress is not None:
+                    progress(len(results), total, result)
+    return results
+
+
 def _sized_args(spec: SweepSpec) -> Dict[str, int]:
     """The effective size arguments (defaults + applicable overrides),
     mirroring ExperimentRunner's filtering without building anything."""
@@ -193,28 +228,13 @@ def sweep_grid(specs: Sequence[SweepSpec], jobs: int = 1,
     Raises :class:`SweepError` if any cell failed.
     """
     payloads = plan_cells(specs)
-    total = len(payloads)
-    results: List[Tuple[int, Optional[RunRecord], Optional[str]]] = []
-    if jobs <= 1 or total <= 1:
-        for payload in payloads:
-            # Round-trip through pickle exactly as a pool transfer would:
-            # a natively built record shares interned strings between its
-            # attribute dict and its stats dict, a pool-returned one does
-            # not, and that identity difference changes the record's own
-            # pickled bytes.  Serialising on both paths keeps serial and
-            # parallel records byte-identical, which tests rely on.
-            result = pickle.loads(pickle.dumps(_run_cell(payload)))
-            results.append(result)
-            if progress is not None:
-                _report(progress, len(results), total, payload[1], result)
-    else:
-        with multiprocessing.Pool(processes=min(jobs, total)) as pool:
-            for done, result in enumerate(
-                    pool.imap(_run_cell, payloads, chunksize=1)):
-                results.append(result)
-                if progress is not None:
-                    _report(progress, done + 1, total,
-                            payloads[done][1], result)
+
+    def cell_progress(done: int, total: int, result) -> None:
+        _report(progress, done, total, payloads[done - 1][1], result)
+
+    results: List[Tuple[int, Optional[RunRecord], Optional[str]]] = run_pool(
+        _run_cell, payloads, jobs=jobs,
+        progress=cell_progress if progress is not None else None)
 
     by_index = {index: (record, err) for index, record, err in results}
     failures = [(cell, by_index[cell.index][1]) for _, cell in payloads
@@ -247,4 +267,4 @@ def _report(progress: ProgressFn, done: int, total: int, cell: Cell,
 
 
 __all__ = ["SweepSpec", "Cell", "SweepError", "cell_fault_seed",
-           "plan_cells", "sweep_grid"]
+           "plan_cells", "run_pool", "sweep_grid"]

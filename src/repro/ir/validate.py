@@ -7,12 +7,13 @@ time instead of deep inside the simulator.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import FrozenSet, List, Set
 
 from .expr import ArrayRef, Expr, SymConst, VarRef
 from .program import Program
 from .stmt import (Assign, CallStmt, If, InvalidateLines, Loop, PrefetchLine,
                    PrefetchVector, Stmt)
+from .visitor import const_int_value
 
 
 class ValidationError(Exception):
@@ -20,26 +21,63 @@ class ValidationError(Exception):
 
 
 def validate_program(program: Program) -> None:
-    """Check declarations, reference arity, loop-variable scoping, and
-    call-target existence for every procedure.  Raises
+    """Check declarations, reference arity, loop-variable scoping, loop
+    bounds, and call-target existence for every procedure.  Raises
     :class:`ValidationError` on the first problem."""
     if program.entry not in program.procedures:
         raise ValidationError(f"missing entry procedure {program.entry!r}")
     for proc in program.procedures.values():
         scope: Set[str] = set(program.scalars) | set(proc.params)
-        _validate_body(program, proc.name, proc.body, scope)
+        _validate_body(program, proc.name, proc.body, scope, frozenset())
 
 
-def _validate_body(program: Program, proc: str, body: List[Stmt], scope: Set[str]) -> None:
+def _validate_body(program: Program, proc: str, body: List[Stmt], scope: Set[str],
+                   loop_vars: FrozenSet[str]) -> None:
     for stmt in body:
-        _validate_stmt(program, proc, stmt, scope)
+        _validate_stmt(program, proc, stmt, scope, loop_vars)
 
 
-def _validate_stmt(program: Program, proc: str, stmt: Stmt, scope: Set[str]) -> None:
+def _validate_loop_header(program: Program, where: str, stmt: Loop,
+                          loop_vars: FrozenSet[str]) -> None:
+    """Bound and naming rules that used to be accepted and then crash (or
+    silently corrupt results) deep inside the runtime:
+
+    * a constant zero step crashes ``iteration_values`` at run time;
+    * constant bounds with a zero trip count denote a loop that can
+      never execute — always a construction bug in this IR's workloads;
+    * a loop variable named like a declared array shadows the array in
+      the interpreter environment;
+    * a loop variable duplicating an *enclosing* loop's variable clobbers
+      the outer induction value mid-flight (the outer loop keeps
+      iterating but its body sees the inner loop's final value).
+    """
+    step = const_int_value(stmt.step)
+    if step == 0:
+        raise ValidationError(f"{where}: loop {stmt.var!r} has zero step")
+    lo = const_int_value(stmt.lower)
+    hi = const_int_value(stmt.upper)
+    if lo is not None and hi is not None and step is not None:
+        trips = (hi - lo) // step + 1 if step > 0 else (lo - hi) // (-step) + 1
+        if trips <= 0:
+            raise ValidationError(
+                f"{where}: loop {stmt.var!r} has zero trip count "
+                f"({lo}..{hi} step {step})")
+    if stmt.var in program.arrays:
+        raise ValidationError(
+            f"{where}: loop variable {stmt.var!r} collides with an array name")
+    if stmt.var in loop_vars:
+        raise ValidationError(
+            f"{where}: loop variable {stmt.var!r} duplicates an enclosing "
+            f"loop's variable")
+
+
+def _validate_stmt(program: Program, proc: str, stmt: Stmt, scope: Set[str],
+                   loop_vars: FrozenSet[str]) -> None:
     where = f"{proc}: {type(stmt).__name__}"
     if isinstance(stmt, Loop):
         for expr in stmt.expressions():
             _validate_expr(program, where, expr, scope)
+        _validate_loop_header(program, where, stmt, loop_vars)
         if stmt.align:
             target = program.arrays.get(stmt.align)
             if target is None:
@@ -48,14 +86,15 @@ def _validate_stmt(program: Program, proc: str, stmt: Stmt, scope: Set[str]) -> 
                 raise ValidationError(f"{where}: align target {stmt.align!r} is private")
         if stmt.preamble:
             pre_scope = scope | set(stmt.chunk_vars())
-            _validate_body(program, proc, stmt.preamble, pre_scope)
+            _validate_body(program, proc, stmt.preamble, pre_scope, loop_vars)
         inner_scope = scope | {stmt.var}
-        _validate_body(program, proc, stmt.body, inner_scope)
+        _validate_body(program, proc, stmt.body, inner_scope,
+                       loop_vars | {stmt.var})
         return
     if isinstance(stmt, If):
         _validate_expr(program, where, stmt.cond, scope)
-        _validate_body(program, proc, stmt.then_body, scope)
-        _validate_body(program, proc, stmt.else_body, scope)
+        _validate_body(program, proc, stmt.then_body, scope, loop_vars)
+        _validate_body(program, proc, stmt.else_body, scope, loop_vars)
         return
     if isinstance(stmt, Assign):
         if isinstance(stmt.lhs, VarRef) and stmt.lhs.name not in scope:

@@ -1,0 +1,27 @@
+"""Static coherence-safety verification and randomized conformance
+fuzzing for the CCDP pipeline.
+
+* :mod:`repro.verify.safety` — static checker proving the paper's
+  coherence rules on transformed IR.
+* :mod:`repro.verify.gen` — seeded random affine-program generator.
+* :mod:`repro.verify.fuzz` — differential fuzz harness (versions ×
+  backends × oracle × static verifier).
+* :mod:`repro.verify.minimize` — delta-debugging shrinker for failing
+  seeds.
+"""
+
+from .fuzz import (FuzzResult, check_program, fuzz_seeds, run_fuzz_cell,
+                   shrink_failure)
+from .gen import GenChoices, generate_program, generate_with_choices
+from .minimize import minimize_program
+from .safety import (SafetyReport, Violation, verify_program,
+                     verify_structural, verify_transform)
+
+__all__ = [
+    "SafetyReport", "Violation",
+    "verify_transform", "verify_program", "verify_structural",
+    "GenChoices", "generate_program", "generate_with_choices",
+    "FuzzResult", "check_program", "fuzz_seeds", "run_fuzz_cell",
+    "shrink_failure",
+    "minimize_program",
+]

@@ -1,0 +1,221 @@
+"""Seeded random affine-program generator for differential fuzzing.
+
+Programs are drawn from a grammar shaped like the paper's case studies:
+an initialisation DOALL followed by 2–4 *epochs* chosen from a menu of
+parallel stencils (affine subscripts with small constant offsets, which
+form uniformly-generated groups), reversed-coefficient copies, serial
+reductions, serial recurrence sweeps, straight-line serial segments, and
+region loops (a serial time loop around DOALLs, contributing epoch-graph
+back edges).
+
+Three invariants hold for every seed, by construction:
+
+* the program passes :func:`repro.ir.validate.validate_program` (loop
+  bounds are constant and non-empty, loop variables never collide with
+  arrays or enclosing loops);
+* every DOALL is honestly independent — iteration ``j`` writes only
+  column ``j`` of its target arrays and reads them only at column ``j``,
+  while *other* arrays may be read at arbitrary affine columns (those
+  cross-column reads of earlier epochs' output are exactly what goes
+  stale and what CCDP must protect);
+* all arithmetic is dyadic-rational ``+``/``-``/``*`` over deterministic
+  initial values, so every version and backend must agree bit-exactly.
+
+The printer/parser round-trip is also total: no symbolic constants are
+emitted, so ``parse_program(format_program(p))`` reproduces the program
+(the regression corpus relies on this).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..ir.builder import E, ProgramBuilder
+from ..ir.program import Program
+
+#: array names — chosen to never collide with the loop variables below
+_ARRAYS = ("u", "v", "w")
+_COEFFS = (0.5, 0.25, -0.5, 1.5, 2.0, -1.0, 0.125, 0.75)
+_SIZES = (6, 8, 10)
+
+_EPOCH_MENU = ("stencil", "stencil", "copy_reverse", "reduction",
+               "sweep", "segment", "region")
+
+
+@dataclass(frozen=True)
+class GenChoices:
+    """What one seed drew — attached to fuzz reports for triage."""
+
+    seed: int
+    size: int
+    arrays: Tuple[str, ...]
+    epochs: Tuple[str, ...]
+
+    def describe(self) -> str:
+        return (f"seed {self.seed}: n={self.size}, arrays={list(self.arrays)}, "
+                f"epochs={list(self.epochs)}")
+
+
+def generate_program(seed: int) -> Program:
+    program, _ = generate_with_choices(seed)
+    return program
+
+
+def generate_with_choices(seed: int) -> Tuple[Program, GenChoices]:
+    """Build the program for ``seed`` along with its draw record."""
+    rng = random.Random(seed)
+    n = rng.choice(_SIZES)
+    arrays = list(_ARRAYS[:rng.randint(2, 3)])
+    b = ProgramBuilder(f"fuzz{seed}")
+    for name in arrays:
+        b.shared(name, (n, n))
+
+    kinds: List[str] = []
+    with b.proc("main"):
+        _emit_init(b, arrays, n)
+        for _ in range(rng.randint(2, 4)):
+            kind = rng.choice(_EPOCH_MENU)
+            kinds.append(kind)
+            _EMITTERS[kind](b, rng, arrays, n)
+    program = b.finish()
+    return program, GenChoices(seed, n, tuple(arrays), tuple(kinds))
+
+
+# ---------------------------------------------------------------------------
+# epoch emitters — each appends one epoch's worth of statements
+# ---------------------------------------------------------------------------
+
+def _emit_init(b: ProgramBuilder, arrays: List[str], n: int) -> None:
+    """Aligned initialisation DOALL: every PE fills its own columns."""
+    with b.doall("j", 1, n, align=arrays[0], label="init"):
+        with b.do("i", 1, n):
+            for idx, name in enumerate(arrays):
+                b.assign(b.ref(name, "i", "j"),
+                         E("i") * (0.25 + 0.125 * idx)
+                         + E("j") * (0.5 - 0.25 * idx) - idx * 1.5)
+
+
+def _term(b: ProgramBuilder, rng: random.Random, src: str, dst: str):
+    """One affine read term.  Reads of the epoch's own target stay in the
+    exact column (independence); other arrays roam one column away."""
+    di = rng.choice((-1, 0, 1))
+    dj = 0 if src == dst else rng.choice((-1, 0, 1))
+    iv = E("i") + di if di else E("i")
+    jv = E("j") + dj if dj else E("j")
+    return b.ref(src, iv, jv) * rng.choice(_COEFFS)
+
+
+def _stencil_body(b: ProgramBuilder, rng: random.Random, arrays: List[str],
+                  dst: str) -> None:
+    expr = _term(b, rng, rng.choice(arrays), dst)
+    for _ in range(rng.randint(1, 3)):
+        expr = expr + _term(b, rng, rng.choice(arrays), dst)
+    b.assign(b.ref(dst, "i", "j"), expr)
+
+
+def _emit_stencil(b: ProgramBuilder, rng: random.Random, arrays: List[str],
+                  n: int) -> None:
+    dst = rng.choice(arrays)
+    align = dst if rng.random() < 0.5 else ""
+    with b.doall("j", 2, n - 1, align=align, label="stencil"):
+        with b.do("i", 2, n - 1):
+            if rng.random() < 0.25:
+                with b.if_(E("i") < (2 + n) // 2) as node:
+                    _stencil_body(b, rng, arrays, dst)
+                with b.else_(node):
+                    _stencil_body(b, rng, arrays, dst)
+            else:
+                _stencil_body(b, rng, arrays, dst)
+
+
+def _emit_copy_reverse(b: ProgramBuilder, rng: random.Random,
+                       arrays: List[str], n: int) -> None:
+    """Column-reversed copy: the source column coefficient is -1, which
+    exercises the negative-coefficient paths of VPG and the verifier's
+    affine machinery."""
+    dst = rng.choice(arrays)
+    others = [a for a in arrays if a != dst] or [dst]
+    src = rng.choice(others)
+    with b.doall("j", 1, n, label="reverse"):
+        with b.do("i", 1, n):
+            rhs = b.ref(src, "i", E(n + 1) - E("j")) * rng.choice(_COEFFS)
+            if src != dst:
+                rhs = rhs + b.ref(dst, "i", "j") * 0.5
+            b.assign(b.ref(dst, "i", "j"), rhs)
+
+
+def _emit_reduction(b: ProgramBuilder, rng: random.Random, arrays: List[str],
+                    n: int) -> None:
+    """Serial epoch accumulating a whole array into one cell — the reads
+    sweep columns written (possibly remotely) by earlier epochs."""
+    dst = rng.choice(arrays)
+    others = [a for a in arrays if a != dst] or [dst]
+    src = rng.choice(others)
+    c = rng.choice(_COEFFS)
+    with b.do("i", 2, n - 1, label="reduce"):
+        with b.do("j", 2, n - 1):
+            b.assign(b.ref(dst, 1, 1),
+                     b.ref(dst, 1, 1) + b.ref(src, "i", "j") * c)
+
+
+def _emit_sweep(b: ProgramBuilder, rng: random.Random, arrays: List[str],
+                n: int) -> None:
+    """Serial first-order recurrence along rows of a fixed column pair —
+    the inner-serial-loop shape that software pipelining targets."""
+    dst = rng.choice(arrays)
+    others = [a for a in arrays if a != dst] or [dst]
+    src = rng.choice(others)
+    col_d = rng.randint(1, n)
+    col_s = rng.randint(1, n)
+    c = rng.choice(_COEFFS)
+    with b.do("i", 2, n, label="sweep"):
+        b.assign(b.ref(dst, "i", col_d),
+                 b.ref(dst, E("i") - 1, col_d) * 0.5
+                 + b.ref(src, "i", col_s) * c)
+
+
+def _emit_segment(b: ProgramBuilder, rng: random.Random, arrays: List[str],
+                  n: int) -> None:
+    """Straight-line serial statements (Fig. 2 case 4: move-back only)."""
+    for _ in range(rng.randint(2, 4)):
+        dst = rng.choice(arrays)
+        src = rng.choice(arrays)
+        b.assign(b.ref(dst, rng.randint(1, n), rng.randint(1, n)),
+                 b.ref(src, rng.randint(1, n), rng.randint(1, n))
+                 * rng.choice(_COEFFS) + rng.choice(_COEFFS))
+
+
+def _emit_region(b: ProgramBuilder, rng: random.Random, arrays: List[str],
+                 n: int) -> None:
+    """Serial time loop around DOALLs — region-loop back edges; each
+    time step re-reads neighbour columns written by the previous one."""
+    dst = rng.choice(arrays)
+    others = [a for a in arrays if a != dst] or [dst]
+    src = rng.choice(others)
+    with b.do("t", 1, 2, label="time"):
+        with b.doall("j", 2, n - 1, label="step"):
+            with b.do("i", 2, n - 1):
+                b.assign(b.ref(dst, "i", "j"),
+                         b.ref(src, "i", E("j") - 1) * 0.5
+                         + b.ref(src, "i", E("j") + 1) * 0.25
+                         + b.ref(dst, "i", "j") * rng.choice(_COEFFS))
+        if rng.random() < 0.5 and src != dst:
+            with b.doall("j", 2, n - 1, label="feedback"):
+                with b.do("i", 2, n - 1):
+                    b.assign(b.ref(src, "i", "j"),
+                             b.ref(dst, "i", E("j") - 1) * 0.25
+                             + b.ref(src, "i", "j") * 0.5)
+
+
+_EMITTERS = {
+    "stencil": _emit_stencil,
+    "copy_reverse": _emit_copy_reverse,
+    "reduction": _emit_reduction,
+    "sweep": _emit_sweep,
+    "segment": _emit_segment,
+    "region": _emit_region,
+}
+
+__all__ = ["GenChoices", "generate_program", "generate_with_choices"]

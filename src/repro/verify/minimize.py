@@ -1,0 +1,267 @@
+"""Delta-debugging shrinker for failing fuzz seeds.
+
+Given a program and a *predicate* (``True`` = still exhibits the
+failure), the shrinker greedily applies reduction passes until a fixed
+point:
+
+1. **drop statements** — any statement anywhere in the program (top-level
+   epochs first, then nested statements);
+2. **shrink loop bounds** — halve constant trip counts, down to one
+   iteration;
+3. **simplify subscripts** — replace affine offset expressions with their
+   bare variable, then with the constant ``1``;
+4. **drop unused arrays** — after the body shrank.
+
+Every candidate edit is applied to a fresh clone, re-validated (invalid
+candidates are discarded — the shrinker never hands the predicate a
+program that :func:`repro.ir.validate.validate_program` rejects), and
+kept only when the predicate still fails.  The result serializes through
+the IR printer for corpus files and bug reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..ir.expr import ArrayRef, BinOp, IntConst, VarRef
+from ..ir.program import Program
+from ..ir.stmt import Loop, Stmt
+from ..ir.validate import ValidationError, validate_program
+from ..ir.visitor import const_int_value
+
+Predicate = Callable[[Program], bool]
+
+#: (procedure name, alternating (stmt index, bodies() index, ...) steps)
+_Path = Tuple[str, Tuple[int, ...]]
+
+
+def _body_at(program: Program, path: _Path) -> Optional[List[Stmt]]:
+    """Resolve the statement list a path's final index points into."""
+    proc_name, steps = path
+    proc = program.procedures.get(proc_name)
+    if proc is None:
+        return None
+    body: List[Stmt] = proc.body
+    it = iter(steps[:-1])
+    for stmt_index in it:
+        body_index = next(it)
+        if stmt_index >= len(body):
+            return None
+        bodies = list(body[stmt_index].bodies())
+        if body_index >= len(bodies):
+            return None
+        body = bodies[body_index]
+    return body
+
+
+def _stmt_at(program: Program, path: _Path) -> Optional[Stmt]:
+    body = _body_at(program, path)
+    if body is None or path[1][-1] >= len(body):
+        return None
+    return body[path[1][-1]]
+
+
+def _all_paths(program: Program) -> List[_Path]:
+    """Paths to every statement, outermost first."""
+    paths: List[_Path] = []
+
+    def walk(proc: str, body: List[Stmt], steps: Tuple[int, ...]) -> None:
+        for i, stmt in enumerate(body):
+            paths.append((proc, steps + (i,)))
+            for bi, sub in enumerate(stmt.bodies()):
+                walk(proc, sub, steps + (i, bi))
+
+    for proc in program.procedures.values():
+        walk(proc.name, proc.body, ())
+    return paths
+
+
+def _try(candidate: Program, predicate: Predicate) -> bool:
+    try:
+        validate_program(candidate)
+    except ValidationError:
+        return False
+    try:
+        return bool(predicate(candidate))
+    except Exception:
+        # A predicate crash is not "the failure still reproduces" — the
+        # shrinker must not wander onto a different bug.
+        return False
+
+
+def minimize_program(program: Program, predicate: Predicate,
+                     max_trials: int = 2000) -> Program:
+    """Shrink ``program`` while ``predicate`` keeps returning True.
+
+    The input is never mutated; returns the smallest reproducer found
+    within the trial budget (the input itself when nothing shrinks)."""
+    current = program.clone()
+    budget = [max_trials]
+
+    def attempt(edit) -> bool:
+        if budget[0] <= 0:
+            return False
+        candidate = current.clone()
+        if not edit(candidate):
+            return False
+        budget[0] -= 1
+        return _try(candidate, predicate) and _adopt(candidate)
+
+    def _adopt(candidate: Program) -> bool:
+        nonlocal current
+        current = candidate
+        return True
+
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        changed |= _pass_drop_statements(current, attempt)
+        changed |= _pass_shrink_bounds(current, attempt)
+        changed |= _pass_simplify_subscripts(current, attempt)
+    _drop_unused_arrays(current)
+    return current
+
+
+# ---------------------------------------------------------------------------
+# passes — each returns True when at least one edit was adopted
+# ---------------------------------------------------------------------------
+
+def _pass_drop_statements(current: Program, attempt) -> bool:
+    changed = False
+    # Deepest-last ordering: dropping a whole epoch first is the biggest
+    # win; re-enumerate after every adopted edit (paths go stale).
+    progress = True
+    while progress:
+        progress = False
+        for path in _all_paths(current):
+            def drop(candidate: Program, path=path) -> bool:
+                body = _body_at(candidate, path)
+                if body is None or path[1][-1] >= len(body):
+                    return False
+                del body[path[1][-1]]
+                return True
+
+            if attempt(drop):
+                changed = progress = True
+                break
+    return changed
+
+
+def _pass_shrink_bounds(current: Program, attempt) -> bool:
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for path in _all_paths(current):
+            stmt = _stmt_at(current, path)
+            if not isinstance(stmt, Loop):
+                continue
+            lo = const_int_value(stmt.lower)
+            hi = const_int_value(stmt.upper)
+            step = const_int_value(stmt.step)
+            if lo is None or hi is None or step != 1 or hi <= lo:
+                continue
+            for new_hi in (lo, lo + (hi - lo) // 2):
+                if new_hi >= hi:
+                    continue
+
+                def shrink(candidate: Program, path=path, new_hi=new_hi) -> bool:
+                    target = _stmt_at(candidate, path)
+                    if not isinstance(target, Loop):
+                        return False
+                    target.upper = IntConst(new_hi)
+                    return True
+
+                if attempt(shrink):
+                    changed = progress = True
+                    break
+            if progress:
+                break
+    return changed
+
+
+def _subscript_slots(stmt: Stmt) -> List[Tuple[int, int]]:
+    """(ArrayRef ordinal within the statement, subscript index) pairs
+    whose subscript is a compound expression."""
+    slots = []
+    ordinal = 0
+    for expr in stmt.expressions():
+        for node in expr.walk():
+            if isinstance(node, ArrayRef):
+                for k, sub in enumerate(node.subscripts):
+                    if isinstance(sub, BinOp):
+                        slots.append((ordinal, k))
+                ordinal += 1
+    return slots
+
+
+def _rewrite_subscript(stmt: Stmt, ordinal: int, k: int, replacement) -> bool:
+    count = 0
+    for expr in stmt.expressions():
+        for node in expr.walk():
+            if isinstance(node, ArrayRef):
+                if count == ordinal:
+                    if k >= len(node.subscripts):
+                        return False
+                    node.subscripts[k] = replacement(node.subscripts[k])
+                    return True
+                count += 1
+    return False
+
+
+def _pass_simplify_subscripts(current: Program, attempt) -> bool:
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for path in _all_paths(current):
+            stmt = _stmt_at(current, path)
+            if stmt is None:
+                continue
+            for ordinal, k in _subscript_slots(stmt):
+                for make in (_bare_var, lambda _old: IntConst(1)):
+
+                    def simplify(candidate: Program, path=path,
+                                 ordinal=ordinal, k=k, make=make) -> bool:
+                        target = _stmt_at(candidate, path)
+                        if target is None:
+                            return False
+                        return _rewrite_subscript(target, ordinal, k, make)
+
+                    if attempt(simplify):
+                        changed = progress = True
+                        break
+                if progress:
+                    break
+            if progress:
+                break
+    return changed
+
+
+def _bare_var(old):
+    """``j + 1`` -> ``j`` (first variable mentioned), else unchanged
+    (the attempt then fails the did-anything-change test via predicate)."""
+    for name in sorted(old.free_vars()):
+        return VarRef(name)
+    return IntConst(1)
+
+
+def _drop_unused_arrays(program: Program) -> None:
+    used = set()
+    for proc in program.procedures.values():
+        for stmt in proc.walk():
+            for expr in stmt.expressions():
+                for node in expr.walk():
+                    if isinstance(node, ArrayRef):
+                        used.add(node.array)
+            for attr in ("array",):
+                name = getattr(stmt, attr, None)
+                if isinstance(name, str):
+                    used.add(name)
+            if isinstance(stmt, Loop) and stmt.align:
+                used.add(stmt.align)
+    for name in [n for n in program.arrays if n not in used]:
+        del program.arrays[name]
+
+
+__all__ = ["minimize_program"]

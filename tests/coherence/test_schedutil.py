@@ -75,11 +75,47 @@ class TestHoisting:
         pos = hoist_floor(body, 3, ref, floor=0)
         assert pos == 3  # cannot cross the m = 5 at index 2
 
-    def test_hoist_to_floor_when_unblocked(self):
+    def test_hoist_stops_at_aliasing_write(self):
         body = self.body()
-        ref = ir.aref("a", 1)  # constant subscripts: nothing blocks
+        ref = ir.aref("a", 1)
+        # body[1] writes a(1) — the very address being prefetched; the
+        # hoist must not cross it (the prefetched copy would predate it).
         pos = hoist_floor(body, 3, ref, floor=1)
-        assert pos == 1
+        assert pos == 2
+
+    def test_hoist_crosses_provably_distinct_write(self):
+        b = ir.ProgramBuilder("p")
+        decl = b.shared("a", (8,))
+        b.shared("b", (8,))
+        body = [
+            ir.Assign(ir.VarRef("k"), ir.IntConst(3)),
+            ir.Assign(ir.aref("a", 2), ir.FloatConst(0.0)),  # distinct cell
+            ir.Assign(ir.aref("b", 1), ir.aref("a", 1)),
+        ]
+        ref = ir.aref("a", 1)
+        # with the declaration available the write to a(2) is provably a
+        # different address, so the hoist may cross it
+        assert hoist_floor(body, 2, ref, floor=1, decl=decl) == 1
+        # without the declaration there is no proof: stay conservative
+        assert hoist_floor(body, 2, ref, floor=1) == 2
+
+    def test_hoist_stops_at_parallel_epoch_boundary(self):
+        b = ir.ProgramBuilder("p")
+        decl = b.shared("a", (8, 8))
+        b.shared("b", (8, 8))
+        with b.proc("main"):
+            with b.doall("j", 1, 8):
+                b.assign(b.ref("a", 1, "j"), 0.0)
+        doall = b.program.entry_proc.body[0]
+        body = [
+            ir.Assign(ir.VarRef("k"), ir.IntConst(3)),
+            doall,
+            ir.Assign(ir.aref("b", 1, 1), ir.aref("a", 2, 2)),
+        ]
+        ref = ir.aref("a", 2, 2)
+        # the DOALL writes `a`: an epoch boundary no prefetch of `a` may
+        # cross, even though no single write provably aliases a(2,2)
+        assert hoist_floor(body, 2, ref, floor=0, decl=decl) == 2
 
 
 class TestWarmupInvalidations:

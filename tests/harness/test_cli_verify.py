@@ -1,0 +1,49 @@
+"""The ``ccdp verify`` and ``ccdp fuzz`` subcommands."""
+
+import pytest
+
+from repro.harness.cli import main
+from repro.verify import fuzz
+from repro.verify.fuzz import FuzzResult
+
+
+class TestVerifyCommand:
+    def test_verify_single_workload_clean(self, capsys):
+        assert main(["verify", "--workloads", "mxm",
+                     "--versions", "ccdp,naive"]) == 0
+        captured = capsys.readouterr()
+        assert "mxm/ccdp" in captured.out
+        assert "0 violation(s)" in captured.out
+        assert "all clean" in captured.err
+
+    def test_verify_rejects_unknown_version(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--versions", "bogus"])
+
+
+class TestFuzzCommand:
+    def test_fuzz_clean_seeds(self, capsys):
+        assert main(["fuzz", "--seeds", "2", "--pes", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "[2/2]" in captured.err
+        assert "2/2 seeds ok" in captured.err
+
+    def test_fuzz_failure_shrinks_to_repro_file(self, tmp_path, capsys,
+                                                monkeypatch):
+        # force one failing cell so the shrink-and-report path runs
+        def fake_cell(payload):
+            seed, n_pes = payload
+            return FuzzResult(seed=seed, n_pes=n_pes, choices=f"seed {seed}",
+                              failures=("values[ccdp]: u differs",))
+
+        monkeypatch.setattr(fuzz, "run_fuzz_cell", fake_cell)
+        monkeypatch.setattr(
+            fuzz, "check_program",
+            lambda p, n_pes=4, collect=None: ["values[ccdp]: u differs"])
+        assert main(["fuzz", "--seeds", "1", "--start", "3", "--shrink",
+                     "--out", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "values[ccdp]: u differs" in captured.out
+        repro = tmp_path / "fuzz-seed-3.ir"
+        assert repro.exists()
+        assert "program fuzz3" in repro.read_text()

@@ -142,6 +142,84 @@ class TestValidation:
             validate_program(program)
 
 
+class TestLoopHeaderValidation:
+    """Generator-exposed edges: these loop shapes used to validate and
+    then crash (zero step raises ``range() arg 3 must not be zero`` in
+    ``iteration_values``) or silently corrupt results (a nested duplicate
+    loop variable clobbers the outer induction value, so the outer body
+    keeps writing through the inner loop's final index)."""
+
+    def test_zero_step_rejected(self):
+        program = small_program().finish()
+        program.entry_proc.body.append(
+            ir.Loop("k", 1, 4, 0,
+                    [ir.Assign(ir.aref("a", 1, 1), ir.IntConst(0))]))
+        with pytest.raises(ValidationError, match="zero step"):
+            validate_program(program)
+
+    def test_zero_trip_constant_bounds_rejected(self):
+        program = small_program().finish()
+        program.entry_proc.body.append(
+            ir.Loop("k", 4, 1, 1,
+                    [ir.Assign(ir.aref("a", 1, 1), ir.IntConst(0))]))
+        with pytest.raises(ValidationError, match="zero trip"):
+            validate_program(program)
+
+    def test_zero_trip_negative_step_rejected(self):
+        program = small_program().finish()
+        program.entry_proc.body.append(
+            ir.Loop("k", 1, 4, -1,
+                    [ir.Assign(ir.aref("a", 1, 1), ir.IntConst(0))]))
+        with pytest.raises(ValidationError, match="zero trip"):
+            validate_program(program)
+
+    def test_countdown_loop_still_allowed(self):
+        program = small_program().finish()
+        program.entry_proc.body.append(
+            ir.Loop("k", 4, 1, -1,
+                    [ir.Assign(ir.aref("a", 1, 1), ir.IntConst(0))]))
+        validate_program(program)  # must not raise
+
+    def test_symbolic_bounds_still_allowed(self):
+        # Unknown trip counts stay a runtime concern; only *constant*
+        # zero-trip headers are construction bugs.
+        program = small_program().finish()
+        program.entry_proc.body.append(
+            ir.Loop("k", 1, ir.SymConst("n"), 1,
+                    [ir.Assign(ir.aref("a", 1, 1), ir.IntConst(0))]))
+        validate_program(program)
+
+    def test_loop_variable_colliding_with_array_rejected(self):
+        program = small_program().finish()
+        program.entry_proc.body.append(
+            ir.Loop("a", 1, 4, 1,
+                    [ir.Assign(ir.aref("a", 1, 1), ir.IntConst(0))]))
+        with pytest.raises(ValidationError, match="collides with an array"):
+            validate_program(program)
+
+    def test_nested_duplicate_loop_variable_rejected(self):
+        inner = ir.Loop("i", 1, 2, 1,
+                        [ir.Assign(ir.aref("a", ir.VarRef("i"), 1),
+                                   ir.IntConst(7))])
+        outer = ir.Loop("i", 1, 4, 1,
+                        [inner,
+                         ir.Assign(ir.aref("a", ir.VarRef("i"), 2),
+                                   ir.IntConst(9))])
+        program = small_program().finish()
+        program.entry_proc.body.append(outer)
+        with pytest.raises(ValidationError, match="duplicates an enclosing"):
+            validate_program(program)
+
+    def test_sibling_loops_may_share_a_variable(self):
+        program = small_program().finish()
+        for col in (1, 2):
+            program.entry_proc.body.append(
+                ir.Loop("k", 1, 4, 1,
+                        [ir.Assign(ir.aref("a", ir.VarRef("k"), col),
+                                   ir.IntConst(0))]))
+        validate_program(program)  # reuse across siblings is fine
+
+
 class TestProgramClone:
     def test_clone_is_independent(self):
         program = small_program().finish()

@@ -1,0 +1,96 @@
+"""Regression corpus: pinned generator programs replayed through the
+full differential battery on every tier-1 run.
+
+The ``.ir`` files under ``tests/verify/corpus/`` are the printed form
+of specific generator seeds, chosen for the machinery they exercise
+(see ``CORPUS``).  They are committed so that future generator changes
+cannot silently retire a regression: the drift test proves disk ==
+generator, and the replay test re-runs the battery on the parsed file.
+To regenerate after an *intentional* generator change::
+
+    REPRO_UPDATE_CORPUS=1 PYTHONPATH=src python -m pytest tests/verify/test_corpus.py
+
+then review the corpus diffs like any other code change.
+"""
+
+import dataclasses
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.ir.dsl import parse_program
+from repro.ir.printer import format_program
+from repro.machine.params import t3d
+from repro.runtime import Version, run_program
+from repro.verify.fuzz import check_program
+from repro.verify.gen import generate_program, generate_with_choices
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+UPDATE = os.environ.get("REPRO_UPDATE_CORPUS") == "1"
+
+#: seed -> why it is pinned
+CORPUS = {
+    0: "copy_reverse + region: negative coefficients and back edges",
+    1: "stencil/sweep/segment; overflows a 2-slot prefetch queue",
+    5: "four epochs incl. reduction + region on three arrays",
+    8: "stencil/reduction/stencil with branchy stencil bodies",
+    10: "multi-epoch reduction (reduction, region, reduction)",
+    12: "queue-capacity-forced bypass under a squeezed queue",
+}
+
+#: seeds whose prefetch footprint overflows a 2-slot queue, forcing the
+#: rule-2 dynamic demotion (dropped prefetch -> bypass fetch at use)
+QUEUE_PRESSURE_SEEDS = (1, 12)
+
+
+def _path(seed):
+    return CORPUS_DIR / f"seed{seed:03d}.ir"
+
+
+@pytest.mark.parametrize("seed", sorted(CORPUS))
+def test_corpus_matches_generator(seed):
+    text = format_program(generate_program(seed))
+    path = _path(seed)
+    if UPDATE:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), \
+        f"missing corpus file {path}; generate with REPRO_UPDATE_CORPUS=1"
+    assert path.read_text() == text, \
+        (f"{path.name} no longer matches the generator; if the generator "
+         f"change is intentional, regenerate with REPRO_UPDATE_CORPUS=1 "
+         f"and review the diff")
+
+
+@pytest.mark.parametrize("seed", sorted(CORPUS))
+def test_corpus_replays_clean(seed):
+    program = parse_program(_path(seed).read_text())
+    failures = check_program(program, n_pes=4)
+    assert not failures, "\n".join(failures)
+
+
+def test_multi_epoch_reduction_is_pinned():
+    _, choices = generate_with_choices(10)
+    assert choices.epochs.count("reduction") >= 2
+
+
+@pytest.mark.parametrize("seed", QUEUE_PRESSURE_SEEDS)
+def test_squeezed_queue_forces_bypass_and_stays_correct(seed):
+    """Rule 2 end to end: with a 2-slot queue the look-ahead prefetches
+    provably overflow, the machine drops them, and the dropped lines are
+    re-fetched around the cache — values stay bit-identical to seq."""
+    program = parse_program(_path(seed).read_text())
+    params = dataclasses.replace(t3d(4), prefetch_queue_slots=2)
+    transformed, _ = ccdp_transform(program, CCDPConfig(machine=params))
+    result = run_program(transformed, params, Version.CCDP)
+    total = result.machine.stats.total()
+    assert total.pf_dropped > 0
+    assert total.pf_drop_bypass > 0
+    assert total.stale_hits == 0
+    seq = run_program(program, t3d(1), Version.SEQ)
+    for name, expected in seq.machine.memory.values.items():
+        assert np.array_equal(expected, result.machine.memory.values[name])

@@ -1,0 +1,91 @@
+"""The delta-debugging shrinker: candidates stay valid, the predicate
+is preserved, crashes and budget exhaustion are contained."""
+
+import repro.ir as ir
+from repro.ir.dsl import parse_program
+from repro.ir.printer import format_program
+from repro.ir.validate import validate_program
+from repro.verify import fuzz
+from repro.verify.gen import generate_program
+from repro.verify.minimize import minimize_program
+
+
+def _writes(program, array):
+    for proc in program.procedures.values():
+        for stmt in proc.walk():
+            if isinstance(stmt, ir.Assign) and \
+                    isinstance(stmt.lhs, ir.ArrayRef) and \
+                    stmt.lhs.array == array:
+                return True
+    return False
+
+
+def _stmt_count(program):
+    return sum(1 for proc in program.procedures.values()
+               for _ in proc.walk())
+
+
+def test_shrinks_while_preserving_predicate():
+    program = generate_program(3)
+    before = _stmt_count(program)
+    small = minimize_program(program, lambda p: _writes(p, "v"))
+    assert _writes(small, "v")
+    assert _stmt_count(small) < before
+    validate_program(small)
+
+
+def test_result_round_trips_through_printer():
+    small = minimize_program(generate_program(3), lambda p: _writes(p, "v"))
+    text = format_program(small)
+    assert format_program(parse_program(text)) == text
+
+
+def test_input_is_never_mutated():
+    program = generate_program(3)
+    text = format_program(program)
+    minimize_program(program, lambda p: _writes(p, "v"))
+    assert format_program(program) == text
+
+
+def test_unused_arrays_are_dropped():
+    small = minimize_program(generate_program(3), lambda p: _writes(p, "v"))
+    used = set()
+    for proc in small.procedures.values():
+        for stmt in proc.walk():
+            for expr in stmt.expressions():
+                for node in expr.walk():
+                    if isinstance(node, ir.ArrayRef):
+                        used.add(node.array)
+    assert set(small.arrays) <= used | {"v"}
+
+
+def test_predicate_crash_is_not_a_repro():
+    # a predicate that *crashes* when `v` is gone must not let the
+    # shrinker drop `v` — crashing is not "the failure reproduces"
+    def brittle(program):
+        if not _writes(program, "v"):
+            raise KeyError("v is gone")
+        return True
+
+    small = minimize_program(generate_program(3), brittle)
+    assert _writes(small, "v")
+
+
+def test_zero_budget_returns_input_unchanged():
+    program = generate_program(5)
+    small = minimize_program(program, lambda p: True, max_trials=0)
+    assert format_program(small) == format_program(program)
+
+
+def test_shrink_failure_drives_the_battery(monkeypatch):
+    # substitute a cheap structural "battery" so the shrink path is
+    # exercised without needing a real pipeline bug
+    monkeypatch.setattr(
+        fuzz, "check_program",
+        lambda p, n_pes=4, collect=None:
+            ["writes v"] if _writes(p, "v") else [])
+    small, text = fuzz.shrink_failure(3)
+    assert _writes(small, "v")
+    assert format_program(parse_program(text)) == text
+    assert len(text.splitlines()) < \
+        len(format_program(generate_program(3)).splitlines())

@@ -1,0 +1,229 @@
+"""Mutation testing of the static safety verifier: every seeded
+coherence bug in real transformed workload IR must be flagged with an
+IR-located Violation, and the clean 4-workload x 4-version matrix must
+verify clean.
+
+Each mutant breaks exactly one of the paper's safety rules:
+
+* drop the fused invalidate from a prefetch (rule: invalidate before
+  prefetch);
+* re-add the invalidation *after* the prefetch (ordering, not
+  presence, is what the rule demands);
+* delete the invalidation guarding a stale summarised call;
+* un-convert a bypass read back to a cached read (rule 2's demotion);
+* hoist a prefetch above the parallel epoch that writes its array;
+* leave a prefetch in front of a write that definitely aliases it;
+* inflate a look-ahead distance beyond the prefetch queue capacity.
+"""
+
+import pytest
+
+import repro.ir as ir
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.harness.experiment import SCALED_CACHE_BYTES
+from repro.machine.params import t3d
+from repro.runtime import Version
+from repro.verify import verify_program, verify_transform
+from repro.workloads import all_workloads, workload
+
+WORKLOADS = [spec.name for spec in all_workloads()]
+
+
+def _transformed(name, pes=8):
+    spec = workload(name)
+    program = spec.build(**spec.default_args)
+    config = CCDPConfig(machine=t3d(pes, cache_bytes=SCALED_CACHE_BYTES))
+    transformed, _ = ccdp_transform(program, config)
+    return program, transformed, config
+
+
+def _kinds(report):
+    return [v.kind for v in report.violations]
+
+
+def _located(report, kind):
+    """The violations of ``kind``, asserting each carries an IR location."""
+    found = [v for v in report.violations if v.kind == kind]
+    assert found, f"no {kind!r} violation in: {_kinds(report)}"
+    for violation in found:
+        assert violation.proc, violation
+        assert violation.location, violation
+        assert violation.stmt_uid != 0, violation
+    return found
+
+
+def _find(program, kind):
+    for proc in program.procedures.values():
+        for stmt in proc.walk():
+            if isinstance(stmt, kind):
+                return stmt
+    return None
+
+
+def _remove(program, target):
+    """Delete ``target`` from whatever statement list holds it."""
+    def scrub(body):
+        for i, stmt in enumerate(body):
+            if stmt is target:
+                del body[i]
+                return True
+            for sub in stmt.bodies():
+                if scrub(sub):
+                    return True
+        return False
+
+    for proc in program.procedures.values():
+        if scrub(proc.body):
+            return True
+    return False
+
+
+class TestCleanMatrix:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    @pytest.mark.parametrize("version", Version.ALL)
+    def test_workload_verifies_clean(self, name, version):
+        spec = workload(name)
+        program = spec.build(**spec.default_args)
+        config = CCDPConfig(machine=t3d(8, cache_bytes=SCALED_CACHE_BYTES))
+        report = verify_program(program, version, config=config)
+        assert report.ok, report.summary()
+        if version == Version.CCDP:
+            assert report.obligations > 0
+            assert sum(report.covered.values()) >= report.obligations
+
+
+class TestMutants:
+    def test_dropped_fused_invalidate_flagged(self):
+        original, transformed, config = _transformed("vpenta")
+        pf = _find(transformed, ir.PrefetchLine)
+        assert pf is not None and pf.invalidate_first
+        pf.invalidate_first = False
+        report = verify_transform(original, transformed, config=config)
+        bad = _located(report, "prefetch-missing-invalidate")
+        assert any(v.stmt_uid == pf.uid for v in bad)
+
+    def test_invalidate_reordered_after_prefetch_still_flagged(self):
+        original, transformed, config = _transformed("vpenta")
+        pf = _find(transformed, ir.PrefetchLine)
+        pf.invalidate_first = False
+
+        # put the invalidation back — but *after* the prefetch, which
+        # leaves the stale line cached while the prefetch issues
+        def insert_after(body):
+            for i, stmt in enumerate(body):
+                if stmt is pf:
+                    body.insert(i + 1, ir.InvalidateLines(
+                        pf.ref.array, [s.clone() for s in pf.ref.subscripts],
+                        0, 1))
+                    return True
+                for sub in stmt.bodies():
+                    if insert_after(sub):
+                        return True
+            return False
+
+        assert insert_after(transformed.entry_proc.body)
+        report = verify_transform(original, transformed, config=config)
+        _located(report, "prefetch-missing-invalidate")
+
+    def test_deleted_call_invalidate_flagged(self):
+        # the workloads inline their parallel callees, so build the
+        # interprocedural shape directly: a parallel epoch writes `a`,
+        # then a *serial* callee re-reads it across columns
+        n = 8
+        b = ir.ProgramBuilder("callinv")
+        b.shared("a", (n, n))
+        b.shared("b", (n, n))
+        with b.proc("summarise"):
+            with b.do("i", 2, n - 1):
+                with b.do("j", 2, n - 1):
+                    b.assign(b.ref("b", 1, 1),
+                             b.ref("b", 1, 1) + b.ref("a", "i", "j") * 0.5)
+        with b.proc("main"):
+            with b.doall("j", 1, n, align="a"):
+                with b.do("i", 1, n):
+                    b.assign(b.ref("a", "i", "j"), ir.E("i") + ir.E("j"))
+            b.call("summarise")
+        program = b.finish()
+        config = CCDPConfig(machine=t3d(4))
+        transformed, _ = ccdp_transform(program, config)
+        clean = verify_transform(program, transformed, config=config)
+        assert clean.ok, clean.summary()
+        assert clean.covered.get("invalidate", 0) >= 1
+
+        inv = _find(transformed, ir.InvalidateLines)
+        assert inv is not None
+        assert _remove(transformed, inv)
+        report = verify_transform(program, transformed, config=config)
+        bad = _located(report, "call-missing-invalidate")
+        assert bad[0].array == "a"
+
+    def test_skipped_bypass_conversion_flagged(self):
+        # at 16 PEs tomcatv demotes several reads to bypass with no
+        # other mechanism covering them (verified clean by the matrix
+        # above); un-converting them must leave uncovered stale reads
+        original, transformed, config = _transformed("tomcatv", pes=16)
+        baseline = verify_transform(original, transformed, config=config)
+        assert baseline.ok and baseline.covered.get("bypass", 0) > 0
+        flipped = []
+        for proc in transformed.procedures.values():
+            for stmt in proc.walk():
+                for expr in stmt.expressions():
+                    for node in expr.walk():
+                        if isinstance(node, ir.ArrayRef) and \
+                                node.mode == ir.RefMode.BYPASS:
+                            node.mode = ir.RefMode.NORMAL
+                            flipped.append(node.uid)
+        assert flipped
+        report = verify_transform(original, transformed, config=config)
+        bad = _located(report, "uncovered-stale-read")
+        assert {v.ref_uid for v in bad} <= set(flipped)
+
+    def test_overhoisted_prefetch_crosses_barrier(self):
+        original, transformed, config = _transformed("mxm")
+        pv = _find(transformed, ir.PrefetchVector)
+        assert pv is not None
+        assert _remove(transformed, pv)
+        # hoist it to the very top of main — above the initialisation
+        # DOALL that writes its array
+        transformed.entry_proc.body.insert(0, pv)
+        report = verify_transform(original, transformed, config=config)
+        bad = _located(report, "prefetch-crosses-barrier")
+        assert any(v.stmt_uid == pv.uid for v in bad)
+
+    def test_prefetch_left_above_dependent_write_flagged(self):
+        original, transformed, config = _transformed("vpenta")
+        pf = _find(transformed, ir.PrefetchLine)
+        assert pf is not None
+
+        # plant a write of the exact prefetched address between the
+        # prefetch and its use — the relative order MBP must never create
+        def insert_write(body):
+            for i, stmt in enumerate(body):
+                if stmt is pf:
+                    lhs = pf.ref.clone()
+                    lhs.mode = ir.RefMode.NORMAL
+                    body.insert(i + 1, ir.Assign(lhs, ir.FloatConst(0.0)))
+                    return True
+                for sub in stmt.bodies():
+                    if insert_write(sub):
+                        return True
+            return False
+
+        assert insert_write(transformed.entry_proc.body)
+        report = verify_transform(original, transformed, config=config)
+        bad = _located(report, "prefetch-past-dependent-write")
+        assert bad[0].array == pf.ref.array
+
+    def test_inflated_distance_overflows_queue(self):
+        original, transformed, config = _transformed("vpenta")
+        pf = None
+        for stmt in transformed.entry_proc.walk():
+            if isinstance(stmt, ir.PrefetchLine) and stmt.distance > 0:
+                pf = stmt
+        assert pf is not None
+        pf.distance = config.machine.prefetch_queue_slots + 100
+        report = verify_transform(original, transformed, config=config)
+        # the violation anchors to its loop body's prefetch group (the
+        # whole footprint overflows, not one statement in isolation)
+        bad = _located(report, "queue-overflow")
+        assert bad[0].proc == "main"

@@ -1,0 +1,165 @@
+"""Unit tests for the static safety verifier's building blocks:
+statement-address dominance, the structural rules, and the
+version-aware entry points."""
+
+import pytest
+
+import repro.ir as ir
+from repro.coherence.config import CCDPConfig
+from repro.machine.params import t3d
+from repro.verify.safety import (_dominates, _precedes, verify_program,
+                                 verify_structural, verify_transform)
+
+
+class TestChainOrder:
+    def test_precedes_within_body(self):
+        assert _precedes((("body", 0),), (("body", 1),))
+        assert not _precedes((("body", 1),), (("body", 0),))
+
+    def test_preamble_precedes_body(self):
+        assert _precedes((("body", 2), ("preamble", 0)),
+                         (("body", 2), ("body", 0)))
+        assert not _precedes((("body", 2), ("body", 0)),
+                             (("body", 2), ("preamble", 0)))
+
+    def test_branch_arms_incomparable(self):
+        a = (("body", 0), ("then", 0))
+        b = (("body", 0), ("else", 0))
+        assert not _precedes(a, b) and not _precedes(b, a)
+
+    def test_ancestor_does_not_precede_descendant(self):
+        assert not _precedes((("body", 1),), (("body", 1), ("body", 0)))
+
+    def test_dominates_requires_unconditional_path(self):
+        # a statement inside a then-arm does not dominate a later sibling
+        a = (("body", 0), ("then", 0))
+        b = (("body", 1),)
+        assert _precedes(a, b) and not _dominates(a, b)
+        # but an unconditional earlier statement does
+        assert _dominates((("body", 0),), (("body", 1),))
+
+    def test_loop_body_dominates_later_statement(self):
+        # loop bodies run >= 1 time (the validator rejects zero-trip
+        # headers), so a statement in an earlier loop dominates
+        a = (("body", 0), ("body", 0))
+        b = (("body", 1),)
+        assert _dominates(a, b)
+
+
+def _stale_pair(n=8):
+    """A program with one parallel epoch writing ``a`` and a second one
+    reading it across columns — the canonical stale-read shape."""
+    b = ir.ProgramBuilder("pair")
+    b.shared("a", (n, n))
+    b.shared("b", (n, n))
+    with b.proc("main"):
+        with b.doall("j", 1, n, align="a"):
+            with b.do("i", 1, n):
+                b.assign(b.ref("a", "i", "j"), ir.E("i") * 0.5 + ir.E("j"))
+        with b.doall("j", 2, n - 1):
+            with b.do("i", 1, n):
+                b.assign(b.ref("b", "i", "j"),
+                         b.ref("a", "i", ir.E("j") + 1) * 0.25)
+    return b.finish()
+
+
+class TestEntryPoints:
+    def test_ccdp_transform_verifies_clean(self):
+        program = _stale_pair()
+        config = CCDPConfig(machine=t3d(4))
+        report = verify_program(program, "ccdp", config=config)
+        assert report.ok
+        assert report.obligations > 0
+        assert sum(report.covered.values()) > 0
+
+    @pytest.mark.parametrize("version", ["seq", "base"])
+    def test_untransformed_versions_vacuously_clean(self, version):
+        report = verify_program(_stale_pair(), version)
+        assert report.ok
+        assert report.obligations == 0
+        assert "vacuous" in report.notes
+
+    def test_naive_reports_unprotected_stale(self):
+        report = verify_program(_stale_pair(), "naive")
+        assert report.ok  # naive promises nothing — informational only
+        assert report.unprotected_stale > 0
+
+
+class TestStructuralRules:
+    def _with_prefetch(self, invalidate_first, with_invalidate_before=False,
+                       with_invalidate_after=False):
+        program = _stale_pair()
+        main = program.entry_proc
+        # prefetch a(1, 1) ahead of the second (reading) epoch
+        pf = ir.PrefetchLine(ir.aref("a", 1, 1),
+                             invalidate_first=invalidate_first)
+        inv = ir.InvalidateLines("a", [ir.IntConst(1), ir.IntConst(1)], 0, 8)
+        main.body.insert(1, pf)
+        if with_invalidate_before:
+            main.body.insert(1, inv)
+        if with_invalidate_after:
+            main.body.insert(2, inv)
+        return program
+
+    def test_fused_invalidate_is_clean(self):
+        report = verify_structural(self._with_prefetch(True), "ccdp")
+        assert report.ok
+
+    def test_missing_invalidate_flagged(self):
+        report = verify_structural(self._with_prefetch(False), "ccdp")
+        kinds = [v.kind for v in report.violations]
+        assert "prefetch-missing-invalidate" in kinds
+
+    def test_dominating_explicit_invalidate_is_clean(self):
+        program = self._with_prefetch(False, with_invalidate_before=True)
+        assert verify_structural(program, "ccdp").ok
+
+    def test_invalidate_after_prefetch_does_not_count(self):
+        program = self._with_prefetch(False, with_invalidate_after=True)
+        kinds = [v.kind for v in verify_structural(program, "ccdp").violations]
+        assert "prefetch-missing-invalidate" in kinds
+
+    def test_prefetch_above_epoch_boundary_flagged(self):
+        program = _stale_pair()
+        main = program.entry_proc
+        # find the read of a(i, j+1) in the second epoch and plant a
+        # prefetch for it at the very top — above the DOALL writing `a`
+        use = None
+        for stmt in main.walk():
+            for expr in stmt.expressions():
+                for node in expr.walk():
+                    if isinstance(node, ir.ArrayRef) and node.array == "a" \
+                            and node is not getattr(stmt, "lhs", None):
+                        use = node
+        assert use is not None
+        pf = ir.PrefetchLine(use.clone(), invalidate_first=True,
+                             for_uid=use.uid)
+        main.body.insert(0, pf)
+        report = verify_structural(program, "ccdp")
+        kinds = [v.kind for v in report.violations]
+        assert "prefetch-crosses-barrier" in kinds
+        bad = next(v for v in report.violations
+                   if v.kind == "prefetch-crosses-barrier")
+        assert bad.proc == "main"
+        assert bad.stmt_uid == pf.uid
+        assert bad.location  # IR-located
+
+
+class TestTransformChecks:
+    def test_queue_overflow_flagged(self):
+        program = _stale_pair()
+        config = CCDPConfig(machine=t3d(4))
+        from repro.coherence import ccdp_transform
+        transformed, _ = ccdp_transform(program, config)
+        # plant a look-ahead footprint far beyond the queue capacity
+        inner = None
+        for stmt in transformed.entry_proc.walk():
+            if isinstance(stmt, ir.Loop) and stmt.kind == ir.LoopKind.SERIAL:
+                inner = stmt
+        assert inner is not None
+        pf = ir.PrefetchLine(ir.aref("a", "i", 1), invalidate_first=True,
+                             distance=10_000)
+        inner.body.insert(0, pf)
+        report = verify_transform(program, transformed, config=config)
+        kinds = [v.kind for v in report.violations]
+        assert "queue-overflow" in kinds
