@@ -39,6 +39,7 @@ from ..ir.printer import format_program
 from ..machine.params import t3d
 from ..runtime import Backend, Version, run_program
 from ..workloads import all_workloads, workload
+from . import progcache
 from .experiment import PAPER_PE_COUNTS, ExperimentRunner
 from .report import generate_report
 from .sweep import SweepSpec, plan_cells, sweep_grid
@@ -76,6 +77,14 @@ def _sweeps(args: argparse.Namespace):
         print(f"  [{done}/{total}] {text}", file=sys.stderr)
 
     sweeps = sweep_grid(specs, jobs=jobs, progress=progress)
+    # Cache effectiveness, for this process's share of the work (workers
+    # in a --jobs pool keep their own counters): program/oracle/transform
+    # memoisation plus the batched backend's compiled-plan cache.
+    counters = progcache.COUNTERS
+    print("  cache: " + ", ".join(
+        f"{kind} {counters[kind + '_hits']}h/{counters[kind + '_misses']}m"
+        for kind in ("program", "oracle", "transform", "plan")),
+        file=sys.stderr)
     # Report generation re-derives CCDP pass reports from runners (the
     # sweep records travel without them); runners share the sweep's
     # programs/transforms through the content-addressed cache.
@@ -468,6 +477,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  batch_fallbacks    {record.batch_fallbacks}")
             print(f"  fault_fallbacks    {record.fault_fallbacks}")
             print(f"  batched_coverage   {record.batched_coverage:.3f}")
+            for reason, count in sorted(record.fallback_reasons.items()):
+                print(f"    {reason:16s} {count}")
         if record.fault_stats is not None:
             print("  faults:")
             for key, value in record.fault_stats.items():

@@ -50,6 +50,8 @@ class RunRecord:
     batch_fallbacks: int = 0     #: chunks that bound but fell back at run time
     fault_fallbacks: int = 0     #: chunks routed to the reference path by faults
     batched_coverage: float = 0.0  #: fraction of refs served by batched plans
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
+    """Per-reason fallback/skip taxonomy (see BatchedInterpreter._fall)."""
 
     def describe(self) -> str:
         status = "ok" if self.correct else f"WRONG ({self.error})"
@@ -58,6 +60,10 @@ class RunRecord:
         if self.backend != "reference":
             text += (f" [{self.backend}: {self.batched_coverage:.0%} coverage, "
                      f"{self.batch_fallbacks + self.fault_fallbacks} fallbacks]")
+            if self.fallback_reasons:
+                detail = ", ".join(f"{k}:{v}" for k, v in
+                                   sorted(self.fallback_reasons.items()))
+                text += f" ({detail})"
         return text
 
 
@@ -154,7 +160,8 @@ class ExperimentRunner:
             batch_chunks=result.batch_chunks,
             batch_fallbacks=result.batch_fallbacks,
             fault_fallbacks=result.fault_fallbacks,
-            batched_coverage=result.batched_coverage)
+            batched_coverage=result.batched_coverage,
+            fallback_reasons=dict(result.fallback_reasons))
 
     def sweep(self, pe_counts: Sequence[int] = PAPER_PE_COUNTS,
               versions: Sequence[str] = (Version.BASE, Version.CCDP)) -> Sweep:

@@ -39,7 +39,8 @@ _TRANSFORMS: Dict[str, Tuple[object, object]] = {}
 #: Cache effectiveness counters (observable by tests and diagnostics).
 COUNTERS = {"program_hits": 0, "program_misses": 0,
             "oracle_hits": 0, "oracle_misses": 0,
-            "transform_hits": 0, "transform_misses": 0}
+            "transform_hits": 0, "transform_misses": 0,
+            "plan_hits": 0, "plan_misses": 0}
 
 
 def _canonical(value):
@@ -112,6 +113,8 @@ def clear() -> None:
     _PROGRAMS.clear()
     _ORACLES.clear()
     _TRANSFORMS.clear()
+    from ..runtime import plancache
+    plancache.clear()
     for k in COUNTERS:
         COUNTERS[k] = 0
 

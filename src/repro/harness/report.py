@@ -136,31 +136,34 @@ def generate_report(sweeps: Sequence[Sweep],
       "cached value.  `pf_drop_bypass` counts those replacement fetches "
       "(they also appear in `bypass_reads`).")
     w("")
-    w("The last two columns describe the *execution backend*, not the "
+    w("The last three columns describe the *execution backend*, not the "
       "scheme: under `backend=\"batched\"` they give the fraction of "
-      "references served through bulk chunk plans and the chunks that "
+      "references served through bulk chunk plans, the chunks that "
       "fell back to the reference path (run-time guards or injected "
-      "faults); under the reference backend they are `-`.")
+      "faults), and the per-reason fallback/skip taxonomy; under the "
+      "reference backend they are `-`.")
     w("")
     w("| app | issued | extracted | pf_dropped | pf_drop_bypass "
-      "| vector prefetches | batched coverage | fallbacks |")
-    w("|---|---|---|---|---|---|---|---|")
+      "| vector prefetches | batched coverage | fallbacks | why |")
+    w("|---|---|---|---|---|---|---|---|---|")
     for sweep in sweeps:
         top = max(sweep.pe_counts())
         record = sweep.record(Version.CCDP, top)
         stats = record.stats
         if record.backend == "reference":
-            coverage, fallbacks = "-", "-"
+            coverage, fallbacks, why = "-", "-", "-"
         else:
             coverage = f"{record.batched_coverage:.3f}"
             fallbacks = f"{record.batch_fallbacks + record.fault_fallbacks}"
+            why = ", ".join(f"{k}:{v}" for k, v in
+                            sorted(record.fallback_reasons.items())) or "-"
         w(f"| {sweep.workload} "
           f"| {stats.get('prefetch_issued', 0):.0f} "
           f"| {stats.get('prefetch_extracted', 0):.0f} "
           f"| {stats.get('pf_dropped', 0):.0f} "
           f"| {stats.get('pf_drop_bypass', 0):.0f} "
           f"| {stats.get('vector_prefetches', 0):.0f} "
-          f"| {coverage} | {fallbacks} |")
+          f"| {coverage} | {fallbacks} | {why} |")
     w("")
 
     # Figures 1 & 2 (algorithms): observable pass outputs.

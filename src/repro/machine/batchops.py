@@ -542,6 +542,28 @@ def bulk_update_words(cache, addrs: Sequence[int],
     cache.vers[ix, off] = versions_flat[a]
 
 
+_EMPTY_LINES = np.empty(0, dtype=np.int64)
+
+
+def stale_lines(cache, versions_flat: np.ndarray) -> np.ndarray:
+    """Resident line addresses holding any word whose cached version lags
+    memory.  The batched backend falls back only when one of these lines
+    intersects a line the chunk itself touches; disjoint stale residue is
+    harmless (chunk reads hit fresh lines, the commit refills only chunk
+    lines, so the stale data survives untouched — exactly as the scalar
+    interpreter would leave it)."""
+    valid = np.flatnonzero(cache.tags >= 0)
+    if not valid.size:
+        return _EMPTY_LINES
+    lw = cache.line_words
+    lines = cache.tags[valid]
+    addrs = lines[:, None] * lw + np.arange(lw, dtype=np.int64)
+    mask = (cache.vers[valid] < versions_flat[addrs]).any(axis=1)
+    if not mask.any():
+        return _EMPTY_LINES
+    return lines[mask]
+
+
 def stale_words(cache, versions_flat: np.ndarray):
     """Words resident in ``cache`` whose cached version lags memory.
 
@@ -577,5 +599,5 @@ __all__ = [
     "EventClassification", "classify_events",
     "ReplayOutcome", "replay_chunk",
     "read_latency_table", "write_latency_table", "uncached_read_latency_table",
-    "bulk_fill_lines", "bulk_update_words", "stale_words",
+    "bulk_fill_lines", "bulk_update_words", "stale_lines", "stale_words",
 ]

@@ -90,6 +90,11 @@ class Machine:
         self._epoch_writers: dict = {}
         self.races: int = 0
         self.race_examples: List[str] = []
+        # Install-capture hook for the batched backend's preamble memo:
+        # when set to a list, prefetch_vector appends one
+        # ``(array, install_lines)`` record per install it performs, so
+        # the memo can re-gather the same lines from live memory later.
+        self._pf_record: Optional[list] = None
 
     # ------------------------------------------------------------------
     # latency helpers
@@ -472,6 +477,9 @@ class Machine:
             network = self.memory.remote_latency(pe_id, network)
         completion = pe.clock + self.params.vector_per_word * words + network
         self._install_lines_bulk(pe, name, install_lines)
+        rec = self._pf_record
+        if rec is not None:
+            rec.append((name, install_lines))
         pe.vectors.issue(VectorTransfer(array=name, line_lo=line_lo,
                                         line_hi=line_hi, completion=completion))
         pe.stats.vector_prefetches += 1

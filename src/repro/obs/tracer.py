@@ -35,6 +35,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
+import numpy as np
+
 from .events import EVENT_KINDS
 
 
@@ -99,7 +101,8 @@ class Tracer:
         self._events = deque(maxlen=capacity) if capacity else []
         self.counts: Dict[str, int] = {}
         self.kept = 0                     #: events recorded (pre-eviction)
-        self.timeline: List[EpochRow] = []
+        self._rows: List[EpochRow] = []   #: materialised timeline rows
+        self._raw_rows: List[tuple] = []  #: epoch snapshots not yet folded
         default = 1
         strides: Dict[str, int] = {}
         if isinstance(sample, dict):
@@ -124,6 +127,7 @@ class Tracer:
                 strides[kind] = 0
         self._strides = strides
         self._default_stride = default
+        self._counts_only: Dict[object, bool] = {}
         self._epoch_snap = None
 
     # -- recording ---------------------------------------------------------
@@ -153,8 +157,18 @@ class Tracer:
         return self._strides.get(kind, self._default_stride)
 
     def counts_only(self, kinds: Iterable[str]) -> bool:
-        """True when none of ``kinds`` would record a tuple."""
-        return all(self.stride(kind) == 0 for kind in kinds)
+        """True when none of ``kinds`` would record a tuple.
+
+        Strides are fixed at construction, so the answer is memoised per
+        kinds collection (the batched backend asks once per chunk)."""
+        try:
+            cached = self._counts_only.get(kinds)
+        except TypeError:
+            return all(self.stride(kind) == 0 for kind in kinds)
+        if cached is None:
+            cached = all(self.stride(kind) == 0 for kind in kinds)
+            self._counts_only[kinds] = cached
+        return cached
 
     @property
     def events(self) -> list:
@@ -174,7 +188,7 @@ class Tracer:
     def epoch_begin(self, label: str, machine) -> None:
         """Mark an epoch start: emit the event, snapshot per-PE counters,
         and reset the per-epoch high-water marks."""
-        index = len(self.timeline)
+        index = len(self._rows) + len(self._raw_rows)
         self.emit(("epoch_begin", index, label, machine.elapsed()))
         snap = []
         for pe in machine.pes:
@@ -183,28 +197,41 @@ class Tracer:
         self._epoch_snap = (index, label, machine.elapsed(), snap)
 
     def epoch_end(self, label: str, machine) -> None:
-        """Mark an epoch end: emit the event and fold the per-PE deltas
-        into one timeline row."""
+        """Mark an epoch end: emit the event and snapshot the per-PE
+        counters.  The snapshot is *raw* — folding it into an
+        :class:`EpochRow` is deferred to the :attr:`timeline` property,
+        keeping the epoch boundary on the simulation's hot path cheap."""
         if self._epoch_snap is None:
             raise RuntimeError("epoch_end without a matching epoch_begin")
         index, begin_label, start, snap = self._epoch_snap
         self._epoch_snap = None
         end = machine.elapsed()
         self.emit(("epoch_end", index, label, end))
-        row = EpochRow(index=index, label=label, start=start, end=end)
-        for pe, before in zip(machine.pes, snap):
-            reads, hits, misses, issued, dropped, idle = pe.metrics_snapshot()
-            row.per_pe.append(EpochPEMetrics(
-                pe=pe.pe_id,
-                reads=reads - before[0],
-                hits=hits - before[1],
-                misses=misses - before[2],
-                prefetch_issued=issued - before[3],
-                pf_dropped=dropped - before[4],
-                stall_cycles=idle - before[5],
-                queue_high_water=pe.queue.high_water,
-                cache_lines=pe.cache.occupancy()))
-        self.timeline.append(row)
+        after = [(pe.pe_id, pe.metrics_snapshot(), pe.queue.high_water,
+                  pe.cache.tags.copy()) for pe in machine.pes]
+        self._raw_rows.append((index, label, start, end, snap, after))
+
+    @property
+    def timeline(self) -> List[EpochRow]:
+        """The metrics timeline, folded lazily from the epoch snapshots."""
+        if self._raw_rows:
+            for index, label, start, end, snap, after in self._raw_rows:
+                row = EpochRow(index=index, label=label, start=start,
+                               end=end)
+                for before, (pe_id, now, hw, tags) in zip(snap, after):
+                    row.per_pe.append(EpochPEMetrics(
+                        pe=pe_id,
+                        reads=now[0] - before[0],
+                        hits=now[1] - before[1],
+                        misses=now[2] - before[2],
+                        prefetch_issued=now[3] - before[3],
+                        pf_dropped=now[4] - before[4],
+                        stall_cycles=now[5] - before[5],
+                        queue_high_water=hw,
+                        cache_lines=int(np.count_nonzero(tags >= 0))))
+                self._rows.append(row)
+            self._raw_rows.clear()
+        return self._rows
 
 
 __all__ = ["Tracer", "EpochRow", "EpochPEMetrics"]

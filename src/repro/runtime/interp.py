@@ -37,6 +37,7 @@ from ..ir.stmt import (Assign, CallStmt, If, InvalidateLines, Loop, LoopKind,
 from ..machine.machine import Machine
 from ..machine.params import MachineParams
 from .exec_config import ExecutionConfig, Version
+from . import plancache
 from .schedulers import (block_partition, cyclic_partition, dynamic_chunks,
                          owner_partition)
 
@@ -70,6 +71,9 @@ class RunResult:
     batch_fallbacks: int = 0   #: chunks that bound but fell back at run time
     fault_fallbacks: int = 0   #: chunks routed to the reference path by faults
     batch_refs: int = 0        #: memory references served by batched chunks
+    #: per-reason fallback/skip counts (reason code -> occurrences); empty
+    #: under the reference backend or when no chunk ever fell back
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
 
     @property
     def batched_coverage(self) -> float:
@@ -191,7 +195,9 @@ class Interpreter:
                          batch_chunks=getattr(self, "batch_chunks", 0),
                          batch_fallbacks=getattr(self, "batch_fallbacks", 0),
                          fault_fallbacks=getattr(self, "fault_fallbacks", 0),
-                         batch_refs=getattr(self, "batch_refs", 0))
+                         batch_refs=getattr(self, "batch_refs", 0),
+                         fallback_reasons=dict(
+                             getattr(self, "fallback_reasons", {})))
 
     # ------------------------------------------------------------------
     # epoch-level control
@@ -274,8 +280,7 @@ class Interpreter:
             env_p[lo_name] = c_lo
             env_p[hi_name] = c_hi
             env_p[cnt_name] = c_cnt
-            for fn in preamble_fns:
-                fn(env_p, pe)
+            self._run_preamble(loop, preamble_fns, env_p, pe)
 
         if loop.align and loop.schedule == ScheduleKind.STATIC_BLOCK and n_pes > 1:
             decl = self.program.array(loop.align)
@@ -343,6 +348,14 @@ class Interpreter:
         backend overrides this to service whole chunks as bulk traces."""
         for value in values:
             run_iteration(env_p, pe, value)
+
+    def _run_preamble(self, loop: Loop, preamble_fns, env_p: dict,
+                      pe: int) -> None:
+        """Execute one PE's DOALL preamble (chunk vars already bound in
+        ``env_p``).  The batched backend overrides this to memoise pure
+        prefetch/invalidate preambles."""
+        for fn in preamble_fns:
+            fn(env_p, pe)
 
     # ------------------------------------------------------------------
     # register-promotion contexts
@@ -927,11 +940,23 @@ def run_program(program: Program, params: MachineParams,
                 backend: str = "reference",
                 fault_plan=None, oracle: bool = False,
                 tracer=None) -> RunResult:
-    """One-call convenience: interpret ``program`` as the given version."""
+    """One-call convenience: interpret ``program`` as the given version.
+
+    Batched fault-free runs reuse a warm interpreter from
+    :mod:`repro.runtime.plancache`, so chunk planning and address-stream
+    compilation are paid once per (program, version, params) per process.
+    """
     config = ExecutionConfig.for_version(version, on_stale=on_stale,
                                          backend=backend,
                                          fault_plan=fault_plan, oracle=oracle,
                                          tracer=tracer)
+    if plancache.eligible(config):
+        interp = plancache.fetch(program, params, config, trace_epochs)
+        if interp is None:
+            interp = make_interpreter(program, params, config,
+                                      trace_epochs=trace_epochs)
+            plancache.store(program, params, config, trace_epochs, interp)
+        return interp.run()
     interp = make_interpreter(program, params, config,
                               trace_epochs=trace_epochs)
     return interp.run()

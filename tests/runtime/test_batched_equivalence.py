@@ -129,3 +129,103 @@ def test_stale_reads_preserved_under_naive():
     params = t3d(4, cache_bytes=2048)
     report = check_workload("tomcatv", params, Version.NAIVE, n=10)
     assert report.exact, report.summary()
+
+
+@pytest.mark.parametrize("name", sorted(SIZES))
+@pytest.mark.parametrize("version", [Version.SEQ, Version.BASE, Version.CCDP,
+                                     Version.NAIVE])
+def test_trace_and_oracle_together_bit_exact(name, version):
+    """Tracer and coherence oracle on at once: the oracle is defined over
+    the reference event order, so every chunk must take the exact
+    fallback path — and the two backends' event streams, oracle verdicts
+    and machine states must still match to the bit."""
+    params = t3d(4, cache_bytes=2048)
+    report = check_workload(name, params, version, n=8,
+                            trace=True, oracle=True)
+    assert report.exact, report.summary()
+
+
+@pytest.mark.parametrize("name", ["tomcatv", "swim"])
+@pytest.mark.parametrize("version", [Version.BASE, Version.CCDP])
+def test_fused_time_loop_bit_exact(name, version):
+    """The fused serial-outer x doall-inner region time loops, run for
+    more steps than the matrix tests: later steps revisit memoised
+    chunks and replay stored outcomes, which must stay exact."""
+    params = t3d(4, cache_bytes=2048)
+    report = check_workload(name, params, version, n=8, steps=4, trace=True)
+    assert report.exact, report.summary()
+    assert report.batch_chunks > 0
+
+
+def test_recurrence_chunk_compiles_scalar_pass():
+    """A distance-1 loop-carried recurrence defeats the vectorised value
+    pass at the aliasing check; the chunk must instead run through the
+    generated scalar function (``plan.seq_fn``) and stay bit-exact —
+    including the final register residue the next statements observe."""
+    b = ir.ProgramBuilder("recur")
+    b.shared("a", (64,))
+    b.shared("b", (64,))
+    with b.proc("main"):
+        with b.doall("j", 1, 1, label="init", align="a"):
+            with b.do("i", 1, 64):
+                b.assign(b.ref("a", "i"), ir.E("i") * 1.5)
+                b.assign(b.ref("b", "i"), ir.E("i") + 2.0)
+        with b.doall("j", 1, 1, label="scan", align="a"):
+            with b.do("i", 2, 64):
+                b.assign(b.ref("a", "i"),
+                         b.ref("a", ir.E("i") - 1) * 0.5 + b.ref("b", "i"))
+    program = b.finish()
+    params = t3d(1, cache_bytes=1024)
+    report = compare_backends(program, params, Version.SEQ, trace=True)
+    assert report.exact, report.summary()
+    interp = make_interpreter(
+        program, params,
+        ExecutionConfig.for_version(Version.SEQ, backend="batched"))
+    interp.run()
+    plans = [p for entry in interp._serial_plans.values()
+             for p in entry[:1] if p is not None]
+    assert plans, "no serial plan compiled"
+    assert all(p.seq_fn is not None for p in plans), \
+        "compiled scalar value pass missing"
+
+
+def _machine_snapshot(result):
+    """Every observable a warm run must reproduce, as bytes."""
+    import pickle
+
+    machine = result.machine
+    return pickle.dumps((
+        result.elapsed,
+        result.stats.as_dict(),
+        [(pe.clock, pe.cache.tags.tobytes(), pe.cache.data.tobytes(),
+          pe.cache.vers.tobytes()) for pe in machine.pes],
+        machine.memory.values_flat.tobytes(),
+        machine.memory.versions_flat.tobytes(),
+        result.batch_chunks, result.batch_fallbacks,
+        dict(result.fallback_reasons)))
+
+
+@settings(max_examples=8, deadline=None)
+@given(name=st.sampled_from(sorted(SIZES)),
+       version=st.sampled_from([Version.SEQ, Version.BASE, Version.CCDP]))
+def test_plan_cache_hit_byte_identical(name, version):
+    """Property: a plan-cache hit (warm interpreter, reset in place) runs
+    byte-identically to the cold run that populated it."""
+    from repro.harness import progcache
+    from repro.runtime import plancache
+    from repro.workloads import workload
+
+    params = t3d(4, cache_bytes=2048)
+    spec = workload(name)
+    sizes = {"n": 8}
+    program = progcache.get_program(spec, sizes)
+    if version == Version.CCDP:
+        program, _ = progcache.get_transform(name, sizes, program, params, {})
+    plancache.clear()
+    cold = _machine_snapshot(
+        run_program(program, params, version, backend="batched"))
+    hits_before = progcache.COUNTERS.get("plan_hits", 0)
+    warm = _machine_snapshot(
+        run_program(program, params, version, backend="batched"))
+    assert progcache.COUNTERS.get("plan_hits", 0) == hits_before + 1
+    assert warm == cold, f"warm run diverged from cold ({name}/{version})"
