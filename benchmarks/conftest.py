@@ -70,11 +70,24 @@ def runners() -> Dict[str, ExperimentRunner]:
 
 @pytest.fixture(scope="session")
 def sweeps(runners) -> Dict[str, Sweep]:
-    """Full BASE+CCDP sweeps for all four applications (computed once)."""
+    """Full BASE+CCDP sweeps for all four applications (computed once).
+
+    Routed through the journaled sweep farm (``repro.farm``): set
+    ``REPRO_BENCH_FARM_DIR`` to persist the journal + result store, and
+    an interrupted benchmark session resumes there — finished cells are
+    replayed from the journal instead of re-simulated.
+    """
+    from repro.farm import FarmConfig
+    from repro.harness.sweep import SweepSpec, sweep_grid
+
     pes = bench_pe_counts()
-    out = {}
-    for name, runner in runners.items():
-        print(f"\n[sweep] {name} {runner.size_args} over PEs {pes} ...",
-              flush=True)
-        out[name] = runner.sweep(pes)
-    return out
+    farm_dir = os.environ.get("REPRO_BENCH_FARM_DIR")
+    farm = FarmConfig(jobs=1, farm_dir=farm_dir)
+    specs = [SweepSpec.create(name, size_args=bench_size_args(),
+                              pe_counts=tuple(pes))
+             for name in runners]
+    print(f"\n[sweep] {[s.workload for s in specs]} over PEs {pes}"
+          + (f" [farm: {farm_dir}]" if farm_dir else "") + " ...",
+          flush=True)
+    results = sweep_grid(specs, farm=farm)
+    return {sweep.workload: sweep for sweep in results}

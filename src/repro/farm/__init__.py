@@ -1,0 +1,19 @@
+"""Resumable sweep farm: journaled work queue with worker supervision.
+
+The execution layer every grid in the repo fans out through — the
+experiment sweep (:mod:`repro.harness.sweep`), the fuzz campaign
+(:mod:`repro.verify.fuzz`) and the generic ``run_pool``.  Cells are
+content-addressed jobs; an append-only JSONL journal + atomic result
+store make any run resumable after a ``kill -9`` with byte-identical
+results; a supervisor adds per-cell timeouts, crashed-worker
+detection, seeded backoff retries and quarantine.  See DESIGN.md §7.
+"""
+
+from .jobs import (FAIL_REASONS, SCHEMA, FarmConfig, FarmError, FarmResult,
+                   Job, JobOutcome, backoff_delay)
+from .journal import JobState, Journal
+from .supervisor import run_farm
+
+__all__ = ["SCHEMA", "FAIL_REASONS", "FarmConfig", "FarmError",
+           "FarmResult", "Job", "JobOutcome", "backoff_delay",
+           "JobState", "Journal", "run_farm"]

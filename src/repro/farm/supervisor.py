@@ -1,0 +1,421 @@
+"""Supervised execution of content-addressed jobs with journaling.
+
+:func:`run_farm` is the single entry point every grid in the repo fans
+out through (the experiment sweep, the fuzz campaign, ``run_pool``).
+It layers three guarantees over a plain process pool:
+
+**Dedup / resume.**  With a ``farm_dir``, jobs whose content key has a
+committed ``done`` record are served from the result store — after the
+stored bytes are re-verified against the journaled digest — instead of
+being executed.  That one mechanism is both ``--resume`` (a killed
+sweep replays only unfinished cells) and cross-sweep deduplication
+(two sweeps sharing a farm dir share every identical cell).  Because
+results are matched by *content key* and merged by the caller's job
+order, resuming can never perturb merge ordering, and a resumed record
+is the byte-identical pickle the original worker produced.
+
+**Supervision.**  In pool mode each worker is a dedicated process with
+its own inbox/outbox, so the supervisor always knows which job a
+worker holds: a result is committed, a worker that exceeds the per-job
+wall clock is killed and respawned (``timeout``), and a worker that
+dies without reporting — ``kill -9``, segfault, ``os._exit`` — is
+detected by liveness polling (``crash``).  A worker slot's queues die
+with it, so a killed worker can never corrupt another slot's channel.
+
+**Retry / quarantine.**  Failed attempts are retried with seeded
+jittered exponential backoff (:func:`~.jobs.backoff_delay`) up to
+``max_retries`` times, then the job is *quarantined*: reported in the
+outcome (and the journal) instead of aborting the rest of the grid.
+Workers are pure functions of their payload — the sweep re-derives
+per-cell fault seeds from content, not from attempt numbers — so a
+retried job is bit-identical to a first-try job by construction.
+
+Determinism contract: the in-process path (``jobs <= 1``, no timeout)
+pickle-round-trips every result exactly as a pool transfer would, so
+``jobs=1``, ``jobs=N``, killed-and-resumed, and deduped runs all yield
+byte-identical result pickles.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+import math
+import multiprocessing
+import os
+import pickle
+import queue
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.events import validate_event
+from .jobs import (FarmConfig, FarmError, FarmResult, Job, JobOutcome,
+                   backoff_delay)
+from .journal import Journal
+
+log = logging.getLogger("repro.farm")
+
+#: supervisor poll interval while waiting on busy workers (seconds)
+_POLL = 0.02
+
+FailureFn = Callable[[object], Optional[str]]
+ProgressFn = Callable[[int, int, JobOutcome], None]
+
+
+# -- worker process side -------------------------------------------------------
+
+def _worker_main(worker, inbox, outbox, parent_pid: int) -> None:
+    """Worker loop: run payloads from ``inbox``, ship pickled results to
+    ``outbox``.  Exits on the ``None`` sentinel or when the parent
+    disappears (so a ``kill -9`` of the sweep never leaves orphans
+    spinning)."""
+    while True:
+        try:
+            task = inbox.get(timeout=1.0)
+        except queue.Empty:
+            if os.getppid() != parent_pid:
+                return
+            continue
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        key, attempt, payload = task
+        try:
+            result = worker(payload)
+            outbox.put((key, attempt, "ok", pickle.dumps(result)))
+        except BaseException:
+            outbox.put((key, attempt, "error", traceback.format_exc()))
+
+
+class _Slot:
+    """One supervised worker: process + private channels."""
+
+    def __init__(self, worker, ctx, parent_pid: int) -> None:
+        self.inbox = ctx.Queue()
+        self.outbox = ctx.Queue()
+        self.proc = ctx.Process(target=_worker_main,
+                                args=(worker, self.inbox, self.outbox,
+                                      parent_pid),
+                                daemon=True)
+        self.proc.start()
+
+    def kill(self) -> None:
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(2.0)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join(2.0)
+        for q in (self.inbox, self.outbox):
+            q.close()
+            q.cancel_join_thread()
+
+    def stop(self) -> None:
+        try:
+            self.inbox.put(None)
+        except (ValueError, OSError):
+            pass
+        self.proc.join(2.0)
+        self.kill()
+
+
+# -- the farm ------------------------------------------------------------------
+
+class _Farm:
+    def __init__(self, worker, jobs: Sequence[Job], config: FarmConfig,
+                 failure_of: Optional[FailureFn],
+                 progress: Optional[ProgressFn]) -> None:
+        config.validate()
+        self.worker = worker
+        self.jobs = list(jobs)
+        self.config = config
+        self.failure_of = failure_of
+        self.progress = progress
+        self.result = FarmResult()
+        self.outcomes: Dict[int, JobOutcome] = {}
+        self.journal: Optional[Journal] = None
+        self.store = None
+        if config.farm_dir:
+            # Lazy import: repro.harness pulls in the sweep module, which
+            # imports this package back (the farm is its execution layer).
+            from ..harness.progcache import DiskStore
+            self.journal = Journal(config.farm_dir)
+            if config.resume and not self.journal.exists():
+                raise FarmError(
+                    f"--resume: no journal at {self.journal.path}")
+            self.store = DiskStore(self.journal.results_root)
+
+    # -- event / bookkeeping helpers -----------------------------------
+    def _emit(self, event: tuple) -> None:
+        validate_event(event)
+        self.result.events.append(event)
+
+    def _journal(self, record: dict, sync: bool = False) -> None:
+        if self.journal is not None:
+            self.journal.append(record, sync=sync)
+
+    def _finish(self, outcome: JobOutcome) -> None:
+        self.outcomes[outcome.job.index] = outcome
+        if outcome.quarantined:
+            self.result.quarantined += 1
+        elif outcome.cached:
+            self.result.cached += 1
+        else:
+            self.result.executed += 1
+        if self.progress is not None:
+            self.progress(len(self.outcomes), len(self.jobs), outcome)
+
+    # -- replay / dedup phase ------------------------------------------
+    def _partition(self) -> List[Job]:
+        """Serve journal-resolved jobs; return the ones still to run."""
+        states = self.journal.replay() if self.journal else {}
+        to_run: List[Job] = []
+        requeued = set()
+        for job in self.jobs:
+            state = states.get(job.key)
+            if state is not None and state.done and self.store is not None:
+                result = self.store.get(job.key, expect_digest=state.digest)
+                if result is not None:
+                    err = self.failure_of(result) if self.failure_of else None
+                    if err is None:
+                        self._emit(("farm_resume", job.key, state.digest))
+                        self._finish(JobOutcome(job, result=result,
+                                                cached=True))
+                        continue
+                    log.warning("farm: stored result for %s fails the "
+                                "failure check; re-running", job.key[:16])
+            if state is not None and state.quarantined is not None:
+                if self.config.requeue_quarantined:
+                    if job.key not in requeued:
+                        self._journal({"ev": "requeue", "key": job.key},
+                                      sync=True)
+                        requeued.add(job.key)
+                else:
+                    q = state.quarantined
+                    reason = q.get("reason") or "error"
+                    self._emit(("farm_quarantine", job.key,
+                                int(q.get("attempts", 0)), reason))
+                    self._finish(JobOutcome(
+                        job, error=q.get("error"),
+                        attempts=int(q.get("attempts", 0)),
+                        cached=True, quarantined=True, reason=reason))
+                    continue
+            to_run.append(job)
+        return to_run
+
+    # -- attempt lifecycle (shared by both executors) ------------------
+    def _lease(self, job: Job, attempt: int) -> None:
+        self._journal({"ev": "lease", "key": job.key, "attempt": attempt,
+                       "job": job.desc})
+        self._emit(("farm_lease", job.key, attempt))
+
+    def _commit(self, job: Job, attempt: int, data: bytes) -> None:
+        if self.store is not None:
+            digest = self.store.put_bytes(job.key, data)
+            self._journal({"ev": "done", "key": job.key, "attempt": attempt,
+                           "digest": digest}, sync=True)
+        self._emit(("farm_done", job.key, attempt, 0))
+        self._finish(JobOutcome(job, result=pickle.loads(data),
+                                attempts=attempt))
+
+    def _attempt_failed(self, job: Job, attempt: int, reason: str,
+                        error: str) -> Optional[float]:
+        """Record a failed attempt.  Returns the backoff delay before the
+        next attempt, or ``None`` if the job is now quarantined."""
+        self._journal({"ev": "fail", "key": job.key, "attempt": attempt,
+                       "reason": reason, "error": error})
+        if attempt > self.config.max_retries:
+            self._journal({"ev": "quarantine", "key": job.key,
+                           "attempts": attempt, "reason": reason,
+                           "error": error}, sync=True)
+            self._emit(("farm_quarantine", job.key, attempt, reason))
+            self._finish(JobOutcome(job, error=error, attempts=attempt,
+                                    quarantined=True, reason=reason))
+            return None
+        delay = backoff_delay(job.key, attempt,
+                              base=self.config.backoff_base,
+                              cap=self.config.backoff_cap,
+                              seed=self.config.backoff_seed)
+        self._journal({"ev": "retry", "key": job.key, "attempt": attempt + 1,
+                       "delay_ms": int(round(delay * 1000))})
+        self._emit(("farm_retry", job.key, attempt + 1,
+                    int(round(delay * 1000)), reason))
+        self.result.retries += 1
+        return delay
+
+    def _handle_result(self, job: Job, attempt: int, kind: str,
+                       data) -> Optional[float]:
+        """Classify one worker report; same return as ``_attempt_failed``,
+        with ``math.inf`` standing for "committed, no retry"."""
+        if kind == "ok":
+            err = self.failure_of(pickle.loads(data)) \
+                if self.failure_of else None
+            if err is None:
+                self._commit(job, attempt, data)
+                return math.inf
+            return self._attempt_failed(job, attempt, "error", err)
+        return self._attempt_failed(job, attempt, "error", data)
+
+    # -- in-process executor (jobs <= 1, no timeout) -------------------
+    def _run_serial(self, to_run: Sequence[Job]) -> None:
+        for job in to_run:
+            attempt = 1
+            while True:
+                self._lease(job, attempt)
+                try:
+                    data = ("ok", pickle.dumps(self.worker(job.payload)))
+                except BaseException:
+                    data = ("error", traceback.format_exc())
+                delay = self._handle_result(job, attempt, data[0], data[1])
+                if delay is None or delay is math.inf:
+                    break
+                time.sleep(delay)
+                attempt += 1
+
+    # -- supervised pool executor --------------------------------------
+    def _run_pool(self, to_run: Sequence[Job]) -> None:
+        config = self.config
+        n_workers = max(1, min(config.jobs, len(to_run)))
+        ctx = multiprocessing.get_context("fork")
+        parent_pid = os.getpid()
+        slots: Dict[int, _Slot] = {
+            wid: _Slot(self.worker, ctx, parent_pid)
+            for wid in range(n_workers)}
+        idle: List[int] = list(range(n_workers))
+        busy: Dict[int, Tuple[Job, int, float]] = {}
+        ready: List[Tuple[int, Job, int]] = [(job.index, job, 1)
+                                             for job in to_run]
+        ready.reverse()  # pop() from the end -> job order
+        delayed: List[Tuple[float, int, Job, int]] = []
+        target = len(self.outcomes) + len(to_run)
+
+        def respawn(wid: int) -> None:
+            slots[wid].kill()
+            slots[wid] = _Slot(self.worker, ctx, parent_pid)
+
+        def after_attempt(wid: int, job: Job, attempt: int,
+                          delay: Optional[float]) -> None:
+            if delay is not None and delay is not math.inf:
+                heapq.heappush(delayed,
+                               (time.monotonic() + delay, job.index, job,
+                                attempt + 1))
+
+        try:
+            while len(self.outcomes) < target:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, _, job, attempt = heapq.heappop(delayed)
+                    ready.append((job.index, job, attempt))
+                while ready and idle:
+                    wid = idle.pop()
+                    if not slots[wid].proc.is_alive():
+                        respawn(wid)
+                    _, job, attempt = ready.pop()
+                    self._lease(job, attempt)
+                    slots[wid].inbox.put((job.key, attempt, job.payload))
+                    deadline = now + config.cell_timeout \
+                        if config.cell_timeout else math.inf
+                    busy[wid] = (job, attempt, deadline)
+
+                progressed = False
+                for wid in list(busy):
+                    slot = slots[wid]
+                    job, attempt, deadline = busy[wid]
+                    msg = None
+                    try:
+                        msg = slot.outbox.get_nowait()
+                    except queue.Empty:
+                        pass
+                    except (EOFError, OSError):
+                        msg = None
+                    if msg is not None:
+                        del busy[wid]
+                        idle.append(wid)
+                        key, att, kind, data = msg
+                        delay = self._handle_result(job, att, kind, data)
+                        after_attempt(wid, job, att, delay)
+                        progressed = True
+                    elif not slot.proc.is_alive():
+                        del busy[wid]
+                        code = slot.proc.exitcode
+                        respawn(wid)
+                        idle.append(wid)
+                        delay = self._attempt_failed(
+                            job, attempt, "crash",
+                            f"worker process died without reporting "
+                            f"(exitcode {code})")
+                        after_attempt(wid, job, attempt, delay)
+                        progressed = True
+                    elif time.monotonic() >= deadline:
+                        del busy[wid]
+                        respawn(wid)
+                        idle.append(wid)
+                        delay = self._attempt_failed(
+                            job, attempt, "timeout",
+                            f"cell exceeded --cell-timeout "
+                            f"{config.cell_timeout}s wall clock")
+                        after_attempt(wid, job, attempt, delay)
+                        progressed = True
+                if not progressed and len(self.outcomes) < target:
+                    if busy or not delayed:
+                        time.sleep(_POLL)
+                    else:
+                        time.sleep(min(0.5, max(_POLL,
+                                                delayed[0][0] -
+                                                time.monotonic())))
+        finally:
+            for slot in slots.values():
+                slot.stop()
+
+    # -- entry ---------------------------------------------------------
+    def run(self) -> FarmResult:
+        try:
+            to_run = self._partition()
+            if to_run:
+                if self.config.jobs > 1 or \
+                        self.config.cell_timeout is not None:
+                    self._run_pool(to_run)
+                else:
+                    self._run_serial(to_run)
+        finally:
+            if self.journal is not None:
+                self.journal.close()
+        self.result.outcomes = [self.outcomes[job.index] for job in self.jobs]
+        if self.config.farm_dir:
+            self._export_events()
+        return self.result
+
+    def _export_events(self) -> None:
+        from ..obs.export import events_to_jsonl
+        path = os.path.join(self.config.farm_dir, "events.jsonl")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(events_to_jsonl(self.result.events))
+
+
+def run_farm(worker, jobs: Sequence[Job],
+             config: Optional[FarmConfig] = None,
+             failure_of: Optional[FailureFn] = None,
+             progress: Optional[ProgressFn] = None) -> FarmResult:
+    """Execute ``jobs`` under ``config`` (see module docstring).
+
+    ``worker`` must be a module-level callable of one payload (so it
+    crosses the process boundary by reference).  ``failure_of`` maps a
+    worker *return value* to a failure string (or ``None``) for workers
+    that ship failures inside their results instead of raising — those
+    failures get the same retry/quarantine treatment as exceptions.
+    ``progress`` is called as ``progress(done, total, outcome)`` once
+    per finalized job, journal-served jobs included.
+
+    Duplicate keys within one call are executed independently (their
+    results are identical by content addressing); across calls sharing
+    a ``farm_dir`` they dedup through the journal.
+    """
+    if len(jobs) != len({job.index for job in jobs}):
+        raise FarmError("job indices must be unique within one farm run")
+    return _Farm(worker, jobs, config or FarmConfig(), failure_of,
+                 progress).run()
+
+
+__all__ = ["run_farm", "FailureFn", "ProgressFn"]

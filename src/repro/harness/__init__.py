@@ -6,13 +6,15 @@ from .experiment import (PAPER_PE_COUNTS, ExperimentRunner, RunRecord, Sweep,
 from .paper_data import (PAPER_IMPROVEMENT_RANGES, PAPER_ORDERING,
                          PAPER_TABLE2, PE_COUNTS, paper_improvement)
 from .report import band_verdict, generate_report
-from .sweep import Cell, SweepError, SweepSpec, sweep_grid
+from .sweep import (Cell, FailedCell, SweepError, SweepSpec, cell_key,
+                    sweep_grid)
 from .tables import format_table1, format_table2, table1_rows, table2_rows
 
 __all__ = [
     "PAPER_PE_COUNTS", "ExperimentRunner", "RunRecord", "Sweep", "run_sweep",
     "PAPER_IMPROVEMENT_RANGES", "PAPER_ORDERING", "PAPER_TABLE2", "PE_COUNTS",
     "paper_improvement", "band_verdict", "generate_report",
-    "SweepSpec", "Cell", "SweepError", "sweep_grid",
+    "SweepSpec", "Cell", "FailedCell", "SweepError", "cell_key",
+    "sweep_grid",
     "format_table1", "format_table2", "table1_rows", "table2_rows",
 ]

@@ -34,6 +34,7 @@ import sys
 from typing import Dict, List, Optional
 
 from ..coherence import CCDPConfig, ccdp_transform
+from ..farm import FarmConfig, FarmError
 from ..faults import FaultPlanError, parse_fault_plan, PRESETS
 from ..ir.printer import format_program
 from ..machine.params import t3d
@@ -44,6 +45,10 @@ from .experiment import PAPER_PE_COUNTS, ExperimentRunner
 from .report import generate_report
 from .sweep import SweepSpec, plan_cells, sweep_grid
 from .tables import format_table1, format_table2
+
+#: retries a farm-mode sweep grants each cell before quarantine when
+#: ``--max-retries`` is not given explicitly
+DEFAULT_FARM_RETRIES = 2
 
 
 def _parse_pes(text: str) -> List[int]:
@@ -59,11 +64,48 @@ def _size_args(args: argparse.Namespace) -> Dict[str, int]:
     return out
 
 
-def _sweeps(args: argparse.Namespace):
+def _farm_config(args: argparse.Namespace, parser: argparse.ArgumentParser,
+                 jobs: int) -> Optional[FarmConfig]:
+    """Build a FarmConfig when any farm flag was used, else None (legacy
+    strict grid)."""
+    wants = bool(getattr(args, "farm_dir", None) or args.resume
+                 or args.cell_timeout is not None
+                 or args.max_retries is not None
+                 or args.requeue_quarantined)
+    if not wants:
+        return None
+    if (args.resume or args.requeue_quarantined) and not args.farm_dir:
+        parser.error("--resume/--requeue-quarantined require --farm-dir")
+    retries = args.max_retries if args.max_retries is not None \
+        else DEFAULT_FARM_RETRIES
+    config = FarmConfig(jobs=max(1, jobs), farm_dir=args.farm_dir or None,
+                        resume=args.resume, cell_timeout=args.cell_timeout,
+                        max_retries=retries,
+                        requeue_quarantined=args.requeue_quarantined)
+    try:
+        config.validate()
+    except FarmError as exc:
+        parser.error(str(exc))
+    return config
+
+
+def _print_failed_cells(failed, stream=sys.stderr) -> None:
+    if not failed:
+        return
+    print(f"\n{len(failed)} cell(s) quarantined:", file=stream)
+    for cell in failed:
+        print(f"  {cell.describe()}", file=stream)
+        print(f"    key:   {cell.key}", file=stream)
+        print(f"    repro: PYTHONPATH=src {cell.repro_command()}",
+              file=stream)
+
+
+def _sweeps(args: argparse.Namespace, parser: argparse.ArgumentParser):
     names = args.workloads.split(",") if args.workloads else \
         [spec.name for spec in all_workloads()]
     pe_counts = _parse_pes(args.pes)
     jobs = getattr(args, "jobs", 1)
+    farm = _farm_config(args, parser, jobs)
     specs = [SweepSpec.create(workload(name.strip()).name,
                               size_args=_size_args(args),
                               pe_counts=pe_counts,
@@ -71,12 +113,21 @@ def _sweeps(args: argparse.Namespace):
              for name in names]
     print(f"running {len(plan_cells(specs))} cells "
           f"({', '.join(s.workload for s in specs)}) over PEs {pe_counts} "
-          f"with {max(1, jobs)} process(es) ...", file=sys.stderr)
+          f"with {max(1, jobs)} process(es)"
+          + (f" [farm: {args.farm_dir or 'ephemeral'}]" if farm else "")
+          + " ...", file=sys.stderr)
 
     def progress(done: int, total: int, text: str) -> None:
         print(f"  [{done}/{total}] {text}", file=sys.stderr)
 
-    sweeps = sweep_grid(specs, jobs=jobs, progress=progress)
+    collect: Dict[str, object] = {}
+    try:
+        sweeps = sweep_grid(specs, jobs=jobs, progress=progress, farm=farm,
+                            collect=collect)
+    except FarmError as exc:
+        parser.error(str(exc))
+    if "farm" in collect:
+        print("  " + collect["farm"].summary(), file=sys.stderr)
     # Cache effectiveness, for this process's share of the work (workers
     # in a --jobs pool keep their own counters): program/oracle/transform
     # memoisation plus the batched backend's compiled-plan cache.
@@ -92,7 +143,8 @@ def _sweeps(args: argparse.Namespace):
                                             _size_args(args),
                                             check=not args.no_check)
                for s in specs}
-    return sweeps, runners
+    failed = [f for sweep in sweeps for _, f in sorted(sweep.failed.items())]
+    return sweeps, runners, failed
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -113,6 +165,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="run sweep cells across N worker processes "
                             "(results are byte-identical to --jobs 1)")
+        add_farm(p)
+
+    def add_farm(p: argparse.ArgumentParser) -> None:
+        g = p.add_argument_group(
+            "farm", "journaled resumable execution (repro.farm): any of "
+                    "these flags routes the grid through the supervised "
+                    "work queue — failing cells are retried with seeded "
+                    "backoff and quarantined instead of aborting")
+        g.add_argument("--farm-dir", default="", metavar="DIR",
+                       help="journal + result-store directory; finished "
+                            "cells dedup across runs sharing it, and a "
+                            "killed run resumes from its journal")
+        g.add_argument("--resume", action="store_true",
+                       help="resume from an existing journal in --farm-dir "
+                            "(error if none); only unfinished cells run")
+        g.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SEC",
+                       help="per-cell wall-clock limit; a cell over it is "
+                            "killed and retried (forces worker processes)")
+        g.add_argument("--max-retries", type=int, default=None, metavar="N",
+                       help="retries per cell before quarantine "
+                            f"(default {DEFAULT_FARM_RETRIES} in farm mode)")
+        g.add_argument("--requeue-quarantined", action="store_true",
+                       help="clear standing quarantines in the journal and "
+                            "re-execute those cells")
 
     for name in ("table1", "table2", "report"):
         p = sub.add_parser(name)
@@ -215,6 +292,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="PE count for the parallel versions (seq runs on 1)")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="fan cells out across N worker processes")
+    add_farm(p)
     p.add_argument("--shrink", action="store_true",
                    help="delta-debug failing seeds to minimal reproducers")
     p.add_argument("--out", default="", metavar="DIR",
@@ -238,19 +316,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command in ("table1", "table2", "report"):
-        sweeps, runners = _sweeps(args)
+        sweeps, runners, failed = _sweeps(args, parser)
         if args.command == "table1":
             print(format_table1(sweeps))
         elif args.command == "table2":
             print(format_table2(sweeps))
         else:
-            text = generate_report(sweeps, runners)
+            text = generate_report(sweeps, runners, failed_cells=failed)
             if args.out:
                 with open(args.out, "w") as fh:
                     fh.write(text + "\n")
                 print(f"wrote {args.out}", file=sys.stderr)
             else:
                 print(text)
+        _print_failed_cells(failed)
         bad = [s.workload for s in sweeps if not s.all_correct()]
         if bad:
             print(f"CORRECTNESS FAILURES: {bad}", file=sys.stderr)
@@ -419,16 +498,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..verify import fuzz_seeds, shrink_failure
 
         n_pes = int(args.pes)
+        farm = _farm_config(args, parser, args.jobs)
         seeds = list(range(args.start, args.start + args.seeds))
         print(f"fuzzing {len(seeds)} seed(s) [{seeds[0]}..{seeds[-1]}] "
-              f"on {n_pes} PE(s) with {max(1, args.jobs)} process(es) ...",
-              file=sys.stderr)
+              f"on {n_pes} PE(s) with {max(1, args.jobs)} process(es)"
+              + (f" [farm: {args.farm_dir or 'ephemeral'}]" if farm else "")
+              + " ...", file=sys.stderr)
 
         def progress(done: int, total: int, result) -> None:
             print(f"  [{done}/{total}] {result.describe()}", file=sys.stderr)
 
-        results = fuzz_seeds(seeds, n_pes=n_pes, jobs=args.jobs,
-                             progress=progress)
+        collect: Dict[str, object] = {}
+        try:
+            results = fuzz_seeds(seeds, n_pes=n_pes, jobs=args.jobs,
+                                 progress=progress, farm=farm,
+                                 collect=collect)
+        except FarmError as exc:
+            parser.error(str(exc))
+        if "farm" in collect:
+            print("  " + collect["farm"].summary(), file=sys.stderr)
         failing = [r for r in results if not r.ok]
         clean = sum(r.naive_stale == 0 for r in results)
         print(f"\n{len(results) - len(failing)}/{len(results)} seeds ok "

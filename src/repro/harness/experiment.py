@@ -75,6 +75,9 @@ class Sweep:
     size_args: Dict[str, int]
     seq: RunRecord = None  # type: ignore[assignment]
     runs: Dict[Tuple[str, int], RunRecord] = field(default_factory=dict)
+    #: quarantined cells, keyed like ``runs`` (SEQ under (seq, 1)) —
+    #: populated by farm-mode ``sweep_grid`` instead of aborting the grid
+    failed: Dict[Tuple[str, int], object] = field(default_factory=dict)
 
     def record(self, version: str, n_pes: int) -> RunRecord:
         return self.runs[(version, n_pes)]
@@ -91,8 +94,16 @@ class Sweep:
     def pe_counts(self) -> List[int]:
         return sorted({n for (_, n) in self.runs})
 
+    def complete_pes(self) -> List[int]:
+        """PE counts with both a BASE and a CCDP record (improvement is
+        only defined on these; quarantined cells leave gaps)."""
+        return [n for n in self.pe_counts()
+                if (Version.BASE, n) in self.runs
+                and (Version.CCDP, n) in self.runs]
+
     def all_correct(self) -> bool:
-        return self.seq.correct and all(r.correct for r in self.runs.values())
+        return (not self.failed and self.seq is not None and self.seq.correct
+                and all(r.correct for r in self.runs.values()))
 
 
 class ExperimentRunner:

@@ -27,10 +27,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import os
+import pickle
 from dataclasses import asdict
-from typing import Dict, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
 
 from ..machine.params import MachineParams
+
+log = logging.getLogger("repro.progcache")
 
 _PROGRAMS: Dict[str, object] = {}
 _ORACLES: Dict[str, dict] = {}
@@ -108,6 +114,88 @@ def get_transform(name: str, size_args: Dict[str, int], program,
     return _TRANSFORMS[key]
 
 
+def result_digest(data: bytes) -> str:
+    """SHA-256 of a serialized result payload — the verification token
+    the farm journal stores next to every ``done`` record."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class DiskStore:
+    """Content-addressed on-disk result store (``<farm_dir>/results``).
+
+    One pickled payload per content key, written atomically (temp file
+    + ``fsync`` + ``rename``) so a ``kill -9`` at any instant leaves
+    either the complete old state or the complete new state — never a
+    torn entry a resume could trust.
+
+    Reads are *paranoid by design*: a missing file, a short read, a
+    digest mismatch or an unpicklable payload logs a warning, evicts
+    the entry, and returns ``None`` — the caller recomputes.  Corrupt
+    caches may cost work; they can never crash a sweep or smuggle a
+    wrong result past the digest check.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    # -- writing -------------------------------------------------------
+    def put_bytes(self, key: str, data: bytes) -> str:
+        """Atomically store ``data`` under ``key``; returns its digest."""
+        path = self.path_for(key)
+        tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return result_digest(data)
+
+    def put(self, key: str, obj: object) -> Tuple[str, bytes]:
+        data = pickle.dumps(obj)
+        return self.put_bytes(key, data), data
+
+    # -- reading -------------------------------------------------------
+    def _evict(self, key: str, why: str) -> None:
+        log.warning("result store %s: evicting %s (%s); will recompute",
+                    self.root, key[:16], why)
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
+
+    def get_bytes(self, key: str,
+                  expect_digest: Optional[str] = None) -> Optional[bytes]:
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self._evict(key, f"unreadable: {exc}")
+            return None
+        if expect_digest is not None and result_digest(data) != expect_digest:
+            self._evict(key, "digest mismatch (corrupt or truncated entry)")
+            return None
+        return data
+
+    def get(self, key: str,
+            expect_digest: Optional[str] = None) -> Optional[object]:
+        """Verified unpickle of ``key``'s entry, or ``None`` (evicting
+        on any corruption)."""
+        data = self.get_bytes(key, expect_digest)
+        if data is None:
+            return None
+        try:
+            return pickle.loads(data)
+        except Exception as exc:
+            self._evict(key, f"bad pickle: {exc!r}")
+            return None
+
+
 def clear() -> None:
     """Drop every cached artifact (tests; memory pressure)."""
     _PROGRAMS.clear()
@@ -120,4 +208,4 @@ def clear() -> None:
 
 
 __all__ = ["content_key", "get_program", "get_oracle", "get_transform",
-           "clear", "COUNTERS"]
+           "result_digest", "DiskStore", "clear", "COUNTERS"]

@@ -60,8 +60,14 @@ def timeline_table(timeline: Sequence) -> str:
 
 def generate_report(sweeps: Sequence[Sweep],
                     runners: Optional[Dict[str, ExperimentRunner]] = None,
-                    notes: str = "") -> str:
-    """Build the EXPERIMENTS.md content from finished sweeps."""
+                    notes: str = "",
+                    failed_cells: Optional[Sequence] = None) -> str:
+    """Build the EXPERIMENTS.md content from finished sweeps.
+
+    ``failed_cells`` — quarantined :class:`~repro.harness.sweep.FailedCell`
+    entries from a farm-mode sweep; they get their own section with repro
+    command lines, and the per-sweep sections skip the cells they left
+    missing rather than crashing on the gaps."""
     lines: List[str] = []
     w = lines.append
     w("# EXPERIMENTS — paper vs. measured")
@@ -102,7 +108,13 @@ def generate_report(sweeps: Sequence[Sweep],
       "source text; the prose expectations and our verdicts:")
     w("")
     for sweep in sweeps:
-        top = max(sweep.pe_counts())
+        complete = sweep.complete_pes()
+        if not complete or sweep.seq is None:
+            w(f"* **{sweep.workload}** — paper: "
+              f"{TABLE1_QUALITATIVE[sweep.workload]}. "
+              f"No complete PE count (quarantined cells) — no verdict.")
+            continue
+        top = max(complete)
         base_sp = sweep.speedup(Version.BASE, top)
         ccdp_sp = sweep.speedup(Version.CCDP, top)
         w(f"* **{sweep.workload}** — paper: {TABLE1_QUALITATIVE[sweep.workload]}. "
@@ -117,16 +129,23 @@ def generate_report(sweeps: Sequence[Sweep],
     w("```")
     w("")
     for sweep in sweeps:
-        imps = [sweep.improvement(n) for n in sweep.pe_counts()]
+        imps = [sweep.improvement(n) for n in sweep.complete_pes()]
         lo, hi = PAPER_IMPROVEMENT_RANGES[sweep.workload]
+        if not imps:
+            w(f"* **{sweep.workload}** — paper range {lo}-{hi}%; no "
+              f"complete BASE+CCDP pair measured (quarantined cells).")
+            continue
         w(f"* **{sweep.workload}** — paper range {lo}-{hi}%; measured "
           f"{min(imps):.1f}-{max(imps):.1f}%: {band_verdict(sweep.workload, imps)}.")
     w("")
-    order = sorted(sweeps, key=lambda s: -max(s.improvement(n) for n in s.pe_counts()))
-    w(f"Measured improvement ordering: "
-      f"{' > '.join(s.workload for s in order)} "
-      f"(paper: {' > '.join(PAPER_ORDERING)}).")
-    w("")
+    ordered = [s for s in sweeps if s.complete_pes()]
+    if ordered:
+        order = sorted(ordered, key=lambda s: -max(s.improvement(n)
+                                                   for n in s.complete_pes()))
+        w(f"Measured improvement ordering: "
+          f"{' > '.join(s.workload for s in order)} "
+          f"(paper: {' > '.join(PAPER_ORDERING)}).")
+        w("")
 
     # Prefetch accounting: issued vs dropped vs degraded-to-bypass.
     w("## Prefetch accounting (CCDP runs, max PE count)")
@@ -147,8 +166,13 @@ def generate_report(sweeps: Sequence[Sweep],
       "| vector prefetches | batched coverage | fallbacks | why |")
     w("|---|---|---|---|---|---|---|---|---|")
     for sweep in sweeps:
-        top = max(sweep.pe_counts())
-        record = sweep.record(Version.CCDP, top)
+        ccdp_pes = [n for n in sweep.pe_counts()
+                    if (Version.CCDP, n) in sweep.runs]
+        if not ccdp_pes:
+            w(f"| {sweep.workload} | - | - | - | - | - | - | - | "
+              f"quarantined |")
+            continue
+        record = sweep.record(Version.CCDP, max(ccdp_pes))
         stats = record.stats
         if record.backend == "reference":
             coverage, fallbacks, why = "-", "-", "-"
@@ -190,6 +214,21 @@ def generate_report(sweeps: Sequence[Sweep],
               f"| {len(report.targets.demoted_bypass)} "
               f"| {counts['vpg']} | {counts['sp']} | {counts['mbp_moved']} "
               f"| {counts['bypass']} |")
+        w("")
+
+    if failed_cells:
+        w("## Failed cells (quarantined)")
+        w("")
+        w("These cells exhausted their farm retries and were quarantined; "
+          "the grid completed without them.  Each line reproduces the "
+          "failure standalone:")
+        w("")
+        for cell in failed_cells:
+            w(f"* `{cell.describe()}` — key `{cell.key[:16]}…`")
+            w(f"  * repro: `PYTHONPATH=src {cell.repro_command()}`")
+            last = (cell.error or "").strip().splitlines()
+            if last:
+                w(f"  * error: `{last[-1]}`")
         w("")
 
     w("## Notes")

@@ -22,6 +22,15 @@ def _fmt_cell(value: Optional[float], width: int = 7, digits: int = 2) -> str:
     return f"{value:>{width}.{digits}f}"
 
 
+def _speedup(sweep: Sweep, version: str, n_pes: int) -> Optional[float]:
+    """Speedup over SEQ, or ``None`` when either record is missing
+    (quarantined cells leave gaps that render as ``-``)."""
+    record = sweep.runs.get((version, n_pes))
+    if record is None or sweep.seq is None:
+        return None
+    return sweep.seq.elapsed / record.elapsed
+
+
 def table1_rows(sweeps: Sequence[Sweep]) -> List[Dict[str, object]]:
     """Structured Table 1 data: one row per PE count, BASE and CCDP
     speedups per workload."""
@@ -30,9 +39,10 @@ def table1_rows(sweeps: Sequence[Sweep]) -> List[Dict[str, object]]:
     for n_pes in pe_counts:
         row: Dict[str, object] = {"n_pes": n_pes}
         for sweep in sweeps:
-            if (Version.BASE, n_pes) in sweep.runs:
-                row[f"{sweep.workload}/base"] = sweep.speedup(Version.BASE, n_pes)
-                row[f"{sweep.workload}/ccdp"] = sweep.speedup(Version.CCDP, n_pes)
+            for version in (Version.BASE, Version.CCDP):
+                value = _speedup(sweep, version, n_pes)
+                if value is not None:
+                    row[f"{sweep.workload}/{version}"] = value
         rows.append(row)
     return rows
 
@@ -63,7 +73,8 @@ def table2_rows(sweeps: Sequence[Sweep]) -> List[Dict[str, object]]:
     for n_pes in pe_counts:
         row: Dict[str, object] = {"n_pes": n_pes}
         for sweep in sweeps:
-            if (Version.BASE, n_pes) in sweep.runs:
+            if (Version.BASE, n_pes) in sweep.runs and \
+                    (Version.CCDP, n_pes) in sweep.runs:
                 row[sweep.workload] = sweep.improvement(n_pes)
                 row[f"{sweep.workload}/paper"] = paper_improvement(sweep.workload, n_pes)
         rows.append(row)

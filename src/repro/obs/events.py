@@ -39,6 +39,12 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "epoch_end": ("index", "label", "time"),
     # -- fault injection ---------------------------------------------------
     "fault_activation": ("pe", "model", "detail"),
+    # -- sweep-farm lifecycle (repro.farm; one stream per farm run) --------
+    "farm_lease": ("key", "attempt"),
+    "farm_retry": ("key", "attempt", "delay_ms", "reason"),
+    "farm_quarantine": ("key", "attempts", "reason"),
+    "farm_resume": ("key", "digest"),
+    "farm_done": ("key", "attempt", "cached"),
 }
 
 EVENT_KINDS = frozenset(EVENT_FIELDS)
@@ -57,8 +63,12 @@ BYPASS_KINDS = frozenset({"bypass", "uncached_local", "uncached_remote",
 #: ``fault`` = eviction-storm fault injection.
 INVALIDATE_REASONS = frozenset({"prefetch", "vector", "explicit", "fault"})
 
+#: ``farm_retry.reason`` / ``farm_quarantine.reason`` values: why the
+#: failed attempt failed (mirrors ``repro.farm.jobs.FAIL_REASONS``).
+FARM_FAIL_REASONS = frozenset({"error", "timeout", "crash"})
+
 _STR_FIELDS = frozenset({"array", "kind", "reason", "label", "model",
-                         "detail"})
+                         "detail", "key", "digest"})
 _FLOAT_FIELDS = frozenset({"time"})
 
 
@@ -90,6 +100,10 @@ def validate_event(event) -> None:
     if kind == "invalidate" and event[4] not in INVALIDATE_REASONS:
         raise ValueError(f"invalidate.reason {event[4]!r} not in "
                          f"{sorted(INVALIDATE_REASONS)}")
+    if kind in ("farm_retry", "farm_quarantine") and \
+            event[-1] not in FARM_FAIL_REASONS:
+        raise ValueError(f"{kind}.reason {event[-1]!r} not in "
+                         f"{sorted(FARM_FAIL_REASONS)}")
 
 
 def event_to_dict(event) -> dict:
@@ -117,5 +131,5 @@ def event_from_dict(record: dict) -> tuple:
 
 
 __all__ = ["EVENT_FIELDS", "EVENT_KINDS", "BYPASS_KINDS",
-           "INVALIDATE_REASONS", "validate_event", "event_to_dict",
-           "event_from_dict"]
+           "INVALIDATE_REASONS", "FARM_FAIL_REASONS", "validate_event",
+           "event_to_dict", "event_from_dict"]

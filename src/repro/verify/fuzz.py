@@ -22,8 +22,10 @@ repo promises about that program:
 A cell failure carries every mismatch string; :func:`shrink_failure`
 delta-debugs the seed down to a minimal reproducer and serializes it
 through the IR printer.  Cells are pure functions of (seed, n_pes), so
-:func:`fuzz_seeds` fans them out through the same process pool as the
-experiment sweep (:func:`repro.harness.sweep.run_pool`).
+:func:`fuzz_seeds` fans them out through the sweep farm
+(:mod:`repro.farm`) — the same journaled work queue as the experiment
+sweep, which makes long campaigns resumable (``--farm-dir``/
+``--resume``) and isolates crashing seeds via retry + quarantine.
 """
 
 from __future__ import annotations
@@ -161,14 +163,65 @@ def run_fuzz_cell(payload: Tuple[int, int]) -> FuzzResult:
                           error=traceback.format_exc())
 
 
+def fuzz_key(seed: int, n_pes: int) -> str:
+    """Content key of one fuzz cell (seed fully determines the program;
+    the battery is pure given (seed, n_pes))."""
+    from ..farm import SCHEMA
+    from ..harness.progcache import content_key
+
+    return content_key("fuzz", SCHEMA, seed, n_pes)
+
+
+def _fuzz_failure(result: FuzzResult) -> Optional[str]:
+    """Farm ``failure_of`` hook: a *crashed* cell is an infrastructure
+    failure worth retrying/quarantining; differential mismatches are
+    findings — they commit as results."""
+    return result.error or None
+
+
 def fuzz_seeds(seeds: Sequence[int], n_pes: int = DEFAULT_PES,
-               jobs: int = 1, progress=None) -> List[FuzzResult]:
+               jobs: int = 1, progress=None, farm=None,
+               collect: Optional[dict] = None) -> List[FuzzResult]:
     """Run one cell per seed, optionally across ``jobs`` processes.
-    Results come back in seed order regardless of worker scheduling."""
-    from ..harness.sweep import run_pool
+    Results come back in seed order regardless of worker scheduling.
+
+    With a :class:`repro.farm.FarmConfig` the campaign is journaled:
+    a killed run resumes replaying only unfinished seeds, finished
+    seeds dedup across campaigns sharing a farm dir, and a crashing
+    cell is retried with seeded backoff then quarantined (surfacing as
+    a :class:`FuzzResult` with :attr:`FuzzResult.error` set) instead of
+    aborting the campaign.  ``collect`` receives the farm's
+    :class:`~repro.farm.FarmResult` under ``"farm"``.
+    """
+    from ..farm import FarmConfig, Job, run_farm
 
     payloads = [(seed, n_pes) for seed in seeds]
-    return run_pool(run_fuzz_cell, payloads, jobs=jobs, progress=progress)
+    jobs_list = [Job(index=i, key=fuzz_key(seed, n_pes),
+                     payload=(seed, n_pes), desc=f"seed {seed}")
+                 for i, (seed, n_pes) in enumerate(payloads)]
+
+    def farm_progress(done, total, outcome):
+        progress(done, total, outcome.result if outcome.result is not None
+                 else FuzzResult(seed=jobs_list[outcome.job.index]
+                                 .payload[0],
+                                 n_pes=n_pes, error=outcome.error or ""))
+
+    result = run_farm(run_fuzz_cell, jobs_list,
+                      farm or FarmConfig(jobs=jobs),
+                      failure_of=_fuzz_failure,
+                      progress=farm_progress if progress is not None
+                      else None)
+    if collect is not None:
+        collect["farm"] = result
+    out: List[FuzzResult] = []
+    for (seed, pes), outcome in zip(payloads, result.outcomes):
+        if outcome.quarantined:
+            out.append(FuzzResult(seed=seed, n_pes=pes,
+                                  error=outcome.error or
+                                  f"quarantined ({outcome.reason})"))
+        else:
+            out.append(outcome.result)
+    return out
 
 
 def shrink_failure(seed: int, n_pes: int = DEFAULT_PES,
@@ -189,4 +242,4 @@ def shrink_failure(seed: int, n_pes: int = DEFAULT_PES,
 
 
 __all__ = ["DEFAULT_PES", "FuzzResult", "check_program", "run_fuzz_cell",
-           "fuzz_seeds", "shrink_failure"]
+           "fuzz_key", "fuzz_seeds", "shrink_failure"]

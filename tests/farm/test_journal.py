@@ -1,0 +1,117 @@
+"""Journal contract: append/replay roundtrip, crash-artifact tolerance,
+and the quarantine/requeue state machine."""
+
+import json
+import logging
+
+import pytest
+
+from repro.farm.journal import ERROR_TEXT_LIMIT, JobState, Journal
+
+
+def test_append_replay_roundtrip(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.append({"ev": "lease", "key": "k1", "attempt": 1})
+        journal.append({"ev": "fail", "key": "k1", "attempt": 1,
+                        "reason": "error", "error": "tb"})
+        journal.append({"ev": "retry", "key": "k1", "attempt": 2,
+                        "delay_ms": 250})
+        journal.append({"ev": "lease", "key": "k1", "attempt": 2})
+        journal.append({"ev": "done", "key": "k1", "attempt": 2,
+                        "digest": "d" * 64}, sync=True)
+        journal.append({"ev": "lease", "key": "k2", "attempt": 1})
+
+    states = Journal(tmp_path).replay()
+    assert states["k1"].done
+    assert states["k1"].digest == "d" * 64
+    assert states["k1"].attempts == 2
+    assert states["k1"].last_reason == "error"
+    assert not states["k2"].done
+    assert states["k2"].attempts == 1
+
+
+def test_records_carry_timestamps_and_canonical_json(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.append({"ev": "lease", "key": "k", "attempt": 1})
+    line = (tmp_path / "journal.jsonl").read_text().strip()
+    record = json.loads(line)
+    assert record["ts"] > 0
+    assert line == json.dumps(record, sort_keys=True,
+                              separators=(",", ":"))
+
+
+def test_torn_final_line_is_ignored(tmp_path, caplog):
+    with Journal(tmp_path) as journal:
+        journal.append({"ev": "done", "key": "k1", "attempt": 1,
+                        "digest": "a" * 64}, sync=True)
+    # kill -9 artifact: the process died mid-append.
+    with open(tmp_path / "journal.jsonl", "a") as fh:
+        fh.write('{"ev": "done", "key": "k2", "dig')
+    with caplog.at_level(logging.WARNING, logger="repro.farm"):
+        states = Journal(tmp_path).replay()
+    assert set(states) == {"k1"}
+    assert not caplog.records  # torn tail is expected, not warned about
+
+
+def test_malformed_middle_line_warns_and_skips(tmp_path, caplog):
+    with Journal(tmp_path) as journal:
+        journal.append({"ev": "done", "key": "k1", "attempt": 1,
+                        "digest": "a" * 64})
+    with open(tmp_path / "journal.jsonl", "a") as fh:
+        fh.write("NOT JSON AT ALL\n")
+        fh.write('{"ev": "weird", "key": "k3"}\n')
+    with Journal(tmp_path) as journal:
+        journal.append({"ev": "done", "key": "k2", "attempt": 1,
+                        "digest": "b" * 64})
+    with caplog.at_level(logging.WARNING, logger="repro.farm"):
+        states = Journal(tmp_path).replay()
+    # both damaged lines dropped, both good records kept
+    assert set(states) == {"k1", "k2"}
+    assert len([r for r in caplog.records if "skipping" in r.message]) == 2
+
+
+def test_quarantine_requeue_state_machine(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.append({"ev": "lease", "key": "k", "attempt": 3})
+        journal.append({"ev": "quarantine", "key": "k", "attempts": 3,
+                        "reason": "crash", "error": "died"}, sync=True)
+    states = Journal(tmp_path).replay()
+    assert states["k"].quarantined is not None
+    assert states["k"].quarantined["reason"] == "crash"
+    assert not states["k"].done
+
+    with Journal(tmp_path) as journal:
+        journal.append({"ev": "requeue", "key": "k"}, sync=True)
+    states = Journal(tmp_path).replay()
+    assert states["k"].quarantined is None
+    assert states["k"].attempts == 0  # runs fresh
+
+    # a later done supersedes any standing quarantine
+    with Journal(tmp_path) as journal:
+        journal.append({"ev": "quarantine", "key": "k", "attempts": 1,
+                        "reason": "error", "error": "x"})
+        journal.append({"ev": "done", "key": "k", "attempt": 1,
+                        "digest": "c" * 64})
+    states = Journal(tmp_path).replay()
+    assert states["k"].done and states["k"].quarantined is None
+
+
+def test_unknown_record_ev_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        Journal(tmp_path).append({"ev": "banana", "key": "k"})
+
+
+def test_error_text_is_bounded(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.append({"ev": "fail", "key": "k", "attempt": 1,
+                        "reason": "error", "error": "x" * 100_000})
+    [record] = Journal(tmp_path).records()
+    assert len(record["error"]) == ERROR_TEXT_LIMIT
+
+
+def test_empty_and_missing_journal(tmp_path):
+    journal = Journal(tmp_path / "nowhere")
+    assert not journal.exists()
+    assert journal.records() == []
+    assert journal.replay() == {}
+    assert JobState().done is False

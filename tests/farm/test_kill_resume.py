@@ -1,0 +1,143 @@
+"""Crash-recovery determinism (the farm's headline guarantee).
+
+A ``kill -9``'d ``--jobs 2`` sweep, resumed from its journal, must
+produce byte-identical RunRecords to an uninterrupted serial run — and
+must re-execute only the cells the journal has no committed result for.
+The Hypothesis property generalises the kill point: *any* byte prefix of
+a finished journal (including torn mid-line cuts) resumes to the same
+final state.
+"""
+
+import os
+import pickle
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+from hypothesis import given, settings, strategies as st
+
+from repro.farm import FarmConfig, Job, run_farm
+from repro.farm.journal import Journal
+from repro.harness.sweep import SweepSpec, sweep_grid
+
+from . import workers
+
+SPEC_KW = dict(size_args={"n": 8}, pe_counts=(1, 2, 4), check=True)
+N_CELLS = 7  # seq + (base, ccdp) x (1, 2, 4)
+
+DRIVER = """\
+import sys
+from repro.farm import FarmConfig
+from repro.harness.sweep import SweepSpec, sweep_grid
+
+specs = [SweepSpec.create("mxm", size_args={"n": 8}, pe_counts=(1, 2, 4),
+                          check=True)]
+sweep_grid(specs, farm=FarmConfig(jobs=2, farm_dir=sys.argv[1]))
+"""
+
+
+def _pickled(sweeps):
+    out = []
+    for sweep in sweeps:
+        out.append(pickle.dumps(sweep.seq, protocol=4))
+        for key in sorted(sweep.runs):
+            out.append(pickle.dumps(sweep.runs[key], protocol=4))
+    return out
+
+
+def test_sigkill_then_resume_is_byte_identical(tmp_path):
+    farm_dir = tmp_path / "farm"
+    driver = tmp_path / "driver.py"
+    driver.write_text(DRIVER)
+    env = {**os.environ,
+           "PYTHONPATH": os.pathsep.join(
+               [str(p) for p in sys.path if p] or [""])}
+
+    proc = subprocess.Popen([sys.executable, str(driver), str(farm_dir)],
+                            env=env, start_new_session=True,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    try:
+        # Wait until the grid is demonstrably mid-flight (>= 2 committed
+        # cells), then kill -9 the whole process group.
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            done = sum(1 for s in Journal(farm_dir).replay().values()
+                       if s.done)
+            if done >= 2:
+                break
+            time.sleep(0.01)
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+
+    committed = sum(1 for s in Journal(farm_dir).replay().values()
+                    if s.done)
+    assert committed >= 2  # we really did interrupt a running grid
+
+    specs = [SweepSpec.create("mxm", **SPEC_KW)]
+    collect = {}
+    resumed = sweep_grid(specs, farm=FarmConfig(
+        jobs=2, farm_dir=str(farm_dir), resume=True), collect=collect)
+    farm = collect["farm"]
+    # only the unfinished cells ran; every committed cell was replayed
+    assert farm.cached == committed
+    assert farm.executed == N_CELLS - committed
+    assert farm.quarantined == 0 and not resumed[0].failed
+
+    uninterrupted = sweep_grid(specs)  # serial, ephemeral: the reference
+    assert _pickled(resumed) == _pickled(uninterrupted)
+
+    # a second resume replays everything (zero re-executed cells)
+    collect2 = {}
+    again = sweep_grid(specs, farm=FarmConfig(
+        jobs=1, farm_dir=str(farm_dir), resume=True), collect=collect2)
+    assert collect2["farm"].executed == 0
+    assert collect2["farm"].cached == N_CELLS
+    assert _pickled(again) == _pickled(uninterrupted)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_any_journal_prefix_resumes_to_same_state(tmp_path_factory, data):
+    """Property: truncating a finished journal at ANY byte — simulating a
+    kill at any instant after the result files landed — and resuming
+    yields the exact outcomes of the uninterrupted run, executing only
+    the jobs the surviving prefix has no committed record for."""
+    base = tmp_path_factory.mktemp("prefix")
+    full_dir = base / "full"
+    jobs = [Job(index=i, key=f"cell-{i}", payload=i, desc=f"cell {i}")
+            for i in range(6)]
+    full = run_farm(workers.square, jobs,
+                    FarmConfig(jobs=1, farm_dir=str(full_dir)))
+    journal_bytes = (full_dir / "journal.jsonl").read_bytes()
+
+    # Draw a fixed-range fraction and scale it: the journal's byte length
+    # varies run to run (timestamp widths), and Hypothesis requires
+    # stable strategy bounds across examples.
+    frac = data.draw(st.integers(min_value=0, max_value=10_000))
+    cut = frac * len(journal_bytes) // 10_000
+    part_dir = base / f"cut-{cut}"
+    part_dir.mkdir()
+    (part_dir / "journal.jsonl").write_bytes(journal_bytes[:cut])
+    # result files are written (atomically) BEFORE their done record is
+    # committed, so every prefix may legitimately see all of them
+    shutil.copytree(full_dir / "results", part_dir / "results")
+
+    committed = sum(1 for s in Journal(part_dir).replay().values()
+                    if s.done)
+    resumed = run_farm(workers.square, jobs,
+                       FarmConfig(jobs=1, farm_dir=str(part_dir)))
+    assert [o.result for o in resumed.outcomes] == \
+        [o.result for o in full.outcomes]
+    assert resumed.cached == committed
+    assert resumed.executed == len(jobs) - committed
+    # and the healed journal now resumes fully cached
+    final = run_farm(workers.square, jobs,
+                     FarmConfig(jobs=1, farm_dir=str(part_dir),
+                                resume=True))
+    assert final.executed == 0 and final.cached == len(jobs)

@@ -1,0 +1,69 @@
+"""DiskStore hardening (satellite of the farm PR): corrupt or truncated
+cache entries must warn, evict, and force a recompute — never crash or
+return wrong data."""
+
+import logging
+import pickle
+
+from repro.harness.progcache import DiskStore, result_digest
+
+
+def test_put_get_roundtrip(tmp_path):
+    store = DiskStore(tmp_path)
+    digest, data = store.put("k1", {"answer": 42})
+    assert digest == result_digest(data)
+    assert store.get("k1") == {"answer": 42}
+    assert store.get("k1", expect_digest=digest) == {"answer": 42}
+    assert store.get_bytes("k1", expect_digest=digest) == data
+
+
+def test_missing_key_returns_none_silently(tmp_path, caplog):
+    store = DiskStore(tmp_path)
+    with caplog.at_level(logging.WARNING):
+        assert store.get("ghost") is None
+    assert not caplog.records
+
+
+def test_truncated_entry_warns_evicts_recomputes(tmp_path, caplog):
+    store = DiskStore(tmp_path)
+    digest, data = store.put("k", list(range(100)))
+    # truncate the file mid-pickle, as a crash or full disk would
+    store.path_for("k").write_bytes(data[: len(data) // 2])
+    with caplog.at_level(logging.WARNING):
+        assert store.get("k", expect_digest=digest) is None
+    assert any("digest mismatch" in r.message for r in caplog.records)
+    assert not store.path_for("k").exists()  # evicted
+    # recompute path: a fresh put fully heals the entry
+    digest2, _ = store.put("k", list(range(100)))
+    assert digest2 == digest
+    assert store.get("k", expect_digest=digest2) == list(range(100))
+
+
+def test_unpicklable_entry_warns_and_evicts(tmp_path, caplog):
+    store = DiskStore(tmp_path)
+    garbage = b"\x80\x04 definitely not a pickle"
+    store.put_bytes("k", garbage)
+    with caplog.at_level(logging.WARNING):
+        # digest matches (we stored the garbage), so only unpickling trips
+        assert store.get("k", expect_digest=result_digest(garbage)) is None
+    assert any("bad pickle" in r.message for r in caplog.records)
+    assert not store.path_for("k").exists()
+
+
+def test_digest_check_optional(tmp_path):
+    store = DiskStore(tmp_path)
+    store.put("k", "value")
+    store.path_for("k").write_bytes(pickle.dumps("tampered"))
+    # without an expected digest the store trusts the bytes…
+    assert store.get("k") == "tampered"
+    # …with one, tampering is detected and the entry evicted
+    assert store.get("k", expect_digest=result_digest(b"other")) is None
+    assert not store.path_for("k").exists()
+
+
+def test_atomic_replace_leaves_no_temp_files(tmp_path):
+    store = DiskStore(tmp_path)
+    for i in range(5):
+        store.put("k", i)
+    assert store.get("k") == 4
+    assert [p.name for p in tmp_path.iterdir()] == ["k.pkl"]

@@ -1,0 +1,230 @@
+"""Farm supervisor contract: serial == pool, retry/backoff/quarantine,
+timeout and crash supervision, dedup/resume, event hygiene."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.farm import (FarmConfig, FarmError, Job, backoff_delay, run_farm)
+from repro.obs.events import validate_event
+
+from . import workers
+
+
+def _jobs(payloads, prefix="job"):
+    return [Job(index=i, key=f"{prefix}-{i}", payload=p, desc=f"{prefix} {i}")
+            for i, p in enumerate(payloads)]
+
+
+def test_serial_and_pool_results_byte_identical():
+    jobs = _jobs(list(range(8)))
+    serial = run_farm(workers.square, jobs, FarmConfig(jobs=1))
+    pooled = run_farm(workers.square, jobs, FarmConfig(jobs=3))
+    assert [pickle.dumps(o.result) for o in serial.outcomes] == \
+        [pickle.dumps(o.result) for o in pooled.outcomes]
+    assert [o.result for o in serial.outcomes] == [i * i for i in range(8)]
+    assert serial.executed == pooled.executed == 8
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_retry_then_succeed(tmp_path, jobs):
+    payload = (str(tmp_path), "wobbly", 2, 42)  # fail twice, then succeed
+    config = FarmConfig(jobs=jobs, max_retries=3, backoff_base=0.01)
+    result = run_farm(workers.flaky, _jobs([payload]), config)
+    [outcome] = result.outcomes
+    assert outcome.result == 42 and not outcome.quarantined
+    assert outcome.attempts == 3
+    assert result.retries == 2 and result.executed == 1
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_quarantine_after_retry_budget(tmp_path, jobs):
+    payload = (str(tmp_path), "doomed", 99, 0)  # never succeeds
+    config = FarmConfig(jobs=jobs, max_retries=1, backoff_base=0.01)
+    result = run_farm(workers.flaky, _jobs([payload]), config)
+    [outcome] = result.outcomes
+    assert outcome.quarantined and outcome.reason == "error"
+    assert outcome.attempts == 2  # first try + 1 retry
+    assert "induced failure" in outcome.error
+    assert result.quarantined == 1 and result.failed == [outcome]
+
+
+def test_quarantine_does_not_block_other_jobs(tmp_path):
+    payloads = [(str(tmp_path), "dead", 99, 0)] + \
+        [(str(tmp_path), f"fine-{i}", 0, i) for i in range(4)]
+    config = FarmConfig(jobs=2, max_retries=1, backoff_base=0.01)
+    result = run_farm(workers.flaky, _jobs(payloads), config)
+    assert result.outcomes[0].quarantined
+    assert [o.result for o in result.outcomes[1:]] == [0, 1, 2, 3]
+
+
+def test_failure_of_hook_retries_returned_failures(tmp_path):
+    def failure_of(result):
+        return result[1]
+
+    jobs = _jobs([1, 2, 3])
+    result = run_farm(workers.pair, jobs, FarmConfig(jobs=1),
+                      failure_of=failure_of)
+    assert all(not o.quarantined for o in result.outcomes)
+    assert result.outcomes[1].result == ({"value": 2, "tag": "ok"}, None)
+
+
+def test_worker_exception_carries_traceback():
+    result = run_farm(workers.boom, _jobs(["x"]),
+                      FarmConfig(jobs=1, max_retries=0))
+    [outcome] = result.outcomes
+    assert outcome.quarantined
+    assert "ValueError" in outcome.error and "Traceback" in outcome.error
+
+
+def test_timeout_kills_and_quarantines(tmp_path):
+    config = FarmConfig(jobs=1, cell_timeout=0.3, max_retries=0)
+    result = run_farm(workers.hang_forever, _jobs(["h"]), config)
+    [outcome] = result.outcomes
+    assert outcome.quarantined and outcome.reason == "timeout"
+    assert "cell-timeout" in outcome.error or "wall clock" in outcome.error
+
+
+def test_crashed_worker_detected_and_job_retried(tmp_path):
+    payload = (str(tmp_path), "segv", 1, 7)  # dies once, then succeeds
+    config = FarmConfig(jobs=2, max_retries=2, backoff_base=0.01)
+    result = run_farm(workers.crashy, _jobs([payload]), config)
+    [outcome] = result.outcomes
+    assert outcome.result == 7 and not outcome.quarantined
+    assert result.retries == 1
+    retry_events = [e for e in result.events if e[0] == "farm_retry"]
+    assert retry_events and retry_events[0][-1] == "crash"
+
+
+def test_crashed_worker_quarantines_with_crash_reason(tmp_path):
+    payload = (str(tmp_path), "always", 99, 0)
+    config = FarmConfig(jobs=2, max_retries=1, backoff_base=0.01)
+    result = run_farm(workers.crashy, _jobs([payload]), config)
+    [outcome] = result.outcomes
+    assert outcome.quarantined and outcome.reason == "crash"
+    assert "exitcode" in outcome.error
+
+
+def test_backoff_delay_deterministic_monotone_capped():
+    delays = [backoff_delay("some-key", attempt, base=0.25, cap=30.0, seed=3)
+              for attempt in range(1, 10)]
+    assert delays == [backoff_delay("some-key", a, base=0.25, cap=30.0,
+                                    seed=3) for a in range(1, 10)]
+    # jitter band [0.75, 1.25) is narrower than the doubling, so the
+    # schedule strictly increases until it hits the cap
+    uncapped = [d for d in delays if d < 30.0]
+    assert all(b > a for a, b in zip(uncapped, uncapped[1:]))
+    assert delays[-1] <= 30.0
+    assert backoff_delay("k", 1) != backoff_delay("k2", 1)  # per-key jitter
+    assert backoff_delay("k", 1, seed=0) != backoff_delay("k", 1, seed=1)
+
+
+def test_dedup_second_run_served_from_journal(tmp_path):
+    jobs = _jobs(list(range(5)), prefix="cell")
+    config = FarmConfig(jobs=1, farm_dir=str(tmp_path))
+    first = run_farm(workers.square, jobs, config)
+    second = run_farm(workers.square, jobs, config)
+    assert first.executed == 5 and first.cached == 0
+    assert second.executed == 0 and second.cached == 5
+    assert [pickle.dumps(o.result) for o in first.outcomes] == \
+        [pickle.dumps(o.result) for o in second.outcomes]
+    assert all(o.cached for o in second.outcomes)
+
+
+def test_dedup_across_different_grids_sharing_keys(tmp_path):
+    config = FarmConfig(jobs=1, farm_dir=str(tmp_path))
+    run_farm(workers.square, _jobs([3], prefix="shared"), config)
+    # a different grid whose only job has the same content key
+    other = [Job(index=0, key="shared-0", payload=3, desc="other grid")]
+    result = run_farm(workers.square, other, config)
+    assert result.cached == 1 and result.executed == 0
+    assert result.outcomes[0].result == 9
+
+
+def test_corrupt_result_file_is_recomputed(tmp_path, caplog):
+    import logging
+
+    jobs = _jobs([4], prefix="cell")
+    config = FarmConfig(jobs=1, farm_dir=str(tmp_path))
+    run_farm(workers.square, jobs, config)
+    [result_file] = list((tmp_path / "results").iterdir())
+    result_file.write_bytes(b"truncated garbage")
+    with caplog.at_level(logging.WARNING):
+        again = run_farm(workers.square, jobs, config)
+    assert again.executed == 1 and again.cached == 0  # digest check failed
+    assert again.outcomes[0].result == 16
+    assert any("digest mismatch" in r.message for r in caplog.records)
+    # the store healed: a third run is served from the journal again
+    third = run_farm(workers.square, jobs, config)
+    assert third.cached == 1
+
+
+def test_requeue_quarantined_re_executes(tmp_path):
+    counter = tmp_path / "counters"
+    counter.mkdir()
+    payload = (str(counter), "flappy", 1, 11)  # fails once, then ok
+    jobs = _jobs([payload])
+    farm_dir = str(tmp_path / "farm")
+    first = run_farm(workers.flaky, jobs,
+                     FarmConfig(jobs=1, farm_dir=farm_dir, max_retries=0))
+    assert first.quarantined == 1
+    # without requeue, the quarantine is replayed, not re-run
+    replay = run_farm(workers.flaky, jobs,
+                      FarmConfig(jobs=1, farm_dir=farm_dir, max_retries=0))
+    assert replay.quarantined == 1 and replay.executed == 0
+    assert replay.outcomes[0].cached
+    # requeue clears it; the second real attempt succeeds
+    requeued = run_farm(workers.flaky, jobs,
+                        FarmConfig(jobs=1, farm_dir=farm_dir, max_retries=0,
+                                   requeue_quarantined=True))
+    assert requeued.executed == 1 and requeued.quarantined == 0
+    assert requeued.outcomes[0].result == 11
+
+
+def test_events_are_schema_valid_and_exported(tmp_path):
+    counter = tmp_path / "counters"
+    counter.mkdir()
+    payloads = [(str(counter), "a", 1, 1), (str(counter), "b", 0, 2)]
+    farm_dir = tmp_path / "farm"
+    config = FarmConfig(jobs=1, farm_dir=str(farm_dir), max_retries=1,
+                        backoff_base=0.01)
+    result = run_farm(workers.flaky, _jobs(payloads), config)
+    kinds = [e[0] for e in result.events]
+    assert "farm_lease" in kinds and "farm_retry" in kinds \
+        and "farm_done" in kinds
+    for event in result.events:
+        validate_event(event)  # raises on any malformed tuple
+    exported = (farm_dir / "events.jsonl").read_text().strip().splitlines()
+    assert len(exported) == len(result.events)
+
+
+def test_progress_reports_every_outcome(tmp_path):
+    seen = []
+    config = FarmConfig(jobs=1, farm_dir=str(tmp_path))
+    run_farm(workers.square, _jobs([1, 2]),  config,
+             progress=lambda done, total, o: seen.append((done, total)))
+    assert seen == [(1, 2), (2, 2)]
+    seen.clear()
+    run_farm(workers.square, _jobs([1, 2]), config,
+             progress=lambda done, total, o: seen.append(o.cached))
+    assert seen == [True, True]  # journal-served jobs still report
+
+
+def test_config_validation_and_misuse():
+    with pytest.raises(FarmError):
+        FarmConfig(resume=True).validate()
+    with pytest.raises(FarmError):
+        FarmConfig(cell_timeout=0).validate()
+    with pytest.raises(FarmError):
+        FarmConfig(max_retries=-1).validate()
+    with pytest.raises(FarmError):
+        run_farm(workers.square,
+                 [Job(0, "a", 1), Job(0, "b", 2)], FarmConfig())
+
+
+def test_resume_requires_existing_journal(tmp_path):
+    config = FarmConfig(jobs=1, farm_dir=str(tmp_path / "fresh"),
+                        resume=True)
+    with pytest.raises(FarmError, match="no journal"):
+        run_farm(workers.square, _jobs([1]), config)

@@ -1,0 +1,63 @@
+"""Module-level worker functions for farm tests.
+
+Farm workers cross the process boundary by reference, so they must be
+importable module-level callables — lambdas and closures would fail to
+pickle under the pool executor.  Workers that need cross-attempt or
+cross-process state (``flaky``, ``crashy``) count attempts in a file:
+retries can land in freshly respawned worker processes, so in-memory
+counters would reset.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def square(payload):
+    return payload * payload
+
+
+def pair(payload):
+    """Returns a (result, error) pair like the sweep's cell worker."""
+    return {"value": payload, "tag": "ok"}, None
+
+
+def boom(payload):
+    raise ValueError(f"boom on {payload!r}")
+
+
+def _attempt_number(counter_dir: str, name: str) -> int:
+    """Crash-proof attempt counter: one appended byte per call."""
+    path = os.path.join(counter_dir, f"{name}.attempts")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, b".")
+        return os.fstat(fd).st_size
+    finally:
+        os.close(fd)
+
+
+def flaky(payload):
+    """Fails (raises) the first ``fail_times`` attempts, then succeeds.
+    ``payload = (counter_dir, name, fail_times, value)``."""
+    counter_dir, name, fail_times, value = payload
+    attempt = _attempt_number(counter_dir, name)
+    if attempt <= fail_times:
+        raise RuntimeError(f"flaky {name}: induced failure {attempt}")
+    return value
+
+
+def crashy(payload):
+    """Dies without reporting on the first ``crash_times`` attempts.
+    ``payload = (counter_dir, name, crash_times, value)``."""
+    counter_dir, name, crash_times, value = payload
+    attempt = _attempt_number(counter_dir, name)
+    if attempt <= crash_times:
+        os._exit(9)
+    return value
+
+
+def hang_forever(payload):
+    time.sleep(3600)
+    return payload

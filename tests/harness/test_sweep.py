@@ -1,13 +1,16 @@
 """The parallel sweep engine's contract: parallel == serial, byte for
-byte, and worker failures surface as one aggregated error."""
+byte, and worker failures surface as one aggregated error (strict mode)
+or as quarantined ``Sweep.failed`` entries (farm mode)."""
 
 import pickle
 
 import pytest
 
+from repro.farm import FarmConfig
 from repro.harness.experiment import ExperimentRunner
-from repro.harness.sweep import (Cell, SweepError, SweepSpec,
-                                 cell_fault_seed, plan_cells, sweep_grid)
+from repro.harness.sweep import (Cell, FailedCell, SweepError, SweepSpec,
+                                 cell_fault_seed, cell_key, plan_cells,
+                                 sweep_grid)
 from repro.runtime import Version
 from repro.workloads import workload
 
@@ -99,3 +102,72 @@ def test_worker_failure_surfaces_as_sweep_error(jobs):
     assert "no-such-workload" in message
     assert "Traceback" in message
     assert len(excinfo.value.failures) == 5  # every cell of the bad spec
+    # every failure carries a paste-ready standalone repro line
+    for failure in excinfo.value.failures:
+        assert failure.repro_command().startswith(
+            "python -m repro.harness run no-such-workload")
+        assert failure.key[:16] in message  # content key named per cell
+    assert "repro: python -m repro.harness run" in message
+
+
+def test_failed_cell_repro_command_round_trips_options():
+    spec = SweepSpec.create("mxm", size_args={"n": 8}, pe_counts=(4,),
+                            backend="batched", check=False,
+                            fault_spec="light", fault_seed=7)
+    cell = Cell(2, "mxm", Version.CCDP, 4)
+    failed = FailedCell(cell=cell, spec=spec, key=cell_key(spec, cell),
+                        attempts=3, reason="timeout", error="slow")
+    command = failed.repro_command()
+    assert "run mxm" in command and "--version ccdp" in command
+    assert "--pes 4" in command and "--n 8" in command
+    assert "--backend batched" in command and "--no-check" in command
+    # the derived per-cell seed, not the base seed, so the standalone
+    # run realises the exact fault schedule the sweep cell saw
+    assert f"--fault-seed {cell_fault_seed(7, cell)}" in command
+    assert "FAILED after 3 attempt(s) [timeout]" in failed.describe()
+
+
+def test_cell_key_stable_and_sensitive():
+    spec = SweepSpec.create("mxm", **SMALL)
+    cell = Cell(1, "mxm", Version.CCDP, 2)
+    assert cell_key(spec, cell) == cell_key(spec, cell)
+    # resolved sizes: explicit default spelling == default spelling
+    explicit = SweepSpec.create(
+        "mxm", size_args={"n": workload("mxm").default_args["n"]},
+        pe_counts=(1, 2), check=True)
+    implicit = SweepSpec.create("mxm", size_args={}, pe_counts=(1, 2),
+                                check=True)
+    assert cell_key(explicit, cell) == cell_key(implicit, cell)
+    # any result-affecting input changes the key
+    assert cell_key(spec, cell) != cell_key(spec, Cell(1, "mxm",
+                                                       Version.BASE, 2))
+    assert cell_key(spec, cell) != \
+        cell_key(SweepSpec.create("mxm", size_args={"n": 12},
+                                  pe_counts=(1, 2), check=True), cell)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_farm_mode_quarantines_instead_of_raising(tmp_path, jobs):
+    specs = [SweepSpec.create("mxm", **SMALL),
+             SweepSpec.create("no-such-workload", **SMALL)]
+    farm = FarmConfig(jobs=jobs, farm_dir=str(tmp_path), max_retries=0)
+    good, bad = sweep_grid(specs, farm=farm)
+    assert good.all_correct() and not good.failed
+    assert len(bad.failed) == 5 and not bad.all_correct()
+    assert bad.runs == {} and bad.seq is None
+    for failed in bad.failed.values():
+        assert failed.reason == "error"
+        assert "Traceback" in failed.error
+
+
+def test_farm_dedup_yields_identical_sweeps(tmp_path):
+    specs = [SweepSpec.create("mxm", **SMALL)]
+    farm = FarmConfig(jobs=1, farm_dir=str(tmp_path))
+    first = sweep_grid(specs, farm=farm)
+    collect = {}
+    second = sweep_grid(specs, farm=farm, collect=collect)
+    assert collect["farm"].executed == 0
+    assert collect["farm"].cached == 5
+    assert _pickled(first) == _pickled(second)
+    # and both match the ephemeral strict path byte for byte
+    assert _pickled(first) == _pickled(sweep_grid(specs))

@@ -22,6 +22,11 @@ EXAMPLES = {
     "epoch_begin": ("epoch_begin", 0, "init", 0),
     "epoch_end": ("epoch_end", 0, "init", 96.5),
     "fault_activation": ("fault_activation", 2, "drop_storm", "line 4"),
+    "farm_lease": ("farm_lease", "5c1bd63fae67aac7", 1),
+    "farm_retry": ("farm_retry", "5c1bd63fae67aac7", 2, 250, "crash"),
+    "farm_quarantine": ("farm_quarantine", "5c1bd63fae67aac7", 3, "timeout"),
+    "farm_resume": ("farm_resume", "5c1bd63fae67aac7", "a" * 64),
+    "farm_done": ("farm_done", "5c1bd63fae67aac7", 1, 0),
 }
 
 
@@ -48,6 +53,9 @@ def test_validate_accepts_wellformed(kind):
     ("barrier", True),                      # ... and not bool
     ("bypass_fetch", 0, "a", 1, "teleport"),  # kind outside BYPASS_KINDS
     ("invalidate", 0, "a", 1, "boredom"),   # reason outside the enum
+    ("farm_retry", "k", 2, 250, "gremlins"),  # reason outside FAIL_REASONS
+    ("farm_quarantine", "k", 3, "gremlins"),  # ditto
+    ("farm_lease", 7, 1),                   # key must be a str
 ])
 def test_validate_rejects_malformed(bad):
     with pytest.raises(ValueError):
