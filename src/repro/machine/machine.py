@@ -52,6 +52,39 @@ class Machine:
         self.memory = Memory(decls, params)
         self.torus = torus_for(params.n_pes)
         self.pes: List[PE] = [PE(i, params) for i in range(params.n_pes)]
+        # Stacked clock plane: every PE's clock is one slot of this
+        # (n_pes,) array, so barrier/elapsed/replay touch all clocks in
+        # single NumPy operations while pe.clock stays a plain float
+        # property for per-PE code.
+        self.clocks = np.zeros(params.n_pes, dtype=np.float64)
+        for pe in self.pes:
+            pe.rebase_clock(self.clocks, pe.pe_id)
+        # Stacked cache planes: every PE's direct-mapped cache state lives
+        # as one row of these (n_pes, ...) arrays, and each cache holds
+        # row views into them.  Per-PE code is unchanged (all cache
+        # mutations are in-place), while cross-PE consumers — the plane
+        # replay's scatters, the stacked classifier — address the whole
+        # machine in single NumPy operations.
+        self.cache_tags = np.full((params.n_pes, params.n_lines), -1,
+                                  dtype=np.int64)
+        self.cache_data = np.zeros(
+            (params.n_pes, params.n_lines, params.line_words),
+            dtype=np.float64)
+        self.cache_vers = np.zeros(
+            (params.n_pes, params.n_lines, params.line_words),
+            dtype=np.int64)
+        for pe in self.pes:
+            pe.cache.rebase(self.cache_tags[pe.pe_id],
+                            self.cache_data[pe.pe_id],
+                            self.cache_vers[pe.pe_id])
+        # Flat aliases over the same storage, for the plane replay's
+        # scatters: 1D fancy-index assignment is markedly cheaper than
+        # 2D index-pair assignment at the same element count.
+        self.cache_tags_flat = self.cache_tags.reshape(-1)
+        self.cache_data_rows = self.cache_data.reshape(
+            -1, params.line_words)
+        self.cache_vers_rows = self.cache_vers.reshape(
+            -1, params.line_words)
         self.stats = MachineStats(per_pe=[pe.stats for pe in self.pes])
         self.on_stale = on_stale
         self._lw = params.line_words
@@ -515,22 +548,37 @@ class Machine:
         self.stats.barriers += 1
         if self.race_check:
             self._epoch_writers.clear()
-        latest = max(pe.clock for pe in self.pes)
+        clocks = self.clocks
+        latest = float(clocks.max())
         cost = self.params.barrier_cost()
-        for pe in self.pes:
-            pe.wait_until(latest)
-            pe.clock += cost
         time = latest + cost
+        # Stall accounting runs only for PEs strictly behind the max —
+        # after a replayed uniform epoch there are none, and the whole
+        # barrier stays in vectorized code.  ``latest + cost`` is the
+        # same float every PE's ``clock = latest; clock += cost`` would
+        # produce.
+        behind = clocks < latest
+        if behind.any():
+            pes = self.pes
+            for i in np.flatnonzero(behind):
+                pes[i].stats.idle_cycles += latest - float(clocks[i])
+        clocks.fill(time)
         if self.tracer is not None:
             self.tracer.emit(("barrier", time))
         return time
 
     def sync_clocks_to(self, time: float) -> None:
-        for pe in self.pes:
-            pe.wait_until(time)
+        time = float(time)
+        clocks = self.clocks
+        behind = clocks < time
+        if behind.any():
+            pes = self.pes
+            for i in np.flatnonzero(behind):
+                pes[i].stats.idle_cycles += time - float(clocks[i])
+            np.maximum(clocks, time, out=clocks)
 
     def elapsed(self) -> float:
-        return max(pe.clock for pe in self.pes)
+        return float(self.clocks.max())
 
     # ------------------------------------------------------------------
     # convenience
@@ -542,5 +590,80 @@ class Machine:
     def coherent(self) -> bool:
         return self.stats.stale_reads == 0
 
+    def plane_view(self) -> "MachinePlane":
+        """A cross-PE plane view over this machine's per-PE state."""
+        return MachinePlane(self)
 
-__all__ = ["Machine", "StaleReadError"]
+
+class MachinePlane:
+    """Cross-PE plane view: per-PE state stacked along a leading PE axis.
+
+    The batched backend's plane epochs and the multi-PE trace classifier
+    (:func:`~repro.machine.batchops.classify_events_multi`) consume
+    whole-machine state as ``(n_pes, ...)`` arrays.  This view *gathers*
+    stacked copies in PE order and *writes back* per-PE rows, so the
+    oracle, tracer synthesis and fault hooks — which all observe plain
+    per-PE objects — see ordinary per-PE effects regardless of how the
+    stacked computation was organised."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    # -- stacked gathers ------------------------------------------------
+    def tags(self) -> np.ndarray:
+        """(n_pes, n_lines) stacked cache tag copies."""
+        return self.machine.cache_tags.copy()
+
+    def data(self) -> np.ndarray:
+        """(n_pes, n_lines, line_words) stacked cache data copies."""
+        return self.machine.cache_data.copy()
+
+    def vers(self) -> np.ndarray:
+        """(n_pes, n_lines, line_words) stacked cache version copies."""
+        return self.machine.cache_vers.copy()
+
+    def clocks(self) -> np.ndarray:
+        """(n_pes,) PE clock copies."""
+        return self.machine.clocks.copy()
+
+    def stat(self, field: str) -> np.ndarray:
+        """(n_pes,) one PEStats counter across the machine."""
+        return np.array([getattr(pe.stats, field)
+                         for pe in self.machine.pes])
+
+    def sig(self) -> tuple:
+        """Stacked per-PE plane signatures (see :meth:`PE.plane_sig`)."""
+        return tuple(pe.plane_sig() for pe in self.machine.pes)
+
+    def snapshot(self) -> list:
+        """Stacked per-PE deep snapshots (see :meth:`PE.plane_snapshot`)."""
+        return [pe.plane_snapshot() for pe in self.machine.pes]
+
+    # -- multi-PE classification ---------------------------------------
+    def classify(self, line_addrs: np.ndarray, kinds,
+                 pe_of: np.ndarray):
+        """Classify a cross-PE event trace against the stacked caches —
+        one :func:`classify_events_multi` call instead of one
+        ``classify_trace`` per PE.  ``pe_of[k]`` is the PE that issues
+        event ``k``; the trace is chronological per PE (cross-PE
+        interleaving is immaterial because per-PE caches are disjoint)."""
+        from .batchops import classify_events_multi
+        return classify_events_multi(line_addrs, kinds, pe_of,
+                                     self.machine.params.n_lines,
+                                     self.tags())
+
+    # -- per-PE writeback -----------------------------------------------
+    def writeback_tags(self, tags: np.ndarray) -> None:
+        for pe, row in zip(self.machine.pes, tags):
+            pe.cache.tags[:] = row
+
+    def writeback_clocks(self, clocks: np.ndarray) -> None:
+        for pe, clock in zip(self.machine.pes, clocks):
+            pe.clock = float(clock)
+
+    def writeback_stat(self, field: str, values: np.ndarray) -> None:
+        for pe, value in zip(self.machine.pes, values):
+            setattr(pe.stats, field, type(getattr(pe.stats, field))(value))
+
+
+__all__ = ["Machine", "MachinePlane", "StaleReadError"]

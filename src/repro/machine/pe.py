@@ -2,24 +2,35 @@
 
 from __future__ import annotations
 
+from dataclasses import fields
 from typing import Optional
+
+import numpy as np
 
 from .cache import DirectMappedCache
 from .params import MachineParams
 from .prefetchq import PrefetchQueue, VectorUnit
 from .stats import PEStats
 
+#: All PEStats counter names, in declaration order (plane snapshots).
+STAT_FIELDS = tuple(f.name for f in fields(PEStats))
+
 
 class PE:
     """All per-processor simulator state."""
 
-    __slots__ = ("pe_id", "params", "clock", "cache", "queue", "vectors",
-                 "last_prefetch_pe", "dropped_lines", "stats")
+    __slots__ = ("pe_id", "params", "_clocks", "_clock_slot", "cache",
+                 "queue", "vectors", "last_prefetch_pe", "dropped_lines",
+                 "stats")
 
     def __init__(self, pe_id: int, params: MachineParams) -> None:
         self.pe_id = pe_id
         self.params = params
-        self.clock: float = 0.0
+        # The clock lives as one slot of a (possibly machine-stacked)
+        # float64 array — see rebase_clock.  A standalone PE gets its
+        # own one-element plane.
+        self._clocks = np.zeros(1, dtype=np.float64)
+        self._clock_slot = 0
         self.cache = DirectMappedCache(params)
         self.queue = PrefetchQueue(params)
         self.vectors = VectorUnit(params)
@@ -30,21 +41,45 @@ class PE:
         self.dropped_lines: set = set()
         self.stats = PEStats()
 
+    @property
+    def clock(self) -> float:
+        """This PE's clock, read from the stacked clock plane.
+
+        Returned as a plain float so every downstream consumer (stat
+        accumulators, signatures, JSON records) keeps native types."""
+        return float(self._clocks[self._clock_slot])
+
+    @clock.setter
+    def clock(self, value: float) -> None:
+        self._clocks[self._clock_slot] = value
+
+    def rebase_clock(self, clocks: np.ndarray, slot: int) -> None:
+        """Move this PE's clock into row ``slot`` of a machine-stacked
+        plane (carrying the current value along), so cross-PE consumers
+        — barrier, elapsed, plane replay — address every clock in one
+        NumPy operation."""
+        clocks[slot] = self._clocks[self._clock_slot]
+        self._clocks = clocks
+        self._clock_slot = slot
+
     def advance(self, cycles: float) -> None:
-        self.clock += cycles
+        self._clocks[self._clock_slot] += cycles
         self.stats.busy_cycles += cycles
 
     def wait_until(self, time: float) -> float:
         """Stall until ``time``; returns the stall duration."""
-        if time <= self.clock:
+        clocks = self._clocks
+        slot = self._clock_slot
+        now = float(clocks[slot])
+        if time <= now:
             return 0.0
-        stall = time - self.clock
-        self.clock = time
+        stall = time - now
+        clocks[slot] = time
         self.stats.idle_cycles += stall
         return stall
 
     def reset_clock(self) -> None:
-        self.clock = 0.0
+        self._clocks[self._clock_slot] = 0.0
 
     def metrics_snapshot(self) -> tuple:
         """The counters the epoch metrics timeline tracks as deltas:
@@ -53,8 +88,52 @@ class PE:
         return (s.reads, s.cache_hits, s.cache_misses, s.prefetch_issued,
                 s.pf_dropped, s.idle_cycles)
 
+    # -- cross-PE plane support -------------------------------------------
+    def plane_sig(self) -> tuple:
+        """Hashable signature of this PE's timing-relevant state.
+
+        Two machine states whose per-PE signatures (plus the shared-memory
+        version part, owned by the caller) are equal evolve identically
+        over an epoch with fixed address streams: the clock and float
+        cycle counters are pinned as absolutes (so recorded absolutes can
+        be restored exactly), the full tag array fixes every cache
+        classification, resident-line versions fix the stale-overlap
+        guards, and the queue/vector/drop state fixes prefetch replay."""
+        s = self.stats
+        cache = self.cache
+        return (self.clock, s.busy_cycles, s.idle_cycles,
+                s.vector_stall_cycles, s.prefetch_late_cycles,
+                cache.tags.tobytes(), cache.resident_vers_bytes(),
+                tuple(self.queue.snapshot()),
+                tuple(sorted(self.dropped_lines)),
+                tuple(self.vectors.snapshot()), self.last_prefetch_pe)
+
+    def plane_snapshot(self) -> tuple:
+        """Deep capture of every per-PE field a DOALL epoch can mutate,
+        for diffing after a plane-epoch recording run."""
+        s = self.stats
+        tags, data, vers = self.cache.plane_state()
+        return (self.clock, {f: getattr(s, f) for f in STAT_FIELDS},
+                tags, data, vers,
+                tuple(self.queue.snapshot()), self.queue.issued,
+                self.queue.dropped,
+                tuple(self.vectors.snapshot()), self.vectors.issued,
+                self.last_prefetch_pe, set(self.dropped_lines))
+
+    @staticmethod
+    def plane_sig_from_snapshot(snap: tuple) -> tuple:
+        """:meth:`plane_sig` recomputed from a :meth:`plane_snapshot` —
+        the recorder keys its entry on the *pre*-epoch state it captured,
+        and the two must produce structurally identical tuples."""
+        (clock, stats, tags, _data, vers, q, _qi, _qd, tv, _vi, lp,
+         dl) = snap
+        return (clock, stats["busy_cycles"], stats["idle_cycles"],
+                stats["vector_stall_cycles"], stats["prefetch_late_cycles"],
+                tags.tobytes(), vers[tags >= 0].tobytes(), q,
+                tuple(sorted(dl)), tv, lp)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<PE {self.pe_id} @ {self.clock:.0f} cycles>"
 
 
-__all__ = ["PE"]
+__all__ = ["PE", "STAT_FIELDS"]

@@ -189,12 +189,13 @@ class Tracer:
         """Mark an epoch start: emit the event, snapshot per-PE counters,
         and reset the per-epoch high-water marks."""
         index = len(self._rows) + len(self._raw_rows)
-        self.emit(("epoch_begin", index, label, machine.elapsed()))
+        now = machine.elapsed()
+        self.emit(("epoch_begin", index, label, now))
         snap = []
         for pe in machine.pes:
             pe.queue.reset_high_water()
             snap.append(pe.metrics_snapshot())
-        self._epoch_snap = (index, label, machine.elapsed(), snap)
+        self._epoch_snap = (index, label, now, snap)
 
     def epoch_end(self, label: str, machine) -> None:
         """Mark an epoch end: emit the event and snapshot the per-PE
@@ -207,8 +208,12 @@ class Tracer:
         self._epoch_snap = None
         end = machine.elapsed()
         self.emit(("epoch_end", index, label, end))
+        # One stacked-plane copy, then per-PE row views: far cheaper
+        # than a tags.copy() per PE, and the rows are read-only once
+        # the timeline folds them.
+        tags = machine.cache_tags.copy()
         after = [(pe.pe_id, pe.metrics_snapshot(), pe.queue.high_water,
-                  pe.cache.tags.copy()) for pe in machine.pes]
+                  tags[pe.pe_id]) for pe in machine.pes]
         self._raw_rows.append((index, label, start, end, snap, after))
 
     @property

@@ -51,6 +51,7 @@ class ExecutionConfig:
     fault_plan: Optional[FaultPlan] = None  #: seeded fault injection, or None
     oracle: bool = False       #: arm the shadow coherence oracle
     tracer: Optional[object] = None  #: repro.obs.Tracer (machine events)
+    plane_epochs: bool = True  #: batched backend: cross-PE epoch plane
 
     def __post_init__(self) -> None:
         if self.version not in Version.ALL:
@@ -83,7 +84,8 @@ class ExecutionConfig:
                     backend: str = Backend.REFERENCE,
                     fault_plan: Optional[FaultPlan] = None,
                     oracle: bool = False,
-                    tracer: Optional[object] = None) -> "ExecutionConfig":
+                    tracer: Optional[object] = None,
+                    plane_epochs: bool = True) -> "ExecutionConfig":
         if version not in Version.ALL:
             raise ValueError(
                 f"unknown version {version!r}; "
@@ -94,7 +96,8 @@ class ExecutionConfig:
         return ExecutionConfig(version, cache_shared=not base,
                                craft_overheads=base, on_stale=on_stale,
                                backend=backend, fault_plan=fault_plan,
-                               oracle=oracle, tracer=tracer)
+                               oracle=oracle, tracer=tracer,
+                               plane_epochs=plane_epochs)
 
 
 __all__ = ["Version", "Backend", "ExecutionConfig"]

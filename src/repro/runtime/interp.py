@@ -71,6 +71,8 @@ class RunResult:
     batch_fallbacks: int = 0   #: chunks that bound but fell back at run time
     fault_fallbacks: int = 0   #: chunks routed to the reference path by faults
     batch_refs: int = 0        #: memory references served by batched chunks
+    plane_chunks: int = 0      #: DOALL epochs replayed through the plane
+    plane_refs: int = 0        #: memory references served by plane replays
     #: per-reason fallback/skip counts (reason code -> occurrences); empty
     #: under the reference backend or when no chunk ever fell back
     fallback_reasons: Dict[str, int] = field(default_factory=dict)
@@ -82,6 +84,14 @@ class RunResult:
         total = self.machine.stats.total()
         denom = total.reads + total.writes
         return self.batch_refs / denom if denom else 0.0
+
+    @property
+    def plane_coverage(self) -> float:
+        """Fraction of all memory references serviced by cross-PE plane
+        epoch replays (0.0 on a cold interpreter or reference backend)."""
+        total = self.machine.stats.total()
+        denom = total.reads + total.writes
+        return self.plane_refs / denom if denom else 0.0
 
     @property
     def stats(self):
@@ -196,6 +206,8 @@ class Interpreter:
                          batch_fallbacks=getattr(self, "batch_fallbacks", 0),
                          fault_fallbacks=getattr(self, "fault_fallbacks", 0),
                          batch_refs=getattr(self, "batch_refs", 0),
+                         plane_chunks=getattr(self, "plane_chunks", 0),
+                         plane_refs=getattr(self, "plane_refs", 0),
                          fallback_reasons=dict(
                              getattr(self, "fallback_reasons", {})))
 
@@ -240,15 +252,19 @@ class Interpreter:
     def _exec_doall(self, loop: Loop, env: dict) -> None:
         machine = self.machine
         params = self.params
-        start_time = machine.elapsed()
+        # elapsed() is an O(n_pes) max; only the epoch record needs it.
+        start_time = machine.elapsed() if self.trace_epochs else 0.0
         if self._multi and not self._synced:
             machine.barrier()
         if self._multi:
             extra = params.epoch_start
             if self.config.craft_overheads:
                 extra += params.craft_epoch_overhead
+            # Vectorized pe.advance(extra): one add on the stacked
+            # clock plane, then the busy counters (still per-PE ints).
+            machine.clocks += extra
             for pe in machine.pes:
-                pe.advance(extra)
+                pe.stats.busy_cycles += extra
         tracer = machine.tracer
         epoch_label = loop.label or f"doall {loop.var}"
         if tracer is not None:
@@ -282,6 +298,29 @@ class Interpreter:
             env_p[cnt_name] = c_cnt
             self._run_preamble(loop, preamble_fns, env_p, pe)
 
+        self._run_doall_body(loop, env, lo, hi, step,
+                             run_iteration, run_preamble)
+
+        registers.clear()
+        if self._multi:
+            machine.barrier()
+        self._synced = True
+        machine.stats.epochs += 1
+        if tracer is not None:
+            tracer.epoch_end(epoch_label, machine)
+        if self.trace_epochs:
+            self.epochs.append(EpochRecord(
+                label=epoch_label, kind="parallel",
+                start=start_time, end=machine.elapsed()))
+
+    def _run_doall_body(self, loop: Loop, env: dict, lo: int, hi: int,
+                        step: int, run_iteration, run_preamble) -> None:
+        """Partition one DOALL epoch over the PEs and execute every PE's
+        chunk.  The batched backend overrides this to record/replay whole
+        epochs through the cross-PE plane."""
+        machine = self.machine
+        params = self.params
+        n_pes = params.n_pes
         if loop.align and loop.schedule == ScheduleKind.STATIC_BLOCK and n_pes > 1:
             decl = self.program.array(loop.align)
             assignments = owner_partition(
@@ -329,18 +368,6 @@ class Interpreter:
                 self._iterate_doall(loop, envs[pe], pe,
                                     list(chunk.iterations()), run_iteration)
                 heapq.heappush(ready, (machine.pes[pe].clock, pe))
-
-        registers.clear()
-        if self._multi:
-            machine.barrier()
-        self._synced = True
-        machine.stats.epochs += 1
-        if tracer is not None:
-            tracer.epoch_end(epoch_label, machine)
-        if self.trace_epochs:
-            self.epochs.append(EpochRecord(
-                label=epoch_label, kind="parallel",
-                start=start_time, end=machine.elapsed()))
 
     def _iterate_doall(self, loop: Loop, env_p: dict, pe: int,
                        values: Sequence[int], run_iteration) -> None:
@@ -939,7 +966,7 @@ def run_program(program: Program, params: MachineParams,
                 trace_epochs: bool = False,
                 backend: str = "reference",
                 fault_plan=None, oracle: bool = False,
-                tracer=None) -> RunResult:
+                tracer=None, plane_epochs: bool = True) -> RunResult:
     """One-call convenience: interpret ``program`` as the given version.
 
     Batched fault-free runs reuse a warm interpreter from
@@ -949,7 +976,8 @@ def run_program(program: Program, params: MachineParams,
     config = ExecutionConfig.for_version(version, on_stale=on_stale,
                                          backend=backend,
                                          fault_plan=fault_plan, oracle=oracle,
-                                         tracer=tracer)
+                                         tracer=tracer,
+                                         plane_epochs=plane_epochs)
     if plancache.eligible(config):
         interp = plancache.fetch(program, params, config, trace_epochs)
         if interp is None:

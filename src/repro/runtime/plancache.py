@@ -36,6 +36,10 @@ from typing import Optional
 
 from ..machine.stats import PEStats
 
+#: Field -> zero value for every PEStats counter, for in-place resets
+#: (cheaper than 64 fresh dataclass constructions per warm run).
+_FRESH_PE_STATS = dict(PEStats().__dict__)
+
 #: key -> (program ref, interpreter).  The program reference pins the
 #: object so its ``id()`` (part of the key) can never be reused.
 _CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
@@ -54,7 +58,8 @@ def _key(program, params, config, trace_epochs: bool) -> tuple:
             content_key("plan", params,
                         [config.version, config.on_stale, config.backend,
                          bool(config.cache_shared),
-                         bool(config.craft_overheads)],
+                         bool(config.craft_overheads),
+                         bool(getattr(config, "plane_epochs", True))],
                         bool(trace_epochs)))
 
 
@@ -101,12 +106,14 @@ def _reset(interp, config) -> None:
     memory.versions_flat[:] = 0
     for arr in memory.private_values.values():
         arr[:] = 0.0
+    # One fill per stacked plane clears every PE's cache at once; the
+    # per-PE cache arrays are row views of these planes (Machine builds
+    # them that way and DirectMappedCache mutates in place).
+    machine.cache_tags.fill(-1)
+    machine.cache_data.fill(0.0)
+    machine.cache_vers.fill(0)
+    machine.clocks.fill(0.0)
     for pe in machine.pes:
-        pe.clock = 0.0
-        cache = pe.cache
-        cache.tags.fill(-1)
-        cache.data.fill(0.0)
-        cache.vers.fill(0)
         queue = pe.queue
         queue.entries = []
         queue.dropped = 0
@@ -118,9 +125,10 @@ def _reset(interp, config) -> None:
         vectors.words_moved = 0
         pe.last_prefetch_pe = None
         pe.dropped_lines = set()
-        pe.stats = PEStats()
+        # Zero the counters in place: machine.stats.per_pe aliases these
+        # objects, so no rebinding is needed anywhere.
+        pe.stats.__dict__.update(_FRESH_PE_STATS)
     st = machine.stats
-    st.per_pe = [pe.stats for pe in machine.pes]
     st.stale_reads = 0
     st.stale_examples = []
     st.barriers = 0
@@ -144,6 +152,12 @@ def _reset(interp, config) -> None:
     interp.fault_fallbacks = 0
     interp.batch_refs = 0
     interp.fallback_reasons = {}
+    if hasattr(interp, "plane_chunks"):
+        interp.plane_chunks = 0
+        interp.plane_refs = 0
+        # The reset restores the canonical start state, so the next run
+        # may follow (or build) the positional plane-epoch chain.
+        interp._plane_fresh = True
 
 
 __all__ = ["eligible", "fetch", "store", "clear", "size"]

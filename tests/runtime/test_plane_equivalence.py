@@ -1,0 +1,216 @@
+"""Cross-PE plane equivalence: epoch replay must be bit-exact.
+
+The batched backend's plane engine records each DOALL epoch once and
+replays it for every PE as stacked NumPy scatters (see the "cross-PE
+plane epochs" section of ``repro/runtime/batched.py``).  These tests
+drive the *replay* machinery hard: a warm interpreter re-runs from the
+canonical reset state, so the second run replays epochs via signature
+lookup and the third via the positional epoch chain — and every
+observable (arrays, versions, per-PE stats, cache contents, prefetch
+queues, tracer counts) must match the per-PE batched backend and the
+reference interpreter exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence import CCDPConfig, ccdp_transform
+from repro.machine.params import t3d
+from repro.machine.pe import STAT_FIELDS
+from repro.runtime import ExecutionConfig, Version
+from repro.runtime import plancache
+from repro.runtime.interp import make_interpreter
+from repro.workloads import workload
+
+#: Small sizes keep a 64-PE example affordable while still producing
+#: multi-chunk epochs, boundary chunks, and PEs with no work at all.
+SIZES = {
+    "mxm": {"n": 8},
+    "vpenta": {"n": 8},
+    "tomcatv": {"n": 8, "steps": 2},
+    "swim": {"n": 8, "steps": 2},
+}
+
+
+def _build(name, version, params):
+    program = workload(name).build(**SIZES[name])
+    if version == Version.CCDP:
+        program, _ = ccdp_transform(program, CCDPConfig(machine=params))
+    return program
+
+
+def _machine_state(machine):
+    """Every observable a backend could corrupt, as comparable values."""
+    memory = machine.memory
+    state = {
+        "values": memory.values_flat.tobytes(),
+        "versions": memory.versions_flat.tobytes(),
+        "private": {name: arr.tobytes()
+                    for name, arr in memory.private_values.items()},
+        "stats": machine.stats.as_dict(),
+        "stale_examples": list(machine.stats.stale_examples),
+    }
+    for pe in machine.pes:
+        state[f"pe{pe.pe_id}"] = (
+            pe.clock, {f: getattr(pe.stats, f) for f in STAT_FIELDS},
+            pe.cache.tags.tobytes(), pe.cache.data.tobytes(),
+            pe.cache.vers.tobytes(),
+            tuple(pe.queue.snapshot()), pe.queue.issued, pe.queue.dropped,
+            pe.queue.high_water,
+            tuple(pe.vectors.snapshot()), pe.vectors.issued,
+            sorted(pe.dropped_lines), pe.last_prefetch_pe)
+    return state
+
+
+def _run(program, params, version, backend, plane, runs=1, tracer=None):
+    """Run ``runs`` times from the canonical reset state; return the
+    final (RunResult, interpreter)."""
+    cfg = ExecutionConfig.for_version(version, backend=backend,
+                                      plane_epochs=plane, tracer=tracer)
+    interp = make_interpreter(program, params, cfg)
+    result = interp.run()
+    for _ in range(runs - 1):
+        plancache._reset(interp, cfg)
+        result = interp.run()
+    return result, interp
+
+
+def _assert_same(ref_machine, got_machine, ref_elapsed, got_elapsed, label):
+    assert ref_elapsed == got_elapsed, (
+        f"{label}: elapsed {got_elapsed} != {ref_elapsed}")
+    ref_state = _machine_state(ref_machine)
+    got_state = _machine_state(got_machine)
+    for key in ref_state:
+        assert got_state[key] == ref_state[key], (
+            f"{label}: mismatch in {key}")
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n_pes=st.integers(min_value=1, max_value=64),
+    name=st.sampled_from(sorted(SIZES)),
+    version=st.sampled_from([Version.SEQ, Version.BASE, Version.CCDP]),
+    queue_slots=st.integers(min_value=1, max_value=12),
+)
+def test_plane_property_bit_exact(n_pes, name, version, queue_slots):
+    """For any (n_pes, workload, version, queue capacity): the plane
+    backend — cold, sig-replay warm, and chain-replay warm — must leave
+    the machine bit-identical to both the per-PE batched backend and
+    the reference interpreter."""
+    params = t3d(n_pes=n_pes, cache_bytes=2048,
+                 prefetch_queue_slots=queue_slots)
+    program = _build(name, version, params)
+
+    ref_res, _ = _run(program, params, version, "reference", False)
+    bat_res, _ = _run(program, params, version, "batched", False)
+    _assert_same(ref_res.machine, bat_res.machine,
+                 ref_res.elapsed, bat_res.elapsed, "per-PE batched")
+
+    # Three runs: record, signature replay, positional chain replay.
+    for runs in (1, 2, 3):
+        pl_res, pl = _run(program, params, version, "batched", True,
+                          runs=runs)
+        _assert_same(ref_res.machine, pl_res.machine,
+                     ref_res.elapsed, pl_res.elapsed,
+                     f"plane run {runs}")
+        if runs > 1:
+            assert pl.plane_chunks > 0, "plane replay never engaged"
+            assert pl_res.plane_coverage > 0.0
+
+
+def test_plane_tracer_counts_exact():
+    """A counts-only tracer must see identical per-kind event totals
+    from the reference, per-PE batched, and plane-replay runs."""
+    from repro.obs import Tracer
+
+    params = t3d(n_pes=8, cache_bytes=2048)
+    program = _build("mxm", Version.CCDP, params)
+    counts = {}
+    for label, backend, plane, runs in (
+            ("reference", "reference", False, 1),
+            ("batched", "batched", False, 1),
+            ("plane", "batched", True, 3)):
+        tracer = Tracer(sample=0)
+        cfg = ExecutionConfig.for_version(Version.CCDP, backend=backend,
+                                          plane_epochs=plane, tracer=tracer)
+        interp = make_interpreter(program, params, cfg)
+        interp.run()
+        for _ in range(runs - 1):
+            # The reset restores machine state but not the tracer, whose
+            # counts span runs by design — clear so the final (replay)
+            # run's totals are compared on their own.
+            plancache._reset(interp, cfg)
+            tracer.counts.clear()
+            interp.run()
+        counts[label] = dict(tracer.counts)
+    assert counts["batched"] == counts["reference"]
+    assert counts["plane"] == counts["reference"]
+
+
+def test_plane_chain_survives_tracer_mode_switch():
+    """Alternating untraced and traced warm runs on one interpreter:
+    the positional epoch chain is kept per tracer mode, so a traced run
+    never follows an untraced chain (whose entries embed no count
+    deltas — following it would silently drop every plane count)."""
+    from repro.obs import Tracer
+
+    params = t3d(n_pes=8, cache_bytes=2048)
+    program = _build("mxm", Version.CCDP, params)
+
+    truth = Tracer(sample=0)
+    cfg = ExecutionConfig.for_version(Version.CCDP, backend="reference",
+                                      tracer=truth)
+    make_interpreter(program, params, cfg).run()
+
+    cfg_off = ExecutionConfig.for_version(Version.CCDP, backend="batched",
+                                          plane_epochs=True)
+    interp = make_interpreter(program, params, cfg_off)
+    interp.run()
+    plancache._reset(interp, cfg_off)
+    interp.run()  # untraced chain recorded and followed
+    for _ in range(2):  # traced: first records its own chain, second follows
+        tracer = Tracer(sample=0)
+        cfg_on = ExecutionConfig.for_version(
+            Version.CCDP, backend="batched", plane_epochs=True,
+            tracer=tracer)
+        plancache._reset(interp, cfg_on)
+        result = interp.run()
+        assert dict(tracer.counts) == dict(truth.counts)
+    assert result.plane_chunks > 0, "traced chain replay never engaged"
+    # ... and flipping back must not have cost the untraced chain.
+    plancache._reset(interp, cfg_off)
+    assert interp.run().plane_chunks > 0
+
+
+def test_plane_disabled_under_oracle_and_still_exact():
+    """The oracle observes per-reference effects, so plane replay must
+    stand down under it — and the run must stay exact and oracle-clean."""
+    params = t3d(n_pes=4, cache_bytes=2048)
+    program = _build("mxm", Version.CCDP, params)
+    ref_res, _ = _run(program, params, Version.CCDP, "reference", False)
+
+    cfg = ExecutionConfig.for_version(Version.CCDP, backend="batched",
+                                      plane_epochs=True, oracle=True)
+    interp = make_interpreter(program, params, cfg)
+    result = interp.run()
+    plancache._reset(interp, cfg)
+    result = interp.run()
+    assert result.plane_chunks == 0
+    assert result.oracle is not None
+    assert not result.oracle.violations, result.oracle.summary()
+    _assert_same(ref_res.machine, result.machine,
+                 ref_res.elapsed, result.elapsed, "oracle run")
+
+
+def test_plane_replay_engages_at_64_pes():
+    """The headline configuration: a warm 64-PE MXM CCDP run must be
+    served overwhelmingly by plane replays."""
+    params = t3d(n_pes=64, cache_bytes=2048)
+    program = _build("mxm", Version.CCDP, params)
+    result, interp = _run(program, params, Version.CCDP, "batched", True,
+                          runs=3)
+    assert interp.plane_chunks > 0
+    assert result.plane_coverage == pytest.approx(1.0, abs=1e-9)
+    assert result.batched_coverage == pytest.approx(1.0, abs=1e-9)
