@@ -92,8 +92,30 @@ class Journal:
     # -- writing -------------------------------------------------------
     def _handle(self):
         if self._fh is None:
+            self._heal_tear()
             self._fh = open(self.path, "a", encoding="utf-8")
         return self._fh
+
+    def _heal_tear(self) -> None:
+        """Seal a torn final line before the first append of this session.
+
+        A kill mid-append leaves a partial line with no trailing newline;
+        appending straight after it would glue the next record onto the
+        tear, and the merged line — no longer the *final* line once more
+        records follow — would be skipped as malformed on replay, losing
+        a committed record to a crash that happened *before* it.  A lone
+        newline turns the tear back into an ignorable torn line."""
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                torn = fh.read(1) != b"\n"
+        except (OSError, ValueError):
+            return  # missing or empty journal: nothing to heal
+        if torn:
+            with open(self.path, "ab") as fh:
+                fh.write(b"\n")
+                fh.flush()
+                os.fsync(fh.fileno())
 
     def append(self, record: dict, sync: bool = False) -> None:
         """Append one record; ``sync=True`` makes it a *commit* (flush +

@@ -4,6 +4,10 @@ Subcommands
 -----------
 ``table1`` / ``table2``
     Regenerate the paper's tables on the simulator.
+``table3``
+    Cross-scheme race: CCDP vs the hardware coherence baselines
+    (snooping MESI bus, directory variants) — execution time, miss
+    rates and interconnect traffic per scheme (``--versions``).
 ``report``
     Full sweep + EXPERIMENTS.md-style report (``--out`` to write a file).
 ``compile``
@@ -21,7 +25,7 @@ Subcommands
     (workload, version) pair.
 ``fuzz``
     Differential conformance fuzzing: seeded random programs through
-    all four versions × both backends × oracle × static verifier
+    every registry-fuzzed scheme × both backends × oracle × verifier
     (``--shrink`` delta-debugs failures to minimal ``.ir`` reproducers).
 ``info``
     List workloads and the machine configuration.
@@ -44,7 +48,8 @@ from . import progcache
 from .experiment import PAPER_PE_COUNTS, ExperimentRunner
 from .report import generate_report
 from .sweep import SweepSpec, plan_cells, sweep_grid
-from .tables import format_table1, format_table2
+from .tables import (TABLE3_VERSIONS, format_table1, format_table2,
+                     format_table3)
 
 #: retries a farm-mode sweep grants each cell before quarantine when
 #: ``--max-retries`` is not given explicitly
@@ -106,10 +111,20 @@ def _sweeps(args: argparse.Namespace, parser: argparse.ArgumentParser):
     pe_counts = _parse_pes(args.pes)
     jobs = getattr(args, "jobs", 1)
     farm = _farm_config(args, parser, jobs)
+    versions = None
+    if getattr(args, "versions", None):
+        versions = [v.strip() for v in args.versions.split(",") if v.strip()]
+        for version in versions:
+            if version not in Version.ALL:
+                from ..runtime import scheme_names
+                parser.error(f"--versions: unknown version {version!r} "
+                             f"(registered schemes: {scheme_names()})")
+    sweep_kwargs = {} if versions is None else {"versions": tuple(versions)}
     specs = [SweepSpec.create(workload(name.strip()).name,
                               size_args=_size_args(args),
                               pe_counts=pe_counts,
-                              check=not args.no_check)
+                              check=not args.no_check,
+                              **sweep_kwargs)
              for name in names]
     print(f"running {len(plan_cells(specs))} cells "
           f"({', '.join(s.workload for s in specs)}) over PEs {pe_counts} "
@@ -191,11 +206,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="clear standing quarantines in the journal and "
                             "re-execute those cells")
 
-    for name in ("table1", "table2", "report"):
+    for name in ("table1", "table2", "table3", "report"):
         p = sub.add_parser(name)
         add_common(p)
         if name == "report":
             p.add_argument("--out", default="", help="write report to file")
+        if name == "table3":
+            p.description = ("cross-scheme race: CCDP vs the hardware "
+                             "coherence baselines (Table 3)")
+            p.add_argument("--versions",
+                           default=",".join(TABLE3_VERSIONS),
+                           help="comma list of schemes to race "
+                                f"(default: {','.join(TABLE3_VERSIONS)})")
 
     p = sub.add_parser("compile", help="show the CCDP transformation")
     p.add_argument("workload")
@@ -315,12 +337,16 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"local={params.local_mem}cyc, remote~{params.remote_base}cyc")
         return 0
 
-    if args.command in ("table1", "table2", "report"):
+    if args.command in ("table1", "table2", "table3", "report"):
         sweeps, runners, failed = _sweeps(args, parser)
         if args.command == "table1":
             print(format_table1(sweeps))
         elif args.command == "table2":
             print(format_table2(sweeps))
+        elif args.command == "table3":
+            versions = [v.strip() for v in args.versions.split(",")
+                        if v.strip()]
+            print(format_table3(sweeps, versions))
         else:
             text = generate_report(sweeps, runners, failed_cells=failed)
             if args.out:
@@ -471,7 +497,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         versions = [v.strip() for v in args.versions.split(",") if v.strip()]
         for version in versions:
             if version not in Version.ALL:
-                parser.error(f"--versions: unknown version {version!r}")
+                from ..runtime import scheme_names
+                parser.error(f"--versions: unknown version {version!r} "
+                             f"(registered schemes: {scheme_names()})")
         config = CCDPConfig(machine=t3d(int(args.pes),
                                         cache_bytes=SCALED_CACHE_BYTES))
         bad = 0

@@ -27,6 +27,7 @@ from .oracle import CoherenceOracle
 from .params import MachineParams
 from .pe import PE
 from .prefetchq import PrefetchEntry, VectorTransfer
+from .protocols import make_protocol
 from .stats import MachineStats, PEStats
 from .topology import Torus, torus_for
 
@@ -41,7 +42,7 @@ class Machine:
     def __init__(self, arrays: Iterable[ArrayDecl], params: MachineParams,
                  on_stale: str = "record", trace: bool = False,
                  fault_plan=None, oracle: bool = False,
-                 tracer=None) -> None:
+                 tracer=None, protocol: Optional[str] = None) -> None:
         if on_stale not in ("record", "raise"):
             raise ValueError("on_stale must be 'record' or 'raise'")
         if tracer is not None and not callable(getattr(tracer, "emit", None)):
@@ -105,6 +106,11 @@ class Machine:
                 pe.queue.squeeze = (
                     lambda cap, _pe=pe.pe_id:
                     self.faults.squeeze_capacity(_pe, cap))
+        # Hardware coherence protocol (mesi/dir versions): a nominal
+        # line-state machine layered over the write-through value plane.
+        # It replaces the plain miss/write latencies and physically
+        # invalidates remote copies on writes — see machine.protocols.
+        self.protocol = make_protocol(protocol, self) if protocol else None
         # Shadow coherence oracle: replays every committed shared read
         # against a sequentially consistent shadow memory.
         self.oracle: Optional[CoherenceOracle] = (
@@ -325,11 +331,17 @@ class Machine:
                 self.oracle.observe_read(pe_id, name, flat, fresh[0], False)
             return fresh[0]
 
-        # Plain miss: fetch the line from its home memory.
+        # Plain miss: fetch the line from its home memory (or, under a
+        # hardware protocol, via the protocol's transaction model —
+        # possibly cache-to-cache from a modified remote copy).
         owner = self._owner(name, flat, pe_id)
-        latency = self.read_latency(pe_id, owner)
-        if owner != pe_id:
-            latency = self.memory.remote_latency(pe_id, latency)
+        if self.protocol is not None and shared:
+            latency = self.protocol.read_miss(pe_id, name, flat,
+                                              line_addr, owner)
+        else:
+            latency = self.read_latency(pe_id, owner)
+            if owner != pe_id:
+                latency = self.memory.remote_latency(pe_id, latency)
         if craft:
             latency += self.params.craft_shared_ref_overhead
         pe.advance(latency)
@@ -385,6 +397,22 @@ class Machine:
         version = self.memory.write(name, flat, value)
         if self.oracle is not None:
             self.oracle.observe_write(name, flat, value)
+        if self.protocol is not None:
+            # Protocol write: memory already holds the value (the value
+            # plane stays write-through exact), so the protocol only
+            # prices the transaction and kills remote copies.  Ownership
+            # makes the store local — remote_writes stays 0, and the
+            # write event says so, keeping trace folds exact.
+            addr = self.addr_map.addr(name, flat)
+            latency = self.protocol.write(pe_id, name, flat,
+                                          addr // self._lw, owner,
+                                          cacheable=cacheable)
+            pe.advance(latency)
+            if self.tracer is not None:
+                self.tracer.emit(("write", pe_id, name, flat, 1, 0))
+            if cacheable:
+                pe.cache.write_through_update(addr, value, version)
+            return
         latency = self.write_latency(pe_id, owner)
         if owner != pe_id:
             latency = self.memory.remote_latency(pe_id, latency)
@@ -546,6 +574,8 @@ class Machine:
     def barrier(self) -> float:
         """All PEs synchronise; returns the post-barrier common time."""
         self.stats.barriers += 1
+        if self.protocol is not None:
+            self.protocol.on_barrier()
         if self.race_check:
             self._epoch_writers.clear()
         clocks = self.clocks

@@ -70,6 +70,12 @@ class MachineParams:
     craft_shared_ref_overhead: int = 3  #: per-access global address translation
     craft_epoch_overhead: int = 1200     #: doshared setup/teardown per epoch
 
+    # -- hardware coherence baselines (mesi / dir versions) -------------------------
+    bus_cycle: float = 2.0        #: snooping-bus address phase / beat time
+    dir_msg_base: float = 18.0    #: directory message, 0-hop component
+    dir_proc: int = 4             #: home-controller occupancy per request
+    dir_ptr_limit: int = 4        #: dir-lp pointers before broadcast
+
     torus_dims: Optional[Tuple[int, int, int]] = None
 
     # -- derived quantities ------------------------------------------------------

@@ -1,0 +1,43 @@
+"""Hardware cache-coherence protocols (the related-work baselines).
+
+CCDP keeps caches coherent in software; the schemes here do it in
+hardware, underneath the *untransformed* program:
+
+* :class:`~repro.machine.protocols.mesi.MESIProtocol` — snooping MESI
+  on a shared bus (:mod:`repro.machine.bus`).
+* :class:`~repro.machine.protocols.directory.DirectoryProtocol` — a
+  home-node directory, in full-map (``dir``), limited-pointer
+  (``dir-lp``) and phase-priority (``dir-pp``, Li & An) flavours.
+
+Both share one architecture (see :mod:`.base`): the machine's value
+plane stays write-through exact — memory is always current, so final
+values are bit-identical to ``seq`` and the shadow oracle applies
+unchanged — while the protocol layer physically invalidates remote
+copies on writes (zero stale reads by construction) and supplies the
+timing/traffic model (bus transactions, cache-to-cache transfers,
+directory messages).
+"""
+
+from __future__ import annotations
+
+from .base import CoherenceProtocol
+from .directory import DirectoryProtocol
+from .mesi import MESIProtocol
+
+
+def make_protocol(kind: str, machine) -> CoherenceProtocol:
+    """Instantiate the protocol named by an ``ExecutionConfig.protocol``."""
+    if kind == "mesi":
+        return MESIProtocol(machine)
+    if kind == "dir":
+        return DirectoryProtocol(machine)
+    if kind == "dir-lp":
+        return DirectoryProtocol(machine, limited_ptrs=True)
+    if kind == "dir-pp":
+        return DirectoryProtocol(machine, phase_priority=True)
+    raise ValueError(f"unknown coherence protocol {kind!r}; "
+                     f"expected one of mesi, dir, dir-lp, dir-pp")
+
+
+__all__ = ["CoherenceProtocol", "MESIProtocol", "DirectoryProtocol",
+           "make_protocol"]

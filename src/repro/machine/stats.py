@@ -36,6 +36,20 @@ class PEStats:
     vector_stall_cycles: float = 0.0
     invalidations: int = 0
     dtb_setups: int = 0
+    # -- hardware coherence protocols (mesi / dir versions) ------------
+    bus_rd: int = 0            #: BusRd transactions issued
+    bus_rdx: int = 0           #: BusRdX (read-for-ownership) transactions
+    bus_upgr: int = 0          #: BusUpgr (invalidate-only) transactions
+    bus_stall_cycles: float = 0.0  #: bus arbitration stalls
+    c2c_transfers: int = 0     #: lines supplied cache-to-cache
+    writebacks: int = 0        #: modified lines flushed (evict/downgrade)
+    silent_upgrades: int = 0   #: MESI E->M transitions (no bus traffic)
+    coh_invalidations: int = 0  #: remote copies killed by this PE's writes
+    dir_requests: int = 0      #: directory transactions issued
+    dir_messages: int = 0      #: directory protocol messages (all hops)
+    dir_broadcasts: int = 0    #: limited-pointer overflow broadcasts
+    dir_stall_cycles: float = 0.0  #: home-controller occupancy stalls
+    priority_bypasses: int = 0  #: dir-pp requests serviced ahead of queue
     flops: int = 0
     iterations: int = 0
     busy_cycles: float = 0.0

@@ -33,6 +33,13 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "pf_complete": ("pe", "array", "flat"),
     "invalidate": ("pe", "array", "count", "reason"),
     "vector_transfer": ("pe", "array", "line_lo", "line_hi", "words"),
+    # -- hardware coherence protocols (mesi / dir versions) ----------------
+    "bus_tx": ("pe", "op", "line", "c2c"),
+    "coh_wb": ("pe", "line", "reason"),
+    "silent_upgrade": ("pe", "line"),
+    "coh_inval": ("pe", "line", "count"),
+    "dir_req": ("pe", "op", "line", "home", "msgs", "c2c", "bypass"),
+    "dir_bcast": ("pe", "line", "fanout"),
     # -- synchronisation / control ----------------------------------------
     "barrier": ("time",),
     "epoch_begin": ("index", "label", "time"),
@@ -67,8 +74,20 @@ INVALIDATE_REASONS = frozenset({"prefetch", "vector", "explicit", "fault"})
 #: failed attempt failed (mirrors ``repro.farm.jobs.FAIL_REASONS``).
 FARM_FAIL_REASONS = frozenset({"error", "timeout", "crash"})
 
+#: ``bus_tx.op`` values: the snooping-bus transaction vocabulary.
+BUS_OPS = frozenset({"busrd", "busrdx", "busupgr"})
+
+#: ``coh_wb.reason`` values: why a modified line was flushed —
+#: ``evict`` = victim replacement or remote-write invalidation,
+#: ``downgrade`` = M→S sharing writeback on a remote read.
+WB_REASONS = frozenset({"evict", "downgrade"})
+
+#: ``dir_req.op`` values: directory request types (read miss,
+#: read-for-ownership miss, ownership upgrade of a shared copy).
+DIR_OPS = frozenset({"rd", "rdx", "upgr"})
+
 _STR_FIELDS = frozenset({"array", "kind", "reason", "label", "model",
-                         "detail", "key", "digest"})
+                         "detail", "key", "digest", "op"})
 _FLOAT_FIELDS = frozenset({"time"})
 
 
@@ -104,6 +123,13 @@ def validate_event(event) -> None:
             event[-1] not in FARM_FAIL_REASONS:
         raise ValueError(f"{kind}.reason {event[-1]!r} not in "
                          f"{sorted(FARM_FAIL_REASONS)}")
+    if kind == "bus_tx" and event[2] not in BUS_OPS:
+        raise ValueError(f"bus_tx.op {event[2]!r} not in {sorted(BUS_OPS)}")
+    if kind == "coh_wb" and event[3] not in WB_REASONS:
+        raise ValueError(f"coh_wb.reason {event[3]!r} not in "
+                         f"{sorted(WB_REASONS)}")
+    if kind == "dir_req" and event[2] not in DIR_OPS:
+        raise ValueError(f"dir_req.op {event[2]!r} not in {sorted(DIR_OPS)}")
 
 
 def event_to_dict(event) -> dict:
@@ -131,5 +157,6 @@ def event_from_dict(record: dict) -> tuple:
 
 
 __all__ = ["EVENT_FIELDS", "EVENT_KINDS", "BYPASS_KINDS",
-           "INVALIDATE_REASONS", "FARM_FAIL_REASONS", "validate_event",
+           "INVALIDATE_REASONS", "FARM_FAIL_REASONS", "BUS_OPS",
+           "WB_REASONS", "DIR_OPS", "validate_event",
            "event_to_dict", "event_from_dict"]

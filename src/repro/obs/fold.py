@@ -27,6 +27,9 @@ FOLDABLE_PE_FIELDS = (
     "prefetch_issued", "pf_dropped", "pf_drop_bypass",
     "prefetch_extracted", "vector_prefetches", "vector_words",
     "invalidations", "dtb_setups",
+    "bus_rd", "bus_rdx", "bus_upgr", "c2c_transfers", "writebacks",
+    "silent_upgrades", "coh_invalidations", "dir_requests",
+    "dir_messages", "dir_broadcasts", "priority_bypasses",
 )
 
 #: MachineStats scalar fields reconstructable from events.
@@ -97,6 +100,26 @@ def fold_events(events: Iterable[tuple], n_pes: int) -> dict:
             row = per_pe[event[1]]
             row["vector_prefetches"] += 1
             row["vector_words"] += event[5]
+        elif kind == "bus_tx":
+            row = per_pe[event[1]]
+            op = event[2]
+            row["bus_rd" if op == "busrd" else
+                "bus_rdx" if op == "busrdx" else "bus_upgr"] += 1
+            row["c2c_transfers"] += event[4]
+        elif kind == "coh_wb":
+            per_pe[event[1]]["writebacks"] += 1
+        elif kind == "silent_upgrade":
+            per_pe[event[1]]["silent_upgrades"] += 1
+        elif kind == "coh_inval":
+            per_pe[event[1]]["coh_invalidations"] += event[3]
+        elif kind == "dir_req":
+            row = per_pe[event[1]]
+            row["dir_requests"] += 1
+            row["dir_messages"] += event[5]
+            row["c2c_transfers"] += event[6]
+            row["priority_bypasses"] += event[7]
+        elif kind == "dir_bcast":
+            per_pe[event[1]]["dir_broadcasts"] += 1
         elif kind == "barrier":
             machine["barriers"] += 1
         elif kind == "epoch_end":

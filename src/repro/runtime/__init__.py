@@ -1,14 +1,17 @@
 """Runtime: interpreters executing IR programs on the machine model,
-iteration schedulers, and execution configurations (SEQ / BASE / CCDP /
-NAIVE program versions)."""
+iteration schedulers, and execution configurations (the scheme registry:
+SEQ / BASE / CCDP / NAIVE software versions plus the MESI / directory
+hardware-protocol baselines)."""
 
-from .exec_config import Backend, ExecutionConfig, Version
+from .exec_config import (SCHEMES, Backend, ExecutionConfig, SchemeSpec,
+                          Version, scheme_names)
 from .interp import (EpochRecord, Interpreter, InterpreterError, RunResult,
                      make_interpreter, run_program)
 from .schedulers import (Chunk, block_partition, cyclic_partition,
                          dynamic_chunks, iteration_values)
 
 __all__ = [
+    "SCHEMES", "SchemeSpec", "scheme_names",
     "Backend", "ExecutionConfig", "Version",
     "EpochRecord", "Interpreter", "InterpreterError", "RunResult",
     "make_interpreter", "run_program",

@@ -1751,7 +1751,8 @@ class BatchedInterpreter(Interpreter):
             return False
         machine = self.machine
         if (machine.race_check or machine.trace_enabled
-                or machine.faults is not None or machine.oracle is not None):
+                or machine.faults is not None or machine.oracle is not None
+                or machine.protocol is not None):
             return False
         if loop.schedule == ScheduleKind.DYNAMIC:
             return False
@@ -2394,6 +2395,13 @@ class BatchedInterpreter(Interpreter):
         machine = self.machine
         if machine.race_check or machine.trace_enabled:
             return "trace_or_race"
+        if machine.protocol is not None:
+            # Hardware-protocol versions: every access mutates the
+            # protocol's line-state machine (and the bus/home horizons),
+            # which is defined over the reference event order.  Route
+            # the chunk to the exact reference closures so interconnect
+            # stats stay exact.
+            return "protocol"
         if machine.faults is not None or machine.oracle is not None:
             # Fault injection and the oracle are defined over the reference
             # event order; faulted chunks always take the exact fallback.

@@ -1,26 +1,81 @@
 """Execution configurations: the program *versions* of the paper's
-methodology.
+methodology, plus the hardware-coherent baselines from related work.
 
-* ``SEQ``   — sequential baseline: one PE, everything local and cached,
+Every version is declared once, as a :class:`SchemeSpec` in the
+:data:`SCHEMES` registry; ``Version.ALL``, CLI choices, validation
+error messages and per-version policy (cache shared data?  CRAFT
+overheads?  hardware protocol?) are all derived from it, so adding a
+scheme is a one-line registry entry.
+
+* ``SEQ``    — sequential baseline: one PE, everything local and cached,
   no epoch machinery.  Table 1 speedups divide by this time.
-* ``BASE``  — the paper's BASE codes: CRAFT-style software shared
+* ``BASE``   — the paper's BASE codes: CRAFT-style software shared
   memory.  Shared data is **not cached** (that is how CRAFT avoids the
   coherence problem), every shared access pays an address-translation
   overhead, and every parallel epoch pays the ``doshared`` setup cost.
-* ``CCDP``  — the optimised codes: shared data is cached, direct local
+* ``CCDP``   — the optimised codes: shared data is cached, direct local
   addressing (no CRAFT overheads), and the program has been transformed
   by :func:`repro.coherence.ccdp_transform` to stay coherent.
-* ``NAIVE`` — shared data cached *without* the CCDP transformation.
+* ``NAIVE``  — shared data cached *without* the CCDP transformation.
   Incoherent on purpose: tests use it to demonstrate that the machine
   model really does produce stale reads and wrong numbers.
+* ``MESI``   — shared data cached under a snooping MESI bus protocol
+  (:mod:`repro.machine.protocols.mesi`): writes invalidate remote
+  copies, so the untransformed program stays coherent in hardware.
+* ``DIR``    — full-map home-node directory protocol
+  (:mod:`repro.machine.protocols.directory`).
+* ``DIR_LP`` — the same directory with limited pointers (overflow
+  falls back to broadcast invalidation).
+* ``DIR_PP`` — directory with epoch-driven phase-priority request
+  ordering (Li & An): requests of the current phase bypass home-node
+  occupancy waits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..faults.models import FaultPlan
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One coherence/execution scheme, declared exactly once."""
+
+    name: str
+    description: str
+    cache_shared: bool = True    #: may shared data live in the D-cache?
+    craft_overheads: bool = False  #: CRAFT software-shared-memory costs
+    protocol: Optional[str] = None  #: hardware protocol kind, or None
+    transformed: bool = False    #: run the CCDP-transformed program
+    fuzz: bool = True            #: include in the differential fuzz matrix
+
+
+#: Name -> spec.  Declaration order is presentation order everywhere
+#: (CLI choices, tables, fuzz matrix).
+SCHEMES: Dict[str, SchemeSpec] = {
+    spec.name: spec for spec in (
+        SchemeSpec("seq", "sequential baseline (1 PE)"),
+        SchemeSpec("base", "CRAFT software shared memory, shared uncached",
+                   cache_shared=False, craft_overheads=True),
+        SchemeSpec("ccdp", "compiler-directed coherence via prefetching",
+                   transformed=True),
+        SchemeSpec("naive", "shared cached, no coherence (stale on purpose)"),
+        SchemeSpec("mesi", "snooping MESI bus protocol", protocol="mesi"),
+        SchemeSpec("dir", "full-map home-node directory protocol",
+                   protocol="dir"),
+        SchemeSpec("dir-lp", "limited-pointer directory (broadcast overflow)",
+                   protocol="dir-lp", fuzz=False),
+        SchemeSpec("dir-pp", "phase-priority directory (Li & An ordering)",
+                   protocol="dir-pp", fuzz=False),
+    )
+}
+
+
+def scheme_names() -> str:
+    """Comma-separated registry names, for error messages."""
+    return ", ".join(SCHEMES)
 
 
 class Version:
@@ -28,8 +83,17 @@ class Version:
     BASE = "base"
     CCDP = "ccdp"
     NAIVE = "naive"
+    MESI = "mesi"
+    DIR = "dir"
+    DIR_LP = "dir-lp"
+    DIR_PP = "dir-pp"
 
-    ALL = (SEQ, BASE, CCDP, NAIVE)
+    ALL = tuple(SCHEMES)
+    #: Versions whose final values must match SEQ bit-exactly with zero
+    #: stale reads (everything but the intentionally incoherent NAIVE).
+    COHERENT = tuple(name for name in SCHEMES if name != "naive")
+    #: Versions driven by a hardware coherence protocol.
+    PROTOCOL = tuple(name for name, spec in SCHEMES.items() if spec.protocol)
 
 
 class Backend:
@@ -52,12 +116,19 @@ class ExecutionConfig:
     oracle: bool = False       #: arm the shadow coherence oracle
     tracer: Optional[object] = None  #: repro.obs.Tracer (machine events)
     plane_epochs: bool = True  #: batched backend: cross-PE epoch plane
+    protocol: Optional[str] = None  #: hardware coherence protocol, or None
 
     def __post_init__(self) -> None:
-        if self.version not in Version.ALL:
+        spec = SCHEMES.get(self.version)
+        if spec is None:
             raise ValueError(
                 f"unknown version {self.version!r}; "
-                f"expected one of {', '.join(Version.ALL)}")
+                f"expected one of {scheme_names()}")
+        if self.protocol is None and spec.protocol is not None:
+            # The protocol is a property of the scheme, not a free knob:
+            # fill it from the registry so direct ExecutionConfig(...)
+            # construction agrees with for_version().
+            object.__setattr__(self, "protocol", spec.protocol)
         if self.backend not in Backend.ALL:
             raise ValueError(
                 f"unknown backend {self.backend!r}; "
@@ -86,18 +157,19 @@ class ExecutionConfig:
                     oracle: bool = False,
                     tracer: Optional[object] = None,
                     plane_epochs: bool = True) -> "ExecutionConfig":
-        if version not in Version.ALL:
+        spec = SCHEMES.get(version)
+        if spec is None:
             raise ValueError(
                 f"unknown version {version!r}; "
-                f"expected one of {', '.join(Version.ALL)}")
-        # BASE (CRAFT software shared memory) is the only version that
-        # neither caches shared data nor skips translation overheads.
-        base = version == Version.BASE
-        return ExecutionConfig(version, cache_shared=not base,
-                               craft_overheads=base, on_stale=on_stale,
+                f"expected one of {scheme_names()}")
+        return ExecutionConfig(version, cache_shared=spec.cache_shared,
+                               craft_overheads=spec.craft_overheads,
+                               on_stale=on_stale,
                                backend=backend, fault_plan=fault_plan,
                                oracle=oracle, tracer=tracer,
-                               plane_epochs=plane_epochs)
+                               plane_epochs=plane_epochs,
+                               protocol=spec.protocol)
 
 
-__all__ = ["Version", "Backend", "ExecutionConfig"]
+__all__ = ["SchemeSpec", "SCHEMES", "scheme_names", "Version", "Backend",
+           "ExecutionConfig"]

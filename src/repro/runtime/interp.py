@@ -175,7 +175,8 @@ class Interpreter:
                                trace=trace_reads,
                                fault_plan=self.config.fault_plan,
                                oracle=self.config.oracle,
-                               tracer=self.config.tracer)
+                               tracer=self.config.tracer,
+                               protocol=self.config.protocol)
         self.trace_epochs = trace_epochs
         self.epochs: List[EpochRecord] = []
         self._expr_cache: Dict[int, EvalFn] = {}
@@ -605,9 +606,12 @@ class Interpreter:
         strides = decl.strides()
         invalidate = stmt.invalidate_first
         array = ref.array
-        if not self.config.cache_shared and decl.is_shared:
-            # BASE-style runs never execute CCDP programs, but guard anyway:
-            # prefetching into a disabled cache is a no-op costing issue time.
+        if decl.is_shared and (not self.config.cache_shared
+                               or self.config.protocol is not None):
+            # BASE-style and protocol runs never execute CCDP programs,
+            # but guard anyway: prefetching into a disabled cache — or
+            # around a hardware protocol that owns the line states — is
+            # a no-op costing issue time.
             def noop(env: dict, pe: int) -> None:
                 machine.pes[pe].advance(params.prefetch_issue)
 
@@ -640,7 +644,8 @@ class Interpreter:
         size = decl.size
         array = stmt.array
         invalidate = stmt.invalidate_first
-        if not self.config.cache_shared and decl.is_shared:
+        if decl.is_shared and (not self.config.cache_shared
+                               or self.config.protocol is not None):
             def noop(env: dict, pe: int) -> None:
                 machine.pes[pe].advance(params.vector_startup)
 

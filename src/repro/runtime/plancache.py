@@ -128,6 +128,8 @@ def _reset(interp, config) -> None:
         # Zero the counters in place: machine.stats.per_pe aliases these
         # objects, so no rebinding is needed anywhere.
         pe.stats.__dict__.update(_FRESH_PE_STATS)
+    if machine.protocol is not None:
+        machine.protocol.reset()
     st = machine.stats
     st.stale_reads = 0
     st.stale_examples = []

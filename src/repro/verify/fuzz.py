@@ -5,16 +5,18 @@ repo promises about that program:
 
 1. the CCDP transform's output passes the static safety verifier
    (:mod:`.safety`) with zero violations;
-2. for every version (seq/base/ccdp/naive), the batched backend is
-   bit-exact against the reference interpreter — stats, memory, full
-   machine-event traces and metrics timelines — with the shadow
-   coherence oracle armed on both;
+2. for every fuzzed version (the scheme registry's ``fuzz`` flag:
+   seq/base/ccdp/naive plus the hardware protocols mesi and dir), the
+   batched backend is bit-exact against the reference interpreter —
+   stats, memory, full machine-event traces and metrics timelines —
+   with the shadow coherence oracle armed on both;
 3. a traced reference run's event stream folds back to the machine's
    live counters (:func:`repro.obs.fold.reconcile`);
-4. final shared arrays agree bit-exactly across seq, base and ccdp
-   (seq runs on one PE, per the harness convention), ccdp and base
-   record zero stale hits, and the naive version — whenever it happens
-   to see no stale value — also matches;
+4. final shared arrays agree bit-exactly across seq and every coherent
+   parallel version — base, ccdp, mesi and dir (seq runs on one PE,
+   per the harness convention) — each of which records zero stale
+   hits, and the naive version — whenever it happens to see no stale
+   value — also matches;
 5. whenever naive *does* record stale hits, ccdp must still be clean on
    the same program: the transform protected what the cache alone
    would have corrupted.
@@ -38,13 +40,23 @@ import numpy as np
 from ..coherence import CCDPConfig, ccdp_transform
 from ..ir.program import Program
 from ..machine.params import t3d
-from ..runtime import Version, run_program
+from ..runtime import SCHEMES, Version, run_program
 from .gen import GenChoices, generate_with_choices
 from .minimize import minimize_program
 from .safety import verify_transform
 
 #: default PE count for the parallel versions (seq always runs on 1)
 DEFAULT_PES = 4
+
+#: versions the differential battery exercises, straight from the
+#: scheme registry (dir-lp/dir-pp opt out: they share the directory
+#: code path and would only add cost per cell).
+FUZZ_VERSIONS = tuple(v for v in Version.ALL if SCHEMES[v].fuzz)
+
+#: fuzzed parallel versions that must match seq bit-exactly with zero
+#: stale hits (every coherent scheme except the 1-PE seq baseline).
+COHERENT_FUZZ = tuple(v for v in FUZZ_VERSIONS
+                      if v in Version.COHERENT and v != Version.SEQ)
 
 
 @dataclass
@@ -95,7 +107,7 @@ def check_program(program: Program, n_pes: int = DEFAULT_PES,
     finals: Dict[str, Dict[str, np.ndarray]] = {}
     stale: Dict[str, int] = {}
     trace_events = 0
-    for version in Version.ALL:
+    for version in FUZZ_VERSIONS:
         prog_v = transformed if version == Version.CCDP else program
         # Harness convention: the sequential baseline runs on one PE
         # (a multi-PE "seq" run is just an untransformed cached run —
@@ -117,7 +129,7 @@ def check_program(program: Program, n_pes: int = DEFAULT_PES,
                           in result.machine.memory.values.items()}
         stale[version] = result.machine.stats.total().stale_hits
 
-    for version in (Version.BASE, Version.CCDP):
+    for version in COHERENT_FUZZ:
         if stale[version]:
             failures.append(f"stale[{version}]: {stale[version]} stale hits "
                             f"(must be coherent)")
@@ -241,5 +253,6 @@ def shrink_failure(seed: int, n_pes: int = DEFAULT_PES,
     return small, format_program(small)
 
 
-__all__ = ["DEFAULT_PES", "FuzzResult", "check_program", "run_fuzz_cell",
-           "fuzz_key", "fuzz_seeds", "shrink_failure"]
+__all__ = ["COHERENT_FUZZ", "DEFAULT_PES", "FUZZ_VERSIONS", "FuzzResult",
+           "check_program", "run_fuzz_cell", "fuzz_key", "fuzz_seeds",
+           "shrink_failure"]

@@ -44,7 +44,11 @@ SIZES = {
 }
 PLAN_SPECS = [("light", 3), ("storm", 7), ("chaos", 11)]
 PLAN_IDS = [f"{spec}-s{seed}" for spec, seed in PLAN_SPECS]
-COHERENT = (Version.SEQ, Version.BASE, Version.CCDP)
+#: Every scheme that must stay value-exact under faults: SEQ/BASE/CCDP
+#: plus the hardware-protocol versions (mesi, dir, dir-lp, dir-pp),
+#: whose reads always reach current memory.  NAIVE is the only version
+#: outside this set.
+COHERENT = Version.COHERENT
 
 
 def _params(version):

@@ -50,6 +50,22 @@ class TestTables:
         out = capsys.readouterr().out
         assert "Table 2" in out
 
+    def test_table3_cross_scheme(self, capsys):
+        code = main(["table3", "--workloads", "mxm", "--pes", "1,2",
+                     "--n", "8", "--versions", "ccdp,mesi,dir"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        for scheme in ("ccdp", "mesi", "dir"):
+            assert scheme in out
+        assert "WRONG" not in out
+
+    def test_table3_rejects_unknown_scheme(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table3", "--workloads", "mxm", "--pes", "1",
+                  "--n", "8", "--versions", "ccdp,hyperspeed"])
+        assert "registered schemes" in capsys.readouterr().err
+
     def test_report_to_file(self, tmp_path, capsys):
         out_file = tmp_path / "exp.md"
         code = main(["report", "--workloads", "mxm", "--pes", "1,2",

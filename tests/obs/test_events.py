@@ -5,6 +5,7 @@ import pytest
 from repro.obs import (BYPASS_KINDS, EVENT_FIELDS, EVENT_KINDS,
                        INVALIDATE_REASONS, event_from_dict, event_to_dict,
                        validate_event)
+from repro.obs.events import BUS_OPS, DIR_OPS, WB_REASONS
 
 #: one well-formed example of every kind, in schema order.
 EXAMPLES = {
@@ -18,6 +19,12 @@ EXAMPLES = {
     "pf_complete": ("pf_complete", 3, "a", 16),
     "invalidate": ("invalidate", 0, "b", 2, "prefetch"),
     "vector_transfer": ("vector_transfer", 1, "c", 0, 3, 16),
+    "bus_tx": ("bus_tx", 0, "busrdx", 40, 1),
+    "coh_wb": ("coh_wb", 1, 40, "downgrade"),
+    "silent_upgrade": ("silent_upgrade", 2, 41),
+    "coh_inval": ("coh_inval", 0, 40, 3),
+    "dir_req": ("dir_req", 1, "rd", 40, 2, 4, 1, 0),
+    "dir_bcast": ("dir_bcast", 3, 40, 7),
     "barrier": ("barrier", 128.0),
     "epoch_begin": ("epoch_begin", 0, "init", 0),
     "epoch_end": ("epoch_end", 0, "init", 96.5),
@@ -56,6 +63,11 @@ def test_validate_accepts_wellformed(kind):
     ("farm_retry", "k", 2, 250, "gremlins"),  # reason outside FAIL_REASONS
     ("farm_quarantine", "k", 3, "gremlins"),  # ditto
     ("farm_lease", 7, 1),                   # key must be a str
+    ("bus_tx", 0, "busflush", 40, 0),       # op outside BUS_OPS
+    ("bus_tx", 0, 2, 40, 0),                # op must be a str
+    ("coh_wb", 1, 40, "laziness"),          # reason outside WB_REASONS
+    ("dir_req", 1, "own", 40, 2, 4, 0, 0),  # op outside DIR_OPS
+    ("dir_req", 1, "rd", 40, 2, 4, 0),      # arity too small
 ])
 def test_validate_rejects_malformed(bad):
     with pytest.raises(ValueError):
@@ -67,6 +79,12 @@ def test_enum_values_validate():
         validate_event(("bypass_fetch", 0, "a", 1, why))
     for reason in INVALIDATE_REASONS:
         validate_event(("invalidate", 0, "a", 1, reason))
+    for op in BUS_OPS:
+        validate_event(("bus_tx", 0, op, 40, 0))
+    for reason in WB_REASONS:
+        validate_event(("coh_wb", 0, 40, reason))
+    for op in DIR_OPS:
+        validate_event(("dir_req", 0, op, 40, 1, 2, 0, 0))
 
 
 @pytest.mark.parametrize("kind", sorted(EXAMPLES))

@@ -1,0 +1,95 @@
+"""The scheme registry as single source of truth: every version list,
+policy flag and validation error is derived from ``SCHEMES`` — no
+hard-coded copies anywhere."""
+
+import pytest
+
+from repro.runtime import (SCHEMES, ExecutionConfig, Version, run_program,
+                           scheme_names)
+
+
+class TestRegistryDerivations:
+    def test_version_all_is_the_registry(self):
+        assert Version.ALL == tuple(SCHEMES)
+        assert len(set(Version.ALL)) == len(Version.ALL)
+
+    def test_coherent_is_everything_but_naive(self):
+        assert Version.COHERENT == tuple(n for n in SCHEMES if n != "naive")
+        assert Version.NAIVE not in Version.COHERENT
+
+    def test_protocol_versions_carry_a_protocol(self):
+        assert Version.PROTOCOL == ("mesi", "dir", "dir-lp", "dir-pp")
+        for name in Version.PROTOCOL:
+            assert SCHEMES[name].protocol == name
+
+    def test_every_scheme_constructs_a_config(self):
+        for name, spec in SCHEMES.items():
+            cfg = ExecutionConfig.for_version(name)
+            assert cfg.cache_shared == spec.cache_shared
+            assert cfg.craft_overheads == spec.craft_overheads
+            assert cfg.protocol == spec.protocol
+
+    def test_direct_construction_autofills_protocol(self):
+        # ExecutionConfig(version=...) without the factory must agree
+        # with the registry about the hardware protocol.
+        cfg = ExecutionConfig(version=Version.MESI)
+        assert cfg.protocol == "mesi"
+        assert ExecutionConfig(version=Version.CCDP).protocol is None
+
+    def test_fuzz_matrix_derives_from_registry(self):
+        from repro.verify.fuzz import COHERENT_FUZZ, FUZZ_VERSIONS
+        assert FUZZ_VERSIONS == tuple(n for n, s in SCHEMES.items() if s.fuzz)
+        assert Version.NAIVE in FUZZ_VERSIONS        # the stale control
+        assert Version.MESI in FUZZ_VERSIONS
+        assert Version.DIR in FUZZ_VERSIONS
+        assert set(COHERENT_FUZZ) == (set(FUZZ_VERSIONS)
+                                      & set(Version.COHERENT)) - {"seq"}
+
+
+class TestValidationErrors:
+    def test_config_error_lists_every_registered_scheme(self):
+        with pytest.raises(ValueError) as err:
+            ExecutionConfig(version="hyperspeed")
+        for name in SCHEMES:
+            assert name in str(err.value)
+
+    def test_factory_error_lists_every_registered_scheme(self):
+        with pytest.raises(ValueError) as err:
+            ExecutionConfig.for_version("hyperspeed")
+        for name in SCHEMES:
+            assert name in str(err.value)
+
+    def test_run_program_rejects_unknown_version(self):
+        from repro.ir.dsl import parse_program
+        from repro.machine.params import t3d
+        prog = parse_program(
+            "program tiny\n"
+            "  shared real a(4) dist(block, axis=-1)\n"
+            "  procedure main\n"
+            "    doall i = 1, 4 align(a) label(init)\n"
+            "      a(i) = 1.0\n"
+            "    end doall\n"
+            "  end procedure\n"
+            "end program\n")
+        with pytest.raises(ValueError, match="hyperspeed"):
+            run_program(prog, t3d(2), "hyperspeed")
+
+    def test_cli_verify_error_lists_every_registered_scheme(self, capsys):
+        from repro.harness.cli import main
+        with pytest.raises(SystemExit):
+            main(["verify", "--versions", "ccdp,hyperspeed"])
+        err = capsys.readouterr().err
+        assert "hyperspeed" in err
+        for name in SCHEMES:
+            assert name in err
+
+    def test_cli_run_choices_come_from_registry(self, capsys):
+        from repro.harness.cli import main
+        with pytest.raises(SystemExit):
+            main(["run", "mxm", "--version", "hyperspeed"])
+        err = capsys.readouterr().err
+        for name in SCHEMES:
+            assert name in err
+
+    def test_scheme_names_is_presentation_order(self):
+        assert scheme_names() == ", ".join(SCHEMES)

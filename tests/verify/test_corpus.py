@@ -39,7 +39,16 @@ CORPUS = {
     8: "stencil/reduction/stencil with branchy stencil bodies",
     10: "multi-epoch reduction (reduction, region, reduction)",
     12: "queue-capacity-forced bypass under a squeezed queue",
+    24: "heaviest cross-PE sharing found <45: 171 naive-stale hits over "
+        "3 arrays (stencil/copy_reverse/stencil/region) — exercises the "
+        "mesi/dir invalidation and c2c paths hard",
+    33: "heavy 2-array sharing (126 naive-stale hits): stencil/region/"
+        "stencil/copy_reverse ping-pongs lines between writers",
 }
+
+#: seeds pinned for their cross-PE sharing intensity; the hardware
+#: protocols must invalidate their way to seq-exact finals here
+SHARING_SEEDS = (24, 33)
 
 #: seeds whose prefetch footprint overflows a 2-slot queue, forcing the
 #: rule-2 dynamic demotion (dropped prefetch -> bypass fetch at use)
@@ -76,6 +85,34 @@ def test_corpus_replays_clean(seed):
 def test_multi_epoch_reduction_is_pinned():
     _, choices = generate_with_choices(10)
     assert choices.epochs.count("reduction") >= 2
+
+
+@pytest.mark.parametrize("version", ("mesi", "dir"))
+@pytest.mark.parametrize("seed", SHARING_SEEDS)
+def test_sharing_corpus_exercises_protocols(seed, version):
+    """The pinned heavy-sharing programs must drive real invalidation
+    and cache-to-cache traffic through the hardware protocols — and
+    still land bit-exactly on the sequential answer with the oracle
+    armed, their event traces folding back to the live counters."""
+    from repro.obs import Tracer
+    from repro.obs.fold import reconcile
+
+    program = parse_program(_path(seed).read_text())
+    tracer = Tracer()
+    result = run_program(program, t3d(4), version, on_stale="raise",
+                         oracle=True, tracer=tracer)
+    total = result.machine.stats.total()
+    assert total.coh_invalidations > 0
+    assert total.c2c_transfers > 0
+    if version == "mesi":
+        assert total.bus_rd > 0 and total.bus_rdx > 0
+    else:
+        assert total.dir_requests > 0 and total.dir_messages > 0
+    assert result.machine.oracle.violations == 0
+    assert reconcile(tracer.events, result.machine) == []
+    seq = run_program(program, t3d(1), Version.SEQ)
+    for name, expected in seq.machine.memory.values.items():
+        assert np.array_equal(expected, result.machine.memory.values[name])
 
 
 @pytest.mark.parametrize("seed", QUEUE_PRESSURE_SEEDS)
