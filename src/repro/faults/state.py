@@ -182,7 +182,8 @@ class FaultState:
                 # Storm invalidations are fault consequences, not program
                 # invalidations: reason "fault" keeps the fold from
                 # counting them against PEStats.invalidations.
-                self.tracer.emit(("invalidate", pe, "*", evicted, "fault"))
+                self.tracer.emit(("invalidate", pe, "*", evicted, "fault",
+                                  -1, -1))
 
 
 def make_state(plan: Optional[FaultPlan], n_pes: int) -> Optional[FaultState]:

@@ -19,6 +19,12 @@ Subcommands
     Execute one version with machine-event tracing: per-kind counts and
     the per-epoch metrics timeline, with optional JSONL / Chrome-trace
     export (``--trace-out`` / ``--chrome-out``).
+``replay``
+    Trace-driven frontend: replay a recorded access stream (JSONL
+    machine events or the hand-writable text format) through any
+    registered scheme — per-epoch stats stream live, ``--conform``
+    diffs the replayed counters against the source events, and the
+    farm flags make replay cells resumable and content-addressed.
 ``verify``
     Static coherence-safety verification: prove the paper's coverage,
     ordering and resource rules on the transformed IR of every
@@ -275,6 +281,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--trace-capacity", type=int, default=None, metavar="N",
                    help="ring-buffer size: keep only the last N events "
                         "(counters stay exact)")
+
+    p = sub.add_parser("replay", help="replay a recorded trace through "
+                                      "any coherence scheme")
+    p.add_argument("--trace", required=True, metavar="FILE",
+                   help="JSONL event trace (ccdp trace --trace-out) or "
+                        "text access stream (see repro.trace.TEXT_GRAMMAR)")
+    p.add_argument("--format", default="auto",
+                   choices=["auto", "jsonl", "text"],
+                   help="input format (auto = by file extension)")
+    p.add_argument("--version", default=Version.CCDP,
+                   choices=list(Version.ALL),
+                   help="scheme to replay the trace under")
+    p.add_argument("--versions", default="", metavar="LIST",
+                   help="comma list of schemes (overrides --version; "
+                        "one cell per scheme)")
+    p.add_argument("--pes", type=int, default=None, metavar="N",
+                   help="PE count (default: the trace's own geometry)")
+    p.add_argument("--backend", default=Backend.REFERENCE,
+                   choices=list(Backend.ALL),
+                   help="replay path (batched = bulk classify planes, "
+                        "bit-exact vs reference)")
+    p.add_argument("--oracle", action="store_true",
+                   help="arm the shadow coherence oracle during replay")
+    p.add_argument("--conform", action="store_true",
+                   help="fold the source events and diff every counter "
+                        "against the replayed machine (JSONL traces "
+                        "replayed under their source scheme)")
+    p.add_argument("--workload", default="",
+                   help="workload whose array declarations the trace "
+                        "was recorded from (JSONL traces)")
+    p.add_argument("--n", type=int, default=None, help="problem size")
+    p.add_argument("--steps", type=int, default=None, help="time steps")
+    p.add_argument("--ir", default="", metavar="PATH",
+                   help="DSL .ir file supplying the array declarations "
+                        "(JSONL traces; alternative to --workload)")
+    p.add_argument("--cache-bytes", type=int, default=None, metavar="B",
+                   help="per-PE cache size (default: the scaled "
+                        "experiment cache)")
+    p.add_argument("--chunk-ops", type=int, default=None, metavar="N",
+                   help="ops per streamed chunk (bounds resident memory)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="farm worker processes (useful with --versions)")
+    add_farm(p)
 
     p = sub.add_parser("compile-file",
                        help="compile a DSL source file with CCDP")
@@ -568,6 +617,149 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  shrunk reproducer -> {path} "
                       f"({len(text.splitlines())} lines)")
         return 1 if failing else 0
+
+    if args.command == "replay":
+        from ..machine.oracle import StaleReadViolation
+        from ..trace import DEFAULT_CHUNK_OPS, TraceError, sniff_format
+        from ..trace.cells import (build_program, replay_failure,
+                                   replay_key, run_replay_cell)
+        from .experiment import SCALED_CACHE_BYTES
+
+        versions = [v.strip() for v in args.versions.split(",")
+                    if v.strip()] or [args.version]
+        for version in versions:
+            if version not in Version.ALL:
+                from ..runtime import scheme_names
+                parser.error(f"--versions: unknown version {version!r} "
+                             f"(registered schemes: {scheme_names()})")
+        fmt = args.format if args.format != "auto" \
+            else sniff_format(args.trace)
+        if fmt == "text" and args.conform:
+            parser.error("--conform needs a JSONL trace (text traces "
+                         "carry no source counters to diff against)")
+        if fmt == "text" and (args.workload or args.ir):
+            parser.error("--workload/--ir apply to JSONL traces; text "
+                         "traces are self-describing")
+        cache_bytes = args.cache_bytes if args.cache_bytes is not None \
+            else SCALED_CACHE_BYTES
+        base = {"trace": args.trace, "format": fmt, "pes": args.pes,
+                "backend": args.backend, "oracle": args.oracle,
+                "conform": args.conform, "cache_bytes": cache_bytes,
+                "chunk_ops": args.chunk_ops or DEFAULT_CHUNK_OPS,
+                "workload": args.workload, "sizes": _size_args(args),
+                "ir": args.ir}
+        payloads = [dict(base, version=version) for version in versions]
+
+        def show(record) -> bool:
+            print(f"{record['trace']} -> {record['version']} on "
+                  f"{record['pes']} PE(s) [{record['backend']}]: "
+                  f"{record['elapsed']:,.0f} cycles")
+            stats = record["stats"]
+            print(f"  reads={stats['reads']:.0f} "
+                  f"writes={stats['writes']:.0f} "
+                  f"hits={stats['cache_hits']:.0f} "
+                  f"misses={stats['cache_misses']:.0f} "
+                  f"prefetches={stats['prefetch_issued']:.0f} "
+                  f"stale_reads={stats['stale_reads']:.0f} "
+                  f"epochs={stats['epochs']:.0f}")
+            c = record["counters"]
+            if record["backend"] != Backend.REFERENCE:
+                share = c["bulk_ops"] / c["ops"] if c["ops"] else 0.0
+                print(f"  bulk: {c['bulk_ops']:,}/{c['ops']:,} ops "
+                      f"({share:.1%}) in {c['bulk_runs']} run(s), "
+                      f"{c['fallbacks']} fallback(s)")
+            if record["oracle"]:
+                print(f"  {record['oracle']}")
+            if record["conform"] is not None:
+                if record["conform"]:
+                    print(f"  CONFORMANCE: {len(record['conform'])} "
+                          f"counter mismatch(es) vs source events:")
+                    for line in record["conform"]:
+                        print(f"    {line}")
+                    return False
+                print("  conformance: every folded counter matches the "
+                      "source events")
+            return True
+
+        farm = _farm_config(args, parser, args.jobs)
+        try:
+            if farm is not None:
+                from ..farm import Job, run_farm
+                jobs_list = [Job(index=i, key=replay_key(payload),
+                                 payload=payload,
+                                 desc=f"replay/{payload['version']}")
+                             for i, payload in enumerate(payloads)]
+
+                def progress(done, total, outcome):
+                    print(f"  [{done}/{total}] {outcome.describe()}",
+                          file=sys.stderr)
+
+                result = run_farm(run_replay_cell, jobs_list, farm,
+                                  failure_of=replay_failure,
+                                  progress=progress)
+                print("  " + result.summary(), file=sys.stderr)
+                ok = True
+                for outcome in result.outcomes:
+                    if outcome.quarantined or outcome.result is None:
+                        print(f"  {outcome.describe()}", file=sys.stderr)
+                        ok = False
+                    else:
+                        ok = show(outcome.result) and ok
+                return 0 if ok else 1
+
+            program = build_program(payloads[0])
+            ok = True
+            for payload in payloads:
+                params = t3d(program.n_pes, cache_bytes=cache_bytes)
+
+                def epoch_cb(row):
+                    print(f"  epoch {row['index']:>3} "
+                          f"{row['label']:<24.24s} "
+                          f"reads={row['reads']:>9,} "
+                          f"hits={row['hits']:>9,} "
+                          f"misses={row['misses']:>8,} "
+                          f"stale={row['stale']:>5,} "
+                          f"clock={row['clock']:>14,.0f}",
+                          file=sys.stderr)
+
+                print(f"replaying {args.trace} under "
+                      f"{payload['version']} ...", file=sys.stderr)
+                result = program.replay(params, payload["version"],
+                                        backend=args.backend,
+                                        oracle=args.oracle,
+                                        epoch_cb=epoch_cb)
+                record = {"trace": str(args.trace),
+                          "version": result.version,
+                          "backend": result.backend,
+                          "pes": program.n_pes,
+                          "elapsed": result.elapsed,
+                          "stats": result.machine.stats.as_dict(),
+                          "counters": {
+                              "ops": result.counters.ops,
+                              "bulk_ops": result.counters.bulk_ops,
+                              "bulk_runs": result.counters.bulk_runs,
+                              "fallbacks": result.counters.fallbacks},
+                          "oracle": result.machine.oracle.summary()
+                          if result.machine.oracle else None,
+                          "conform": None}
+                if args.conform:
+                    from ..obs.fold import (TIMING_DEPENDENT_FIELDS,
+                                            reconcile)
+                    from ..trace import read_jsonl_events
+                    record["conform"] = reconcile(
+                        (event for _, event
+                         in read_jsonl_events(args.trace)),
+                        result.machine, skip=TIMING_DEPENDENT_FIELDS)
+                ok = show(record) and ok
+            return 0 if ok else 1
+        except TraceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except StaleReadViolation as exc:
+            print(f"coherence violation: {exc}", file=sys.stderr)
+            return 1
+        except FarmError as exc:
+            parser.error(str(exc))
 
     if args.command == "run":
         if args.fault_seed < 0:

@@ -445,7 +445,8 @@ class Machine:
             if pe.cache.invalidate_line(line_addr):
                 pe.stats.invalidations += 1
                 if tr is not None:
-                    tr.emit(("invalidate", pe_id, name, 1, "prefetch"))
+                    tr.emit(("invalidate", pe_id, name, 1, "prefetch",
+                             -1, -1))
         owner = self._owner(name, flat, pe_id)
         cost = self.params.prefetch_issue
         dtb = 0
@@ -524,7 +525,8 @@ class Machine:
                         killed += 1
             pe.stats.invalidations += killed
             if tr is not None and killed:
-                tr.emit(("invalidate", pe_id, name, killed, "vector"))
+                tr.emit(("invalidate", pe_id, name, killed, "vector",
+                         -1, -1))
         stall_at = pe.vectors.stall_until_slot(pe.clock)
         stall = pe.wait_until(stall_at)
         pe.stats.vector_stall_cycles += stall
@@ -546,7 +548,126 @@ class Machine:
         pe.stats.vector_prefetches += 1
         pe.stats.vector_words += words
         if tr is not None:
-            tr.emit(("vector_transfer", pe_id, name, line_lo, line_hi, words))
+            tr.emit(("vector_transfer", pe_id, name, line_lo, line_hi, words,
+                     flat_start, stride))
+
+    # ------------------------------------------------------------------
+    # trace replay support (repro.trace)
+    # ------------------------------------------------------------------
+    def replay_read(self, pe_id: int, name: str, flat: int,
+                    hint: Optional[str] = None, *, cacheable: bool = True,
+                    bypass: bool = False, craft: bool = False) -> float:
+        """:meth:`read`, steered by a recorded outcome.
+
+        The trace frontend replays reads through the ordinary read path —
+        latency, installs, events and the oracle all behave naturally —
+        but prefetch-queue *timing* cannot be reconstructed from a trace
+        (replayed clocks exclude compute), so the recorded outcome
+        ``hint`` pre-adjusts queue state instead:
+
+        * ``"miss"`` — the source run had no covering entry at this
+          point: retire any lingering replay entry so the read misses to
+          memory.
+        * ``"extract"`` — the source run extracted a covering prefetch:
+          inject an already-arrived entry if the replay queue lost it.
+        * ``"drop"`` — the line's prefetch was dropped (paper rule 2):
+          mark it so the read degrades to a bypass fetch.
+        * ``"hit"`` / ``None`` — no queue adjustment; the cache decides.
+
+        Cache *contents* are queue-timing independent (a miss and an
+        extract install identical line data), so hints only repair
+        timing divergence, never values.
+        """
+        pe = self.pes[pe_id]
+        if (hint is not None and cacheable and not bypass
+                and self.memory.decls[name].is_shared):
+            line_addr = self.addr_map.addr(name, flat) // self._lw
+            if hint in ("hit", "miss", "extract"):
+                pe.dropped_lines.discard(line_addr)
+            if hint == "miss":
+                entry = pe.queue.match(line_addr)
+                while entry is not None:
+                    pe.queue.entries.remove(entry)
+                    entry = pe.queue.match(line_addr)
+            elif hint == "extract":
+                if pe.queue.match(line_addr) is None:
+                    owner = self._owner(name, flat, pe_id)
+                    pe.queue.entries.append(PrefetchEntry(
+                        line_addr=line_addr, array=name, arrival=pe.clock,
+                        issued_at=pe.clock, home_pe=owner))
+            elif hint == "drop":
+                pe.dropped_lines.add(line_addr)
+        return self.read(pe_id, name, flat, cacheable=cacheable,
+                         bypass=bypass, craft=craft)
+
+    def replay_prefetch_line(self, pe_id: int, name: str, line_addr: int,
+                             outcome: str, dtb: int,
+                             invalidate: bool = True) -> None:
+        """:meth:`prefetch_line`, steered by a recorded outcome.
+
+        ``outcome`` is the source run's queue disposition (``issue`` /
+        ``coalesce`` / ``drop``) and ``dtb`` its recorded DTB-setup
+        flag; both depend on source queue occupancy and clock values the
+        replay cannot reproduce, so they are forced rather than
+        recomputed.  The queue itself is kept plausible — issued entries
+        are appended (capacity was already arbitrated by the source
+        run), and a forced issue retires any lingering replay entry for
+        the same line first.  Entries are never reclaimed on a timer;
+        :meth:`replay_read` hints retire them at their use points.
+        """
+        if outcome not in ("issue", "coalesce", "drop"):
+            raise ValueError(f"unknown prefetch outcome {outcome!r}")
+        pe = self.pes[pe_id]
+        tr = self.tracer
+        if invalidate and pe.cache.invalidate_line(line_addr):
+            pe.stats.invalidations += 1
+            if tr is not None:
+                tr.emit(("invalidate", pe_id, name, 1, "prefetch", -1, -1))
+        # The recorded event carries the line, not the accessed element;
+        # any in-line element gives the same owner *for the latency*
+        # only when ownership doesn't split the line, so clamp to the
+        # line's first in-array word (the dtb decision — the part that
+        # is owner-boundary sensitive — comes from the trace, not from
+        # this owner).
+        decl = self.memory.decls[name]
+        flat0 = min(max(line_addr * self._lw - self.addr_map.base(name), 0),
+                    decl.size - 1)
+        owner = self._owner(name, flat0, pe_id)
+        cost = self.params.prefetch_issue
+        if dtb:
+            cost += self.params.dtb_setup
+            pe.stats.dtb_setups += 1
+        pe.last_prefetch_pe = owner
+        pe.advance(cost)
+        if outcome == "drop":
+            pe.queue.dropped += 1
+            pe.stats.pf_dropped += 1
+            pe.dropped_lines.add(line_addr)
+            if tr is not None:
+                tr.emit(("pf_drop", pe_id, name, line_addr, dtb))
+            return
+        pe.stats.prefetch_issued += 1
+        pe.dropped_lines.discard(line_addr)
+        if outcome == "coalesce":
+            if tr is not None:
+                tr.emit(("pf_coalesce", pe_id, name, line_addr, dtb))
+            return
+        entry = pe.queue.match(line_addr)
+        while entry is not None:
+            pe.queue.entries.remove(entry)
+            entry = pe.queue.match(line_addr)
+        fill = self.read_latency(pe_id, owner)
+        if owner != pe_id:
+            fill = self.memory.remote_latency(pe_id, fill)
+        queue = pe.queue
+        queue.entries.append(PrefetchEntry(
+            line_addr=line_addr, array=name, arrival=pe.clock + fill,
+            issued_at=pe.clock, home_pe=owner))
+        queue.issued += 1
+        if len(queue.entries) > queue.high_water:
+            queue.high_water = len(queue.entries)
+        if tr is not None:
+            tr.emit(("pf_issue", pe_id, name, line_addr, dtb))
 
     def invalidate(self, pe_id: int, name: str, flat_lo: int, flat_hi: int) -> int:
         """Explicit invalidation of the lines covering an element range."""
@@ -557,7 +678,8 @@ class Machine:
         pe.stats.invalidations += count
         pe.advance(max(1, count) * self.params.int_op)
         if self.tracer is not None:
-            self.tracer.emit(("invalidate", pe_id, name, count, "explicit"))
+            self.tracer.emit(("invalidate", pe_id, name, count, "explicit",
+                              flat_lo, flat_hi))
         return count
 
     # ------------------------------------------------------------------

@@ -14,8 +14,8 @@ from .events import (BYPASS_KINDS, EVENT_FIELDS, EVENT_KINDS,
                      validate_event)
 from .export import (chrome_trace, event_to_json, events_to_jsonl,
                      read_jsonl, write_chrome_trace, write_jsonl)
-from .fold import (FOLDABLE_MACHINE_FIELDS, FOLDABLE_PE_FIELDS, fold_events,
-                   reconcile)
+from .fold import (FOLDABLE_MACHINE_FIELDS, FOLDABLE_PE_FIELDS,
+                   TIMING_DEPENDENT_FIELDS, fold_events, reconcile)
 from .tracer import EpochPEMetrics, EpochRow, Tracer
 
 __all__ = [
@@ -23,7 +23,7 @@ __all__ = [
     "event_from_dict", "event_to_dict", "validate_event",
     "chrome_trace", "event_to_json", "events_to_jsonl", "read_jsonl",
     "write_chrome_trace", "write_jsonl",
-    "FOLDABLE_MACHINE_FIELDS", "FOLDABLE_PE_FIELDS", "fold_events",
-    "reconcile",
+    "FOLDABLE_MACHINE_FIELDS", "FOLDABLE_PE_FIELDS",
+    "TIMING_DEPENDENT_FIELDS", "fold_events", "reconcile",
     "EpochPEMetrics", "EpochRow", "Tracer",
 ]

@@ -31,8 +31,13 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "pf_coalesce": ("pe", "array", "line", "dtb"),
     "pf_drop": ("pe", "array", "line", "dtb"),
     "pf_complete": ("pe", "array", "flat"),
-    "invalidate": ("pe", "array", "count", "reason"),
-    "vector_transfer": ("pe", "array", "line_lo", "line_hi", "words"),
+    "invalidate": ("pe", "array", "count", "reason", "lo", "hi"),
+    # ``flat``/``stride`` restate the vector prefetch's *instruction*
+    # (start element, element stride); ``line_lo``/``line_hi`` alone
+    # cannot recover a strided install set, and the trace frontend
+    # replays the instruction, not its line footprint.
+    "vector_transfer": ("pe", "array", "line_lo", "line_hi", "words",
+                        "flat", "stride"),
     # -- hardware coherence protocols (mesi / dir versions) ----------------
     "bus_tx": ("pe", "op", "line", "c2c"),
     "coh_wb": ("pe", "line", "reason"),
@@ -67,7 +72,11 @@ BYPASS_KINDS = frozenset({"bypass", "uncached_local", "uncached_remote",
 #: ``invalidate.reason`` values: ``prefetch`` = invalidate-before-
 #: prefetch killed a resident line, ``vector`` = vector-prefetch range
 #: invalidation, ``explicit`` = standalone INVALIDATE instruction,
-#: ``fault`` = eviction-storm fault injection.
+#: ``fault`` = eviction-storm fault injection.  ``lo``/``hi`` carry the
+#: flat element range of an ``explicit`` invalidation (the replay input
+#: that ``count`` — the number of lines actually killed — cannot
+#: recover); the other reasons have no instruction-level range and
+#: carry ``-1, -1``.
 INVALIDATE_REASONS = frozenset({"prefetch", "vector", "explicit", "fault"})
 
 #: ``farm_retry.reason`` / ``farm_quarantine.reason`` values: why the

@@ -3100,7 +3100,8 @@ class BatchedInterpreter(Interpreter):
                     rc = record[f]
                     if rc != REC_NONE:
                         if rc & REC_KILL_FLAG:
-                            emit(("invalidate", pe, array, 1, "prefetch"))
+                            emit(("invalidate", pe, array, 1, "prefetch",
+                                  -1, -1))
                             rc &= ~REC_KILL_FLAG
                         dtb = 1 if dtb_l[f] else 0
                         line = data_l[t]

@@ -1,0 +1,25 @@
+"""Trace-driven frontend: replay arbitrary per-PE address streams
+through every coherence scheme (DESIGN.md §9).
+
+Two input formats — the normalized JSONL machine-event stream written
+by :mod:`repro.obs.export` and a hand-writable text format
+(:data:`~repro.trace.format.TEXT_GRAMMAR`) — feed one chunked,
+bounded-memory record stream that :class:`TraceProgram` drives through
+:class:`~repro.machine.machine.Machine` under any registered scheme,
+on the reference per-access path or the batched bulk path.  The
+``ccdp replay`` CLI subcommand wraps it with per-epoch streaming,
+conformance checking against the source events and farm integration.
+"""
+
+from .format import (MAX_ADDR, PF_OUTCOMES, READ_HINTS, TEXT_GRAMMAR,
+                     TraceError)
+from .program import ReplayCounters, TraceProgram, TraceReplayResult
+from .reader import (DEFAULT_CHUNK_OPS, TextTraceInfo, jsonl_geometry,
+                     read_jsonl_events, read_jsonl_records,
+                     read_text_records, scan_text, sniff_format)
+
+__all__ = ["TEXT_GRAMMAR", "READ_HINTS", "PF_OUTCOMES", "MAX_ADDR",
+           "TraceError", "TraceProgram", "TraceReplayResult",
+           "ReplayCounters", "DEFAULT_CHUNK_OPS", "TextTraceInfo",
+           "scan_text", "read_text_records", "read_jsonl_events",
+           "read_jsonl_records", "jsonl_geometry", "sniff_format"]

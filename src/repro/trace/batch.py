@@ -1,0 +1,308 @@
+"""Batched bulk-replay path: vectorized trace replay over the
+:mod:`repro.machine.batchops` classify planes.
+
+The reference replay path (:func:`repro.trace.program._apply_op`)
+drives every op through ``Machine.read`` / ``Machine.write`` one call
+at a time.  This module services maximal runs of *bulk-eligible* ops —
+shared cacheable reads and writes with no prefetch-queue interaction —
+in one shot per run: a single :func:`classify_events` pass against the
+PE's live tags decides every hit/miss, per-owner latency LUTs price
+every access, and one scalar loop accumulates the clock/busy floats in
+the same order the reference path would (float addition is
+order-sensitive, so the loop is the equality proof, not an
+approximation).  Ops outside a run — prefetches, vectors, explicit
+invalidations, private-array traffic, queue-hinted reads — still go
+through the reference path, as does any run a safety gate rejects.
+
+The gates make the bulk commit *exact*, never merely close:
+
+* a run is skipped when any of its cacheable-read lines intersects the
+  PE's outstanding prefetch queue (a miss would really be an extract),
+  its dropped-line set (paper rule 2 would degrade the read), a
+  resident stale line (a hit would need stale bookkeeping), or an
+  in-flight vector transfer (a hit would stall);
+* schemes with hardware protocols, CRAFT overheads, uncached-shared
+  policy, or machines with fault injection / race checking / address
+  tracing fall back wholesale — their per-access side effects are not
+  worth mirroring here.
+
+Within a committed run the PE is the only writer (replay is sequential
+and other PEs are quiescent), so the commit can scatter final values
+into memory, refill installed lines from *final* memory and apply
+write-through word updates to final-resident lines — bit-identical to
+the reference path's incremental updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..machine.batchops import (OUT_HIT, OUT_MISS, READ, WRITE,
+                                bulk_fill_lines, bulk_update_words,
+                                classify_events, read_latency_table,
+                                stale_lines, uncached_read_latency_table,
+                                write_latency_table)
+from .program import _apply_op
+
+#: kinds a committed bulk run can emit — used for the tracer's
+#: counts-only fast path.
+_BULK_KINDS = ("read_hit", "read_miss", "bypass_fetch", "write")
+
+#: read hints a bulk run can absorb (``extract`` / ``drop`` interact
+#: with the prefetch queue op-by-op and always go through the
+#: reference path).
+_BULK_HINTS = frozenset({None, "hit", "miss", "bypass", "uncached"})
+
+
+class BulkReplayer:
+    """Per-replay bulk engine bound to one machine + scheme."""
+
+    #: shortest run worth the classify/LUT overhead
+    MIN_RUN = 16
+
+    def __init__(self, machine, spec, flags: Dict[str, tuple]) -> None:
+        self.machine = machine
+        self.flags = flags
+        self.eligible = (spec.protocol is None and spec.cache_shared
+                         and not spec.craft_overheads
+                         and machine.protocol is None
+                         and machine.faults is None
+                         and not machine.race_check
+                         and not machine.trace_enabled)
+        self._luts: Dict[int, tuple] = {}
+        if not self.eligible:
+            return
+        mem = machine.memory
+        self._lw = machine.params.line_words
+        self._base: Dict[str, int] = {}
+        # Global word-address -> home PE, per shared array.
+        self._owners = np.zeros(len(mem.values_flat), dtype=np.int16)
+        for name, decl in mem.decls.items():
+            if not decl.is_shared:
+                continue
+            base = machine.addr_map.base(name)
+            self._base[name] = base
+            self._owners[base:base + decl.size] = \
+                machine.addr_map.owner_table(name)
+
+    # -- public API -----------------------------------------------------
+    def chunk(self, pe_id: int, ops: list, state, counters) -> None:
+        """Apply one chunk of a PE's ops, bulk-servicing eligible runs."""
+        machine, flags = self.machine, self.flags
+        if not self.eligible:
+            for op in ops:
+                _apply_op(machine, flags, pe_id, op, state)
+            return
+        n = len(ops)
+        i = 0
+        while i < n:
+            if not self._bulk_ok(ops[i]):
+                _apply_op(machine, flags, pe_id, ops[i], state)
+                i += 1
+                continue
+            j = i + 1
+            while j < n and self._bulk_ok(ops[j]):
+                j += 1
+            if j - i >= self.MIN_RUN and self._bulk_run(pe_id, ops, i, j,
+                                                        state):
+                counters.bulk_ops += j - i
+                counters.bulk_runs += 1
+            else:
+                if j - i >= self.MIN_RUN:
+                    counters.fallbacks += 1
+                for k in range(i, j):
+                    _apply_op(machine, flags, pe_id, ops[k], state)
+            i = j
+
+    # -- internals ------------------------------------------------------
+    def _bulk_ok(self, op: tuple) -> bool:
+        kind = op[0]
+        if kind == "r":
+            info = self.flags.get(op[1])
+            return (info is not None and info[0]
+                    and op[3] in _BULK_HINTS)
+        if kind == "w":
+            info = self.flags.get(op[1])
+            return info is not None and info[0]
+        return False
+
+    def _lut(self, pe_id: int) -> tuple:
+        luts = self._luts.get(pe_id)
+        if luts is None:
+            params = self.machine.params
+            torus = self.machine.torus
+            luts = (
+                np.asarray(read_latency_table(params, torus, pe_id)),
+                np.asarray(write_latency_table(params, torus, pe_id)),
+                np.asarray(uncached_read_latency_table(params, torus,
+                                                       pe_id)),
+            )
+            self._luts[pe_id] = luts
+        return luts
+
+    def _bulk_run(self, pe_id: int, ops: list, i0: int, i1: int,
+                  state) -> bool:
+        """Service ``ops[i0:i1]`` in one shot; False = caller falls back
+        (nothing was mutated)."""
+        machine = self.machine
+        mem = machine.memory
+        pe = machine.pes[pe_id]
+        run = ops[i0:i1]
+        n = len(run)
+
+        flats = np.fromiter((op[2] for op in run), dtype=np.int64,
+                            count=n)
+        bases = np.fromiter((self._base[op[1]] for op in run),
+                            dtype=np.int64, count=n)
+        # op codes: 0 cacheable read, 1 write, 2 bypass-hint read
+        codes = np.fromiter(
+            ((1 if op[0] == "w" else 2 if op[3] == "bypass" else 0)
+             for op in run), dtype=np.int8, count=n)
+        addrs = bases + flats
+        lines = addrs // self._lw
+        is_read = codes == 0
+        read_lines = set(lines[is_read].tolist())
+
+        # Safety gates: any interaction a classify pass cannot model
+        # exactly punts the whole run to the reference path.
+        if read_lines:
+            if any(e.line_addr in read_lines for e in pe.queue.entries):
+                return False
+            if pe.dropped_lines and not pe.dropped_lines.isdisjoint(
+                    read_lines):
+                return False
+            for t in pe.vectors.transfers:
+                if t.completion > pe.clock and any(
+                        t.line_lo <= ln <= t.line_hi
+                        for ln in read_lines):
+                    return False
+            stale = stale_lines(pe.cache, mem.versions_flat)
+            if stale.size and not read_lines.isdisjoint(stale.tolist()):
+                return False
+
+        kinds = np.where(is_read, np.int8(READ), np.int8(WRITE))
+        cls = classify_events(lines, kinds, machine.params.n_lines,
+                              initial_tags=pe.cache.tags)
+        outcomes = cls.outcomes
+        read_lut, write_lut, unc_lut = self._lut(pe_id)
+        owners = self._owners[addrs]
+
+        lat = np.empty(n, dtype=np.float64)
+        hit_mask = is_read & (outcomes == OUT_HIT)
+        miss_mask = is_read & (outcomes == OUT_MISS)
+        write_mask = codes == 1
+        byp_mask = codes == 2
+        lat[hit_mask] = machine.params.cache_hit
+        lat[miss_mask] = read_lut[owners[miss_mask]]
+        lat[write_mask] = write_lut[owners[write_mask]]
+        lat[byp_mask] = unc_lut[owners[byp_mask]]
+
+        # Clock/busy accumulate per op in order — float addition is
+        # order-sensitive and the reference path adds one cost at a
+        # time, so this loop is what makes the paths bit-identical.
+        tr = machine.tracer
+        emit = tr is not None and not tr.counts_only(_BULK_KINDS)
+        c = pe.clock
+        b = pe.stats.busy_cycles
+        if emit:
+            codes_l = codes.tolist()
+            out_l = outcomes.tolist()
+            own_l = owners.tolist()
+            for k, cost in enumerate(lat.tolist()):
+                c += cost
+                b += cost
+                op = run[k]
+                code = codes_l[k]
+                if code == 0:
+                    if out_l[k] == OUT_HIT:
+                        tr.emit(("read_hit", pe_id, op[1], op[2], 0))
+                    else:
+                        tr.emit(("read_miss", pe_id, op[1], op[2],
+                                 int(own_l[k] == pe_id)))
+                elif code == 1:
+                    tr.emit(("write", pe_id, op[1], op[2], 1,
+                             int(own_l[k] != pe_id)))
+                else:
+                    tr.emit(("bypass_fetch", pe_id, op[1], op[2],
+                             "bypass"))
+        else:
+            for cost in lat.tolist():
+                c += cost
+                b += cost
+
+        # -- commit -----------------------------------------------------
+        n_w = int(np.count_nonzero(write_mask))
+        if n_w:
+            vals = np.arange(state.counter + 1, state.counter + n_w + 1,
+                             dtype=np.float64)
+            state.counter += n_w
+            w_idx = np.flatnonzero(write_mask)
+            oracle = machine.oracle
+            done = set()
+            for k in w_idx.tolist():
+                name = run[k][1]
+                if name in done:
+                    continue
+                done.add(name)
+                sel = np.fromiter((run[int(q)][1] == name
+                                   for q in w_idx), dtype=bool,
+                                  count=n_w)
+                f = flats[w_idx[sel]]
+                v = vals[sel]
+                mem.values[name][f] = v        # in-order: last wins
+                np.add.at(mem.versions[name], f, 1)
+                if oracle is not None:
+                    oracle.shadow[name][f] = v
+            if oracle is not None:
+                oracle.checked_writes += n_w
+        if machine.oracle is not None:
+            # Reads are provably coherent here (no stale residue, no
+            # remote writers mid-run), so they count as checked without
+            # a per-value comparison.
+            machine.oracle.checked_reads += int(
+                np.count_nonzero(is_read | byp_mask))
+
+        if cls.changed_sets.size:
+            pe.cache.tags[cls.changed_sets] = cls.changed_lines
+        miss_lines = np.unique(lines[miss_mask])
+        if miss_lines.size:
+            bulk_fill_lines(pe.cache, miss_lines.tolist(),
+                            mem.values_flat, mem.versions_flat)
+        if n_w:
+            bulk_update_words(pe.cache, addrs[write_mask],
+                              mem.values_flat, mem.versions_flat)
+
+        if tr is not None and not emit:
+            n_hit = int(np.count_nonzero(hit_mask))
+            n_miss = int(np.count_nonzero(miss_mask))
+            n_byp = int(np.count_nonzero(byp_mask))
+            if n_hit:
+                tr.add_counts("read_hit", n_hit)
+            if n_miss:
+                tr.add_counts("read_miss", n_miss)
+            if n_byp:
+                tr.add_counts("bypass_fetch", n_byp)
+            if n_w:
+                tr.add_counts("write", n_w)
+
+        s = pe.stats
+        s.reads += int(np.count_nonzero(is_read)) + \
+            int(np.count_nonzero(byp_mask))
+        s.writes += n_w
+        s.cache_hits += int(np.count_nonzero(hit_mask))
+        s.cache_misses += int(np.count_nonzero(miss_mask))
+        s.local_fills += int(np.count_nonzero(miss_mask
+                                              & (owners == pe_id)))
+        s.remote_fills += int(np.count_nonzero(miss_mask
+                                               & (owners != pe_id)))
+        s.bypass_reads += int(np.count_nonzero(byp_mask))
+        s.remote_writes += int(np.count_nonzero(write_mask
+                                                & (owners != pe_id)))
+        pe.clock = c
+        s.busy_cycles = b
+        return True
+
+
+__all__ = ["BulkReplayer"]

@@ -1,0 +1,198 @@
+"""Trace formats: the text grammar, the op vocabulary, and the errors.
+
+Two input formats feed the replay frontend (DESIGN.md §9):
+
+* **JSONL** — the normalized machine-event stream written by
+  :func:`repro.obs.export.write_jsonl` (golden traces, ``ccdp trace
+  --trace-out``, fuzzer exports).  Parsing lives in
+  :mod:`repro.trace.ingest`.
+* **text** — the hand-writable per-PE access-stream format below.
+  Parsing lives here (:func:`parse_text_line`) and streaming in
+  :mod:`repro.trace.reader`.
+
+Both parse into one internal *record* stream consumed by
+:class:`repro.trace.program.TraceProgram`:
+
+``("epoch", index, label)``
+    A parallel epoch opens.
+``("ops", pe, [op, ...])``
+    A chunk of one PE's accesses, in program order.  Chunks of the
+    same PE may repeat back-to-back (bounded-memory chunking), but
+    within one epoch each PE's accesses form one contiguous block.
+``("barrier",)``
+    All PEs synchronise.
+``("end_epoch", index, label)``
+    The epoch closes (always follows the barrier that ends it, except
+    for a final epoch at end-of-trace).
+
+Ops are plain tuples (cheap, comparable):
+
+``("r", array, flat, hint)``
+    A read.  ``hint`` is the source run's recorded outcome — ``"hit"``,
+    ``"miss"``, ``"extract"``, ``"bypass"``, ``"uncached"``, ``"drop"``
+    — or ``None`` (text traces; the replayed cache decides).
+``("w", array, flat)``
+    A write (replay stores a synthetic deterministic value).
+``("p", array, line, outcome, dtb, inval)``
+    A line prefetch with its recorded queue ``outcome`` (``"issue"`` /
+    ``"coalesce"`` / ``"drop"``), DTB-setup flag and whether it killed
+    a resident line.
+``("v", array, flat, length, stride, inval)``
+    A vector (block) prefetch instruction.
+``("i", array, lo, hi)``
+    An explicit invalidation of the element range [lo, hi].
+
+Errors are :class:`TraceError` with messages that say what was wrong
+*and* what would have been right, prefixed ``file:line:`` — they
+surface as one line at the CLI, never as a traceback (the same
+contract as :mod:`repro.faults.parse`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+#: the single source of truth for the text grammar — quoted by the
+#: parser's tests and by DESIGN.md §9 / README so documentation and
+#: implementation cannot drift apart.
+TEXT_GRAMMAR = """\
+trace     := line*
+line      := blank | comment | directive | barrier | access
+comment   := '#' ...
+directive := '%pes' INT              (PE count; before the first access)
+           | '%array' NAME INT      (declare NAME with INT elements)
+barrier   := 'barrier'              (ends the current epoch)
+access    := NAME ('read'|'write') ADDR [PE]
+ADDR      := 0-based element index into NAME (< declared size, < 2^63)
+PE        := issuing PE in [0, pes); defaults to 0
+
+Epochs are the runs of accesses between barriers; within one epoch each
+PE's accesses must form one contiguous block (no interleaving).  With no
+'%array' directives, labels implicitly declare arrays sized by the
+largest address used; '%pes' defaults to (largest PE used) + 1."""
+
+#: read hints a trace may carry (``None`` = undetermined, cache decides)
+READ_HINTS = ("hit", "miss", "extract", "bypass", "uncached", "drop")
+
+#: recorded prefetch-queue dispositions
+PF_OUTCOMES = ("issue", "coalesce", "drop")
+
+#: largest representable word address (the machine flattens addresses
+#: into int64 planes; anything at or above this cannot be simulated)
+MAX_ADDR = 2 ** 63 - 1
+
+
+class TraceError(ValueError):
+    """Malformed trace input.  The message is a single actionable line,
+    prefixed ``file:line:`` when a source position is known."""
+
+
+def trace_error(path, lineno: int, message: str) -> TraceError:
+    return TraceError(f"{path}:{lineno}: {message}")
+
+
+def parse_text_line(line: str, path, lineno: int,
+                    arrays: Optional[Dict[str, int]],
+                    n_pes: Optional[int]) -> Optional[Tuple]:
+    """Parse one text-trace line into ``None`` (blank/comment) or one of
+    ``("pes", n)``, ``("array", name, size)``, ``("barrier",)``,
+    ``("access", pe, op)`` where ``op`` is a record op tuple.
+
+    ``arrays`` maps declared array names to sizes (``None`` while
+    scanning in implicit mode — address bounds are then not checked
+    here).  ``n_pes`` bounds the PE field when known.
+    """
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return None
+    parts = text.split()
+    head = parts[0]
+    if head == "%pes":
+        if len(parts) != 2:
+            raise trace_error(path, lineno,
+                              f"%pes takes exactly one count, got "
+                              f"{len(parts) - 1} token(s): expected "
+                              f"'%pes INT'")
+        count = _parse_int(parts[1], path, lineno, "%pes count")
+        if count <= 0:
+            raise trace_error(path, lineno,
+                              f"%pes count must be positive, got {count}")
+        return ("pes", count)
+    if head == "%array":
+        if len(parts) != 3:
+            raise trace_error(path, lineno,
+                              f"%array takes a name and a size, got "
+                              f"{len(parts) - 1} token(s): expected "
+                              f"'%array NAME SIZE'")
+        size = _parse_int(parts[2], path, lineno, f"%array {parts[1]} size")
+        if size <= 0:
+            raise trace_error(path, lineno,
+                              f"%array {parts[1]} size must be positive, "
+                              f"got {size}")
+        return ("array", parts[1], size)
+    if head.startswith("%"):
+        raise trace_error(path, lineno,
+                          f"unknown directive {head!r}: expected '%pes' "
+                          f"or '%array'")
+    if head == "barrier":
+        if len(parts) != 1:
+            raise trace_error(path, lineno,
+                              f"'barrier' takes no operands, got "
+                              f"{' '.join(parts[1:])!r}")
+        return ("barrier",)
+    # access: LABEL read|write ADDR [PE]
+    if len(parts) < 3:
+        raise trace_error(path, lineno,
+                          f"truncated access line (got {len(parts)} "
+                          f"token(s) {text!r}): expected "
+                          f"'LABEL read|write ADDR [PE]'")
+    if len(parts) > 4:
+        raise trace_error(path, lineno,
+                          f"too many tokens ({len(parts)}) in access line "
+                          f"{text!r}: expected 'LABEL read|write ADDR [PE]'")
+    name, op_word = parts[0], parts[1]
+    if op_word not in ("read", "write"):
+        raise trace_error(path, lineno,
+                          f"unknown access keyword {op_word!r}: expected "
+                          f"'read' or 'write'")
+    if arrays is not None and name not in arrays:
+        raise trace_error(path, lineno,
+                          f"unknown array label {name!r}: declared arrays "
+                          f"are {', '.join(sorted(arrays)) or '(none)'}")
+    addr = _parse_int(parts[2], path, lineno, "address")
+    if addr < 0:
+        raise trace_error(path, lineno,
+                          f"negative address {addr} for {name}: addresses "
+                          f"are 0-based element indices")
+    if addr > MAX_ADDR:
+        raise trace_error(path, lineno,
+                          f"address {addr} for {name} overflows the 64-bit "
+                          f"word-address space (max {MAX_ADDR})")
+    if arrays is not None and addr >= arrays[name]:
+        raise trace_error(path, lineno,
+                          f"address {addr} out of bounds for {name} "
+                          f"(declared size {arrays[name]}; valid range "
+                          f"0..{arrays[name] - 1})")
+    pe = 0
+    if len(parts) == 4:
+        pe = _parse_int(parts[3], path, lineno, "PE")
+        if pe < 0 or (n_pes is not None and pe >= n_pes):
+            bound = f"[0, {n_pes})" if n_pes is not None else ">= 0"
+            raise trace_error(path, lineno,
+                              f"PE {pe} out of range: this trace runs on "
+                              f"PEs {bound}")
+    op = ("r", name, addr, None) if op_word == "read" else ("w", name, addr)
+    return ("access", pe, op)
+
+
+def _parse_int(token: str, path, lineno: int, what: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise trace_error(path, lineno,
+                          f"{what} must be an integer, got {token!r}") \
+            from None
+
+
+__all__ = ["TEXT_GRAMMAR", "READ_HINTS", "PF_OUTCOMES", "MAX_ADDR",
+           "TraceError", "trace_error", "parse_text_line"]

@@ -1,0 +1,180 @@
+"""JSONL event stream -> replay records.
+
+The normalized machine-event stream (:mod:`repro.obs.events`) records
+*outcomes*; replay needs *instructions*.  The mapping is mostly 1:1 —
+each read-outcome kind becomes a read op carrying its outcome as the
+hint, each pf_* kind a prefetch op carrying its recorded disposition —
+with one inference: ``invalidate`` events with reason ``prefetch`` /
+``vector`` are emitted by the machine *only when a resident line was
+actually killed*, immediately before the prefetch's own event, so the
+op's ``inval`` flag is True exactly when such an event precedes it.
+That is exact, not heuristic: replay reproduces cache state, and an
+invalidation of a non-resident line is a complete no-op, so an op
+replayed with ``inval=False`` behaves identically whether the source
+instruction skipped the invalidation or merely found nothing to kill.
+
+Protocol events (bus/directory traffic), fault activations and farm
+lifecycle records are *outputs*, reproduced (or not) by the replayed
+scheme itself — they are skipped on ingest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from .format import trace_error
+
+#: event kinds that carry no replayable instruction
+_SKIPPED = frozenset({
+    "bus_tx", "coh_wb", "silent_upgrade", "coh_inval", "dir_req",
+    "dir_bcast", "fault_activation", "farm_lease", "farm_retry",
+    "farm_quarantine", "farm_resume", "farm_done",
+})
+
+#: read-outcome event kind -> replay hint (bypass_fetch maps per-kind)
+_READ_HINTS = {"read_hit": "hit", "read_miss": "miss",
+               "pf_complete": "extract"}
+
+_BYPASS_HINTS = {"bypass": "bypass", "uncached_local": "uncached",
+                 "uncached_remote": "uncached", "pf_drop": "drop"}
+
+
+def records_from_events(events: Iterable[Tuple[int, tuple]], *,
+                        path="<events>", chunk_ops: int = 4096
+                        ) -> Iterator[tuple]:
+    """Map ``(lineno, event)`` pairs to replay records (lazily).
+
+    The stream must be unsampled and uncapped — a decimated trace would
+    silently replay a different program.  Ops chunk per PE (at most
+    ``chunk_ops`` each); barriers and epoch boundaries pass through as
+    their own records.
+    """
+    cur_pe: Optional[int] = None
+    chunk: list = []
+    # (lineno, pe, reason) of an invalidate event whose prefetch op has
+    # not arrived yet — the machine emits them back-to-back.
+    pending: Optional[Tuple[int, int, str]] = None
+
+    def flush():
+        nonlocal chunk
+        if chunk:
+            yield ("ops", cur_pe, chunk)
+            chunk = []
+
+    def push(pe: int, op: tuple):
+        nonlocal cur_pe
+        if pe != cur_pe:
+            yield from flush()
+            cur_pe = pe
+        chunk.append(op)
+        if len(chunk) >= chunk_ops:
+            yield from flush()
+
+    for lineno, event in events:
+        kind = event[0]
+        if pending is not None and kind not in ("pf_issue", "pf_coalesce",
+                                                "pf_drop",
+                                                "vector_transfer"):
+            p_line, p_pe, p_reason = pending
+            raise trace_error(
+                path, p_line,
+                f"invalidate(reason={p_reason!r}) on PE {p_pe} is not "
+                f"followed by its {'vector_transfer' if p_reason == 'vector' else 'pf_issue/pf_coalesce/pf_drop'} "
+                f"event (next is {kind!r} at line {lineno}); the stream "
+                f"is out of order or filtered — replay needs an "
+                f"unsampled, uncapped trace")
+        if kind in _SKIPPED:
+            continue
+        if kind in _READ_HINTS:
+            pe, name, flat = event[1], event[2], event[3]
+            yield from push(pe, ("r", name, flat, _READ_HINTS[kind]))
+        elif kind == "bypass_fetch":
+            pe, name, flat, why = event[1], event[2], event[3], event[4]
+            hint = _BYPASS_HINTS.get(why)
+            if hint is None:
+                raise trace_error(path, lineno,
+                                  f"unknown bypass_fetch kind {why!r}")
+            yield from push(pe, ("r", name, flat, hint))
+        elif kind == "write":
+            yield from push(event[1], ("w", event[2], event[3]))
+        elif kind == "invalidate":
+            pe, name, count, reason, lo, hi = event[1:]
+            if reason == "fault":
+                continue             # injected consequence, not program
+            if reason == "explicit":
+                yield from push(pe, ("i", name, lo, hi))
+                continue
+            if pending is not None:
+                raise trace_error(path, lineno,
+                                  f"two pending invalidate events "
+                                  f"(reasons {pending[2]!r}, {reason!r}) "
+                                  f"with no prefetch between them")
+            pending = (lineno, pe, reason)
+        elif kind in ("pf_issue", "pf_coalesce", "pf_drop"):
+            pe, name, line, dtb = event[1:]
+            inval = False
+            if pending is not None:
+                p_line, p_pe, p_reason = pending
+                if p_pe != pe or p_reason != "prefetch":
+                    raise trace_error(
+                        path, p_line,
+                        f"invalidate(reason={p_reason!r}) on PE {p_pe} "
+                        f"dangles before a {kind} on PE {pe}")
+                inval = True
+                pending = None
+            outcome = "drop" if kind == "pf_drop" else \
+                "coalesce" if kind == "pf_coalesce" else "issue"
+            yield from push(pe, ("p", name, line, outcome, dtb, inval))
+        elif kind == "vector_transfer":
+            pe, name, _lo, _hi, words, flat, stride = event[1:]
+            inval = False
+            if pending is not None:
+                p_line, p_pe, p_reason = pending
+                if p_pe != pe or p_reason != "vector":
+                    raise trace_error(
+                        path, p_line,
+                        f"invalidate(reason={p_reason!r}) on PE {p_pe} "
+                        f"dangles before a vector_transfer on PE {pe}")
+                inval = True
+                pending = None
+            yield from push(pe, ("v", name, flat, words, stride, inval))
+        elif kind == "barrier":
+            yield from flush()
+            cur_pe = None
+            yield ("barrier",)
+        elif kind == "epoch_begin":
+            yield from flush()
+            cur_pe = None
+            yield ("epoch", event[1], event[2])
+        elif kind == "epoch_end":
+            yield from flush()
+            cur_pe = None
+            yield ("end_epoch", event[1], event[2])
+        else:
+            raise trace_error(path, lineno,
+                              f"event kind {kind!r} has no replay mapping")
+    yield from flush()
+    if pending is not None:
+        p_line, p_pe, p_reason = pending
+        raise trace_error(path, p_line,
+                          f"invalidate(reason={p_reason!r}) on PE {p_pe} "
+                          f"dangles at end of trace with no prefetch event "
+                          f"after it")
+
+
+def plain_events(events: Iterable[tuple]) -> Iterator[Tuple[int, tuple]]:
+    """Adapt an in-memory event list to the ``(lineno, event)`` protocol
+    (ordinal positions stand in for line numbers)."""
+    for index, event in enumerate(events, 1):
+        yield index, event
+
+
+def decls_from_sizes(sizes: Dict[str, int]):
+    """Minimal shared :class:`~repro.ir.arrays.ArrayDecl` list for a
+    self-describing trace: 1-D, block-distributed, one per array."""
+    from ..ir.arrays import ArrayDecl
+    return [ArrayDecl(name=name, shape=(size,))
+            for name, size in sorted(sizes.items())]
+
+
+__all__ = ["records_from_events", "plain_events", "decls_from_sizes"]

@@ -1,0 +1,292 @@
+"""TraceProgram: a recorded access stream bound to array declarations,
+replayable through :class:`~repro.machine.machine.Machine` under any
+scheme in the :data:`~repro.runtime.exec_config.SCHEMES` registry.
+
+The driver mirrors the reference interpreter's per-access policy
+exactly — cacheability, CRAFT overheads and prefetch liveness all
+derive from the target scheme's :class:`SchemeSpec`, so a CCDP trace
+replayed under ``mesi`` turns its prefetches into the same timing noops
+the interpreter would have compiled, and a BASE trace replayed under
+``ccdp`` caches the reads the source ran uncached.  Replaying a trace
+under the scheme that recorded it reproduces the source run's
+:class:`PEStats` / interconnect counters exactly (the conformance
+contract: ``repro.obs.fold.reconcile`` of source events against the
+replayed machine is empty) — on both the reference per-access path and
+the batched bulk path (:mod:`repro.trace.batch`).
+
+Out of the conformance contract, by design: cycle-class numbers.
+Replayed clocks carry memory-system costs only (the trace records no
+compute, no ``epoch_start`` / ``loop_overhead`` charges), so elapsed
+cycles are *comparable between replays*, not equal to the source run's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..ir.arrays import ArrayDecl
+from ..machine.machine import Machine
+from ..machine.params import MachineParams
+from ..runtime.exec_config import Backend, SCHEMES, scheme_names
+from .format import TraceError
+from .reader import (DEFAULT_CHUNK_OPS, read_jsonl_records,
+                     read_text_records, scan_text)
+
+
+@dataclass
+class ReplayCounters:
+    """Bulk-path bookkeeping for one replay."""
+
+    ops: int = 0            #: ops applied in total
+    bulk_ops: int = 0       #: ops serviced by the batched bulk path
+    bulk_runs: int = 0      #: bulk runs committed
+    fallbacks: int = 0      #: eligible runs that fell back to per-op
+
+
+@dataclass
+class TraceReplayResult:
+    """One finished replay: the machine plus per-epoch stream rows."""
+
+    machine: Machine
+    version: str
+    backend: str
+    epochs: List[dict] = field(default_factory=list)
+    counters: ReplayCounters = field(default_factory=ReplayCounters)
+
+    @property
+    def elapsed(self) -> float:
+        return self.machine.elapsed()
+
+    def stats_dict(self) -> dict:
+        return self.machine.stats.as_dict()
+
+
+class TraceProgram:
+    """A trace bound to declarations — the replay analogue of an IR
+    program.  Construction is cheap; every :meth:`replay` call streams
+    the records afresh from the factory (so multi-GB traces are never
+    resident and one program can replay under many schemes)."""
+
+    def __init__(self, records_factory: Callable[[], Iterable[tuple]],
+                 decls: Iterable[ArrayDecl], n_pes: int,
+                 name: str = "trace") -> None:
+        self.records_factory = records_factory
+        self.decls = list(decls)
+        self.n_pes = int(n_pes)
+        self.name = name
+        names = [d.name for d in self.decls]
+        if len(set(names)) != len(names):
+            raise TraceError(f"{name}: duplicate array declarations")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_text(cls, path, *, pes: Optional[int] = None,
+                  chunk_ops: int = DEFAULT_CHUNK_OPS) -> "TraceProgram":
+        """Bind a text trace; geometry comes from the trace itself
+        (directives or the implicit counts-only scan)."""
+        from .ingest import decls_from_sizes
+        info = scan_text(path)
+        if not info.arrays:
+            raise TraceError(f"{path}: trace contains no accesses")
+        n_pes = info.pes(pes)
+        if info.max_pe >= n_pes:
+            raise TraceError(
+                f"{path}: access on PE {info.max_pe} but the replay "
+                f"machine has {n_pes} PE(s); raise --pes or add '%pes'")
+        return cls(lambda: read_text_records(path, chunk_ops=chunk_ops,
+                                             info=info),
+                   decls_from_sizes(info.arrays), n_pes, name=str(path))
+
+    @classmethod
+    def from_jsonl(cls, path, decls: Iterable[ArrayDecl], n_pes: int, *,
+                   chunk_ops: int = DEFAULT_CHUNK_OPS) -> "TraceProgram":
+        """Bind a normalized JSONL event trace to a workload's array
+        declarations (events name arrays but not their geometry)."""
+        return cls(lambda: read_jsonl_records(path, chunk_ops=chunk_ops),
+                   decls, n_pes, name=str(path))
+
+    @classmethod
+    def from_events(cls, events: Iterable[tuple], decls: Iterable[ArrayDecl],
+                    n_pes: int, name: str = "<events>") -> "TraceProgram":
+        """Bind an in-memory event list (tests, round-trips)."""
+        from .ingest import plain_events, records_from_events
+        events = list(events)
+        return cls(lambda: records_from_events(plain_events(events),
+                                               path=name),
+                   decls, n_pes, name=name)
+
+    # -- replay ---------------------------------------------------------
+    def replay(self, params: MachineParams, version: str, *,
+               backend: str = Backend.REFERENCE, oracle: bool = False,
+               on_stale: str = "record", tracer=None,
+               epoch_cb: Optional[Callable[[dict], None]] = None
+               ) -> TraceReplayResult:
+        """Drive every recorded access through a fresh machine.
+
+        ``epoch_cb`` (if given) receives one dict per closed epoch as
+        the stream is consumed — counter *deltas* over the epoch plus
+        the machine clock — which is what the CLI streams live.
+        """
+        spec = SCHEMES.get(version)
+        if spec is None:
+            raise TraceError(f"unknown version {version!r}; expected one "
+                             f"of {scheme_names()}")
+        if backend not in Backend.ALL:
+            raise TraceError(f"unknown backend {backend!r}; expected one "
+                             f"of {', '.join(Backend.ALL)}")
+        if params.n_pes < self.n_pes:
+            raise TraceError(
+                f"{self.name}: trace needs {self.n_pes} PE(s) but the "
+                f"machine has {params.n_pes}")
+        machine = Machine(self.decls, params, on_stale=on_stale,
+                          oracle=oracle, tracer=tracer,
+                          protocol=spec.protocol)
+        counters = ReplayCounters()
+        epochs: List[dict] = []
+        # Per-array policy, mirroring the interpreter's flag derivation.
+        flags: Dict[str, tuple] = {}
+        for decl in self.decls:
+            shared = decl.is_shared
+            flags[decl.name] = (
+                shared,
+                spec.cache_shared if shared else True,        # cacheable
+                spec.craft_overheads and shared,              # craft
+                # prefetch liveness: the interpreter compiles prefetch /
+                # vector statements on shared arrays to timing noops
+                # when shared data is uncached or a hardware protocol
+                # owns coherence.
+                (not shared) or (spec.cache_shared
+                                 and spec.protocol is None),
+            )
+        bulk = None
+        if backend == Backend.BATCHED:
+            from .batch import BulkReplayer
+            bulk = BulkReplayer(machine, spec, flags)
+        state = _ReplayState()
+        snap = _totals(machine)
+        open_epoch: Optional[tuple] = None
+        for record in self.records_factory():
+            kind = record[0]
+            if kind == "ops":
+                _, pe, ops = record
+                if pe >= params.n_pes:
+                    raise TraceError(
+                        f"{self.name}: access on PE {pe} but the replay "
+                        f"machine has {params.n_pes} PE(s); raise --pes")
+                counters.ops += len(ops)
+                if bulk is not None:
+                    bulk.chunk(pe, ops, state, counters)
+                else:
+                    for op in ops:
+                        _apply_op(machine, flags, pe, op, state)
+            elif kind == "barrier":
+                machine.barrier()
+            elif kind == "epoch":
+                open_epoch = (record[1], record[2])
+                if tracer is not None:
+                    tracer.epoch_begin(record[2], machine)
+            elif kind == "end_epoch":
+                machine.stats.epochs += 1
+                if tracer is not None:
+                    tracer.epoch_end(record[2], machine)
+                now = _totals(machine)
+                row = {"index": record[1], "label": record[2],
+                       "reads": now[0] - snap[0],
+                       "writes": now[1] - snap[1],
+                       "hits": now[2] - snap[2],
+                       "misses": now[3] - snap[3],
+                       "stale": now[4] - snap[4],
+                       "clock": machine.elapsed()}
+                snap = now
+                epochs.append(row)
+                open_epoch = None
+                if epoch_cb is not None:
+                    epoch_cb(row)
+            else:
+                raise TraceError(f"{self.name}: unknown trace record "
+                                 f"{kind!r}")
+        if open_epoch is not None:
+            raise TraceError(
+                f"{self.name}: epoch {open_epoch[0]} ({open_epoch[1]!r}) "
+                f"never closed — the trace ends inside it")
+        if oracle and machine.oracle is not None:
+            machine.oracle.verify_final(machine.memory)
+        return TraceReplayResult(machine=machine, version=version,
+                                 backend=backend, epochs=epochs,
+                                 counters=counters)
+
+
+class _ReplayState:
+    """Mutable cross-op replay state: the synthetic write-value counter.
+
+    Written values are ``float(counter)`` in stream order — trace events
+    carry no data values, and any deterministic sequence reproduces the
+    machine's coherence behaviour exactly (versions, not values, drive
+    staleness).  Both replay paths consume the same counter, which is
+    what makes reference and bulk replays bit-identical."""
+
+    __slots__ = ("counter",)
+
+    def __init__(self) -> None:
+        self.counter = 0
+
+    def next_value(self) -> float:
+        self.counter += 1
+        return float(self.counter)
+
+
+def _totals(machine: Machine) -> tuple:
+    total = machine.stats.total()
+    return (total.reads, total.writes, total.cache_hits,
+            total.cache_misses, machine.stats.stale_reads)
+
+
+def _apply_op(machine: Machine, flags: Dict[str, tuple], pe: int,
+              op: tuple, state: _ReplayState) -> None:
+    """Apply one replay op through the reference per-access path."""
+    kind = op[0]
+    try:
+        info = flags[op[1]]
+    except KeyError:
+        raise TraceError(
+            f"trace references array {op[1]!r} absent from the replay "
+            f"declarations ({', '.join(sorted(flags)) or 'none'}); pass "
+            f"the workload the trace was recorded from") from None
+    shared, cacheable, craft, pf_live = info
+    if kind == "r":
+        hint = op[3]
+        if hint == "bypass" and shared:
+            machine.replay_read(pe, op[1], op[2], cacheable=cacheable,
+                                bypass=True, craft=craft)
+        else:
+            # "uncached" describes the *source* scheme's policy; here
+            # cacheability is this scheme's call.  Queue hints only mean
+            # anything while the prefetch machinery is live.
+            use = hint if (pf_live and shared
+                           and hint in ("hit", "miss", "extract", "drop")) \
+                else None
+            machine.replay_read(pe, op[1], op[2], use, cacheable=cacheable,
+                                craft=craft)
+    elif kind == "w":
+        machine.write(pe, op[1], op[2], state.next_value(),
+                      cacheable=cacheable, craft=craft)
+    elif kind == "p":
+        if pf_live:
+            machine.replay_prefetch_line(pe, op[1], op[2], op[3], op[4],
+                                         invalidate=op[5])
+        else:
+            machine.pes[pe].advance(machine.params.prefetch_issue)
+    elif kind == "v":
+        if pf_live:
+            machine.prefetch_vector(pe, op[1], op[2], op[3], op[4],
+                                    invalidate=op[5])
+        else:
+            machine.pes[pe].advance(machine.params.vector_startup)
+    elif kind == "i":
+        machine.invalidate(pe, op[1], op[2], op[3])
+    else:
+        raise TraceError(f"unknown replay op {kind!r}")
+
+
+__all__ = ["TraceProgram", "TraceReplayResult", "ReplayCounters"]

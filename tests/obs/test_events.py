@@ -17,8 +17,8 @@ EXAMPLES = {
     "pf_coalesce": ("pf_coalesce", 1, "b", 4, 0),
     "pf_drop": ("pf_drop", 2, "c", 5, 1),
     "pf_complete": ("pf_complete", 3, "a", 16),
-    "invalidate": ("invalidate", 0, "b", 2, "prefetch"),
-    "vector_transfer": ("vector_transfer", 1, "c", 0, 3, 16),
+    "invalidate": ("invalidate", 0, "b", 2, "prefetch", -1, -1),
+    "vector_transfer": ("vector_transfer", 1, "c", 0, 3, 16, 0, 1),
     "bus_tx": ("bus_tx", 0, "busrdx", 40, 1),
     "coh_wb": ("coh_wb", 1, 40, "downgrade"),
     "silent_upgrade": ("silent_upgrade", 2, 41),
@@ -59,7 +59,7 @@ def test_validate_accepts_wellformed(kind):
     ("barrier", "12"),                      # time must be numeric
     ("barrier", True),                      # ... and not bool
     ("bypass_fetch", 0, "a", 1, "teleport"),  # kind outside BYPASS_KINDS
-    ("invalidate", 0, "a", 1, "boredom"),   # reason outside the enum
+    ("invalidate", 0, "a", 1, "boredom", -1, -1),  # reason outside the enum
     ("farm_retry", "k", 2, 250, "gremlins"),  # reason outside FAIL_REASONS
     ("farm_quarantine", "k", 3, "gremlins"),  # ditto
     ("farm_lease", 7, 1),                   # key must be a str
@@ -78,7 +78,7 @@ def test_enum_values_validate():
     for why in BYPASS_KINDS:
         validate_event(("bypass_fetch", 0, "a", 1, why))
     for reason in INVALIDATE_REASONS:
-        validate_event(("invalidate", 0, "a", 1, reason))
+        validate_event(("invalidate", 0, "a", 1, reason, -1, -1))
     for op in BUS_OPS:
         validate_event(("bus_tx", 0, op, 40, 0))
     for reason in WB_REASONS:

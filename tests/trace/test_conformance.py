@@ -1,0 +1,92 @@
+"""Trace-conformance battery over the regression corpus.
+
+Every committed corpus seed (``tests/verify/corpus/``) is run under
+every hardware-protocol scheme with a tracer attached, exported, and
+replayed from its own trace under the same scheme with the coherence
+oracle armed.  The replay must fold back to the source events exactly
+— including the protocol counters (invalidations, c2c transfers, bus /
+directory traffic), which is what makes the trace frontend a usable
+protocol-debugging surface and not just a timing toy.
+
+The heaviest-sharing seeds (24, 33) additionally pin their protocol
+counter totals as literals: a replay that still *self*-conforms after a
+machine change but silently shifts the protocol traffic will trip these
+pins and force a deliberate re-baseline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.ir.dsl import parse_program
+from repro.machine.params import t3d
+from repro.obs import TIMING_DEPENDENT_FIELDS, Tracer, reconcile
+from repro.runtime import Version, run_program
+from repro.trace import TraceProgram
+
+CORPUS_DIR = Path(__file__).parent.parent / "verify" / "corpus"
+
+SEEDS = (0, 1, 5, 8, 10, 12, 24, 33)
+
+N_PES = 4
+
+#: (seed, counter) -> pinned total, measured at the current machine
+#: baseline.  ``dir_broadcasts`` stays 0 at 4 PEs because the
+#: limited-pointer capacity never overflows on these programs.
+PINS = {
+    24: {"coh_invalidations": 110, "c2c_transfers": 141,
+         "dir_broadcasts": 0},
+    33: {"coh_invalidations": 100, "c2c_transfers": 120,
+         "dir_broadcasts": 0},
+}
+MESI_PINS = {24: {"bus_rd": 142}, 33: {"bus_rd": 118}}
+DIR_PINS = {24: {"dir_messages": 1156}, 33: {"dir_messages": 970}}
+
+
+def _trace_and_replay(seed, version):
+    path = CORPUS_DIR / f"seed{seed:03d}.ir"
+    program = parse_program(path.read_text())
+    tracer = Tracer()
+    source = run_program(program, t3d(N_PES), version, on_stale="raise",
+                         oracle=True, tracer=tracer)
+    trace = TraceProgram.from_events(tracer.events,
+                                     program.arrays.values(), N_PES,
+                                     name=f"seed{seed}/{version}")
+    replayed = trace.replay(t3d(N_PES), version, oracle=True)
+    return tracer, source, replayed
+
+
+@pytest.mark.parametrize("version", Version.PROTOCOL)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_corpus_trace_conforms(seed, version):
+    tracer, source, replayed = _trace_and_replay(seed, version)
+
+    # priority_bypasses (dir-pp) is decided against machine clocks,
+    # which replays deliberately do not reproduce — it is the one
+    # foldable counter outside the conformance contract.
+    mismatches = reconcile(tracer.events, replayed.machine,
+                           skip=TIMING_DEPENDENT_FIELDS)
+    assert mismatches == [], "\n".join(mismatches)
+    oracle = replayed.machine.oracle
+    assert oracle.violations == 0
+    assert oracle.silent_stale == 0
+
+    src = source.machine.stats.total()
+    rep = replayed.machine.stats.total()
+    for counter in ("coh_invalidations", "c2c_transfers", "bus_rd",
+                    "bus_rdx", "dir_messages", "dir_broadcasts"):
+        assert getattr(rep, counter) == getattr(src, counter), counter
+
+    pins = dict(PINS.get(seed, {}))
+    if version == "mesi":
+        pins.update(MESI_PINS.get(seed, {}))
+    else:
+        pins.update(DIR_PINS.get(seed, {}))
+    for counter, want in pins.items():
+        assert getattr(rep, counter) == want, \
+            (f"seed {seed} / {version}: replayed {counter}="
+             f"{getattr(rep, counter)}, pinned baseline {want} — a "
+             f"machine change moved protocol traffic; re-measure and "
+             f"re-pin deliberately if intended")
